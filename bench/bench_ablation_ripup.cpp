@@ -1,0 +1,54 @@
+// Ablation of the rip-up & re-insert extension: displacement threshold vs
+// average/max displacement and runtime after the full pipeline.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/metrics.hpp"
+#include "gen/iccad17_suite.hpp"
+#include "legal/pipeline.hpp"
+#include "legal/refine/ripup_refine.hpp"
+#include "parsers/simple_format.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace mclg;
+  const double scale = bench::scaleFromEnv(0.03);
+  std::printf("=== Ablation: rip-up threshold (scale %.3f) ===\n", scale);
+
+  const GenSpec spec = iccad17Suite(scale)[4].spec;  // des_perf_b_md2 style
+  Design base = generate(spec);
+  {
+    SegmentMap segments(base);
+    PlacementState state(base);
+    legalize(state, segments, PipelineConfig::contest());
+  }
+  const std::string snapshot = writeSimpleFormat(base);
+  const auto statsBase = displacementStats(base);
+  std::printf("after pipeline: avg %.4f, max %.1f\n", statsBase.average,
+              statsBase.maximum);
+
+  Table table({"threshold", "avgDisp", "maxDisp", "attempted", "improved",
+               "gain", "seconds"});
+  for (const double threshold : {20.0, 10.0, 5.0, 2.0, 1.0}) {
+    auto design = readSimpleFormat(snapshot);
+    SegmentMap segments(*design);
+    PlacementState state(*design);
+    RipupConfig config;
+    config.displacementThreshold = threshold;
+    Timer timer;
+    const auto stats = ripupRefine(state, segments, config);
+    const double seconds = timer.seconds();
+    const auto disp = displacementStats(*design);
+    table.addRow({Table::fmt(threshold, 1), Table::fmt(disp.average, 4),
+                  Table::fmt(disp.maximum, 1),
+                  Table::fmt(static_cast<long long>(stats.attempted)),
+                  Table::fmt(static_cast<long long>(stats.improved)),
+                  Table::fmt(stats.gain, 3), Table::fmt(seconds, 2)});
+  }
+  std::printf("%s", table.toString().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: MGL initial window size vs displacement quality and runtime.
+// Small windows are fast but miss good insertion points (more expansions);
+// large windows search more candidates per cell.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/metrics.hpp"
+#include "gen/iccad17_suite.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace mclg;
+  const double scale = bench::scaleFromEnv(0.03);
+  std::printf("=== Ablation: MGL window size (scale %.3f) ===\n", scale);
+
+  const GenSpec spec = iccad17Suite(scale)[1].spec;  // des_perf_a_md1 style
+  Table table({"window(WxH)", "avgDisp", "maxDisp", "expansions", "seconds"});
+  const std::pair<int, int> sizes[] = {{8, 4}, {16, 6}, {24, 8}, {48, 16},
+                                       {96, 32}};
+  for (const auto& [w, h] : sizes) {
+    Design design = generate(spec);
+    SegmentMap segments(design);
+    PlacementState state(design);
+    MglConfig config;
+    config.window.initialW = w;
+    config.window.initialH = h;
+    Timer timer;
+    MglLegalizer legalizer(state, segments, config);
+    const auto stats = legalizer.run();
+    const double seconds = timer.seconds();
+    const auto disp = displacementStats(design);
+    table.addRow({std::to_string(w) + "x" + std::to_string(h),
+                  Table::fmt(disp.average, 3), Table::fmt(disp.maximum, 1),
+                  Table::fmt(static_cast<long long>(stats.windowExpansions)),
+                  Table::fmt(seconds, 2)});
+  }
+  std::printf("%s", table.toString().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the table-reproduction benches.
+//
+// All suite benches run on *scaled-down* regenerations of the published
+// benchmarks by default so the full harness finishes in minutes; set
+// MCLG_BENCH_SCALE (e.g. 1.0) to run the published sizes, and
+// MCLG_BENCH_DESIGNS to limit the number of designs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mclg::bench {
+
+inline double scaleFromEnv(double defaultScale) {
+  if (const char* env = std::getenv("MCLG_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return defaultScale;
+}
+
+inline int designLimitFromEnv(int defaultLimit) {
+  if (const char* env = std::getenv("MCLG_BENCH_DESIGNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return defaultLimit;
+}
+
+/// Geometric-mean style "Norm. Avg." used by the paper's tables: mean of
+/// per-design ratios value[i]/reference[i].
+inline double normAvg(const std::vector<double>& value,
+                      const std::vector<double>& reference) {
+  if (value.empty()) return 0.0;
+  double sum = 0.0;
+  int counted = 0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (reference[i] > 0.0) {
+      sum += value[i] / reference[i];
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+}  // namespace mclg::bench

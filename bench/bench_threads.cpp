@@ -1,0 +1,77 @@
+// §3.5 scaling study: MGL runtime vs thread count, with the determinism
+// check the paper claims (results identical across thread counts for a
+// fixed scheduler batch capacity).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/metrics.hpp"
+#include "gen/iccad17_suite.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace mclg;
+  const double scale = bench::scaleFromEnv(0.05);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("=== MGL thread scaling (scale %.3f, %u hardware threads) ===\n",
+              scale, cores);
+  if (cores <= 1) {
+    std::printf(
+        "note: single-core machine — speedups cannot manifest; this bench "
+        "then only demonstrates the thread-count determinism of §3.5\n");
+  }
+
+  const GenSpec spec = iccad17Suite(scale)[4].spec;  // des_perf_b_md2 style
+  Table table({"threads", "seconds", "speedup", "avgDisp", "identical"});
+  double baseSeconds = 0.0;
+  // Determinism is claimed within the scheduler (threads >= 2, fixed batch
+  // capacity); the sequential path visits cells in a different order, so it
+  // serves as the timing baseline only.
+  std::vector<std::int64_t> refX, refY;
+  for (const int threads : {1, 2, 4, 8}) {
+    Design design = generate(spec);
+    SegmentMap segments(design);
+    PlacementState state(design);
+    MglConfig config;
+    config.numThreads = threads;
+    config.batchCap = 16;  // fixed so all runs are comparable (§3.5)
+    Timer timer;
+    MglLegalizer legalizer(state, segments, config);
+    legalizer.run();
+    const double seconds = timer.seconds();
+    if (threads == 1) baseSeconds = seconds;
+
+    bool identical = true;
+    if (threads == 1) {
+      // baseline timing row; not part of the determinism check
+    } else if (refX.empty()) {
+      for (const auto& cell : design.cells) {
+        refX.push_back(cell.x);
+        refY.push_back(cell.y);
+      }
+    } else {
+      for (CellId c = 0; c < design.numCells(); ++c) {
+        if (design.cells[c].x != refX[static_cast<std::size_t>(c)] ||
+            design.cells[c].y != refY[static_cast<std::size_t>(c)]) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    const auto disp = displacementStats(design);
+    table.addRow({Table::fmt(static_cast<long long>(threads)),
+                  Table::fmt(seconds, 2), Table::fmt(baseSeconds / seconds, 2),
+                  Table::fmt(disp.average, 3),
+                  threads == 1 ? "n/a" : (identical ? "yes" : "NO")});
+  }
+  std::printf("%s", table.toString().c_str());
+  std::printf("note: threads=1 runs the sequential path; >=2 runs the "
+              "batch scheduler, so compare speedups within the >=2 rows\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Run every legalizer in the library on the same design and print a
+// side-by-side comparison — the Table 2 experiment in example form, plus
+// the extension stages.
+
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/pipeline.hpp"
+#include "legal/refine/ripup_refine.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+mclg::GenSpec makeSpec() {
+  mclg::GenSpec spec;
+  spec.name = "comparison";
+  spec.cellsPerHeight = {4500, 500, 0, 0};  // Table-2-style mix
+  spec.density = 0.65;
+  spec.withRoutability = false;
+  spec.withNets = false;
+  spec.numEdgeClasses = 1;
+  spec.seed = 20240704;
+  return spec;
+}
+
+template <typename Fn>
+void runOne(mclg::Table& table, const char* name, Fn legalizer) {
+  mclg::Design design = mclg::generate(makeSpec());
+  mclg::SegmentMap segments(design);
+  mclg::PlacementState state(design);
+  mclg::Timer timer;
+  legalizer(state, segments);
+  const double seconds = timer.seconds();
+  const auto disp = mclg::displacementStats(design);
+  const bool legal = mclg::checkLegality(design, segments).legal();
+  table.addRow({name, mclg::Table::fmt(disp.totalSites, 0),
+                mclg::Table::fmt(disp.average, 3),
+                mclg::Table::fmt(disp.maximum, 1),
+                mclg::Table::fmt(seconds, 2), legal ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  using namespace mclg;
+  std::printf("comparing all legalizers on one %d-cell design...\n",
+              makeSpec().cellsPerHeight[0] + makeSpec().cellsPerHeight[1]);
+  Table table({"legalizer", "totalDisp", "avgDisp", "maxDisp", "seconds",
+               "legal"});
+  runOne(table, "tetris", [](PlacementState& s, const SegmentMap& m) {
+    legalizeTetris(s, m);
+  });
+  runOne(table, "abacus-multi [7]", [](PlacementState& s, const SegmentMap& m) {
+    legalizeAbacusMulti(s, m);
+  });
+  runOne(table, "ordered QP [9]", [](PlacementState& s, const SegmentMap& m) {
+    legalizeOrderedQp(s, m);
+  });
+  runOne(table, "MLL [12]", [](PlacementState& s, const SegmentMap& m) {
+    legalizeMll(s, m, false);
+  });
+  runOne(table, "ours (paper flow)", [](PlacementState& s, const SegmentMap& m) {
+    legalize(s, m, PipelineConfig::totalDisplacement());
+  });
+  runOne(table, "ours + ripup", [](PlacementState& s, const SegmentMap& m) {
+    legalize(s, m, PipelineConfig::totalDisplacement());
+    RipupConfig ripup;
+    ripup.displacementThreshold = 2.0;
+    ripup.insertion.contestWeights = false;
+    ripup.insertion.routability = false;
+    ripupRefine(s, m, ripup);
+  });
+  std::printf("%s", table.toString().c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "baselines/abacus_row.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+
+double AbacusRow::Cluster::clampedX(std::int64_t lo, std::int64_t hi) const {
+  const double maxX = static_cast<double>(hi - width);
+  return std::clamp(x, static_cast<double>(lo), maxX);
+}
+
+void AbacusRow::add(double desiredX, int width, double weight) {
+  MCLG_ASSERT(width > 0, "cell width must be positive");
+  MCLG_ASSERT(weight > 0.0, "cell weight must be positive");
+  const int index = static_cast<int>(cells_.size());
+  cells_.push_back({desiredX, width, weight});
+
+  Cluster cluster;
+  cluster.weight = weight;
+  cluster.moment = weight * desiredX;  // offset 0 within its own cluster
+  cluster.width = width;
+  cluster.firstCell = index;
+  cluster.x = desiredX;
+
+  // Collapse with predecessors while overlapping (the classic loop).
+  while (!clusters_.empty()) {
+    Cluster& prev = clusters_.back();
+    if (prev.clampedX(lo_, hi_) + prev.width <=
+        cluster.clampedX(lo_, hi_)) {
+      break;
+    }
+    // Merge `cluster` into prev: cells of `cluster` sit at offset
+    // prev.width inside the merged cluster.
+    prev.moment += cluster.moment - cluster.weight * prev.width;
+    prev.weight += cluster.weight;
+    prev.width += cluster.width;
+    prev.x = prev.moment / prev.weight;
+    cluster = prev;
+    clusters_.pop_back();
+  }
+  clusters_.push_back(cluster);
+}
+
+std::vector<std::int64_t> AbacusRow::positions() const {
+  std::vector<std::int64_t> result(cells_.size(), 0);
+  std::int64_t minNext = lo_;
+  for (const auto& cluster : clusters_) {
+    // Round the cluster start, respecting bounds and the previous cluster.
+    std::int64_t start = static_cast<std::int64_t>(
+        std::llround(cluster.clampedX(lo_, hi_)));
+    start = std::max(start, minNext);
+    start = std::min(start, hi_ - cluster.width);
+    MCLG_ASSERT(start >= lo_, "row capacity exceeded in AbacusRow");
+    std::int64_t x = start;
+    int cell = cluster.firstCell;
+    while (cell < static_cast<int>(cells_.size())) {
+      // Cells of this cluster are contiguous from firstCell until the next
+      // cluster's firstCell.
+      const auto& entry = cells_[static_cast<std::size_t>(cell)];
+      result[static_cast<std::size_t>(cell)] = x;
+      x += entry.width;
+      ++cell;
+      if (x - start >= cluster.width) break;
+    }
+    minNext = start + cluster.width;
+  }
+  return result;
+}
+
+double AbacusRow::totalCost() const {
+  const auto xs = positions();
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    total += cells_[i].weight *
+             std::abs(static_cast<double>(xs[i]) - cells_[i].desired);
+  }
+  return total;
+}
+
+}  // namespace mclg

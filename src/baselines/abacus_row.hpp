@@ -1,0 +1,55 @@
+// Classic single-row Abacus (Spindler, Schlichtmann, Johannes — ISPD 2008,
+// the paper's reference [8]): given cells of one row in fixed left-to-right
+// order with desired x positions and weights, compute the positions
+// minimizing Σ w_i (x_i - desired_i)² ... the original is quadratic; this
+// implementation uses the standard cluster collapse, which for the
+// quadratic objective is exact (pool-adjacent-violators). It is both a
+// baseline building block and a cross-check for the fixed-row-&-order MCF
+// (whose linear objective it brackets on single-row instances).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mclg {
+
+class AbacusRow {
+ public:
+  /// Row span [lo, hi) in sites.
+  AbacusRow(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {}
+
+  /// Append the next cell in row order. desiredX is the target left edge.
+  void add(double desiredX, int width, double weight = 1.0);
+
+  /// Final left edges in add order (computed lazily; rounded to sites with
+  /// order and bounds preserved).
+  std::vector<std::int64_t> positions() const;
+
+  /// Σ weight · |x - desired| of positions().
+  double totalCost() const;
+
+  int numCells() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  struct Cluster {
+    double weight = 0.0;   // Σ w_i
+    double moment = 0.0;   // Σ w_i (desired_i - offset_i)
+    std::int64_t width = 0;
+    int firstCell = 0;
+    double x = 0.0;        // optimal left edge (unclamped mean)
+
+    double clampedX(std::int64_t lo, std::int64_t hi) const;
+  };
+  struct CellEntry {
+    double desired;
+    int width;
+    double weight;
+  };
+
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::vector<CellEntry> cells_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace mclg

@@ -1,0 +1,56 @@
+// Baseline legalizers the paper compares against (DESIGN.md §3 documents
+// each substitution):
+//
+//  - TetrisLegalizer: classic greedy nearest-free-slot packing; crude
+//    reference lower bound.
+//  - AbacusMultiLegalizer: [7]-style ordered legalization — cells processed
+//    in GP x order, per-row frontier packing with a dead-space cost.
+//  - legalizeMll: [12] — the window-insertion engine run with displacement
+//    measured from *current* locations (the paper's own characterization of
+//    MLL's weakness; see Fig. 3).
+//  - legalizeOrderedMcf: [9] proxy — order-preserving row assignment
+//    followed by the globally optimal fixed-row-&-order MCF.
+//  - legalizeChampionProxy: ICCAD17-champion stand-in for Table 1 — a
+//    displacement-driven legalizer with routability handling disabled, so
+//    it accrues the edge/pin violations the champion shows in the paper.
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+struct BaselineStats {
+  int placed = 0;
+  int failed = 0;
+};
+
+/// Greedy Tetris packing. Ignores edge-spacing and routability (counts as
+/// violations afterwards); honors fences, parity, and overlap freedom.
+BaselineStats legalizeTetris(PlacementState& state, const SegmentMap& segments);
+
+/// [7]-style ordered multi-row Abacus.
+BaselineStats legalizeAbacusMulti(PlacementState& state,
+                                  const SegmentMap& segments);
+
+/// [12] MLL: window insertion with current-location displacement.
+BaselineStats legalizeMll(PlacementState& state, const SegmentMap& segments,
+                          bool contestWeights);
+
+/// [9] proxy: ordered row assignment + optimal fixed-row-&-order MCF
+/// (linear objective).
+BaselineStats legalizeOrderedMcf(PlacementState& state,
+                                 const SegmentMap& segments);
+
+/// [9] faithful: ordered row assignment + the *quadratic* fixed-row-&-order
+/// optimization via KKT/LCP projected Gauss-Seidel (what Chen et al.
+/// actually solve). Used as the Table 2 "[9]" column.
+BaselineStats legalizeOrderedQp(PlacementState& state,
+                                const SegmentMap& segments);
+
+/// ICCAD17 champion proxy: MLL objective, routability off, no
+/// post-processing.
+BaselineStats legalizeChampionProxy(PlacementState& state,
+                                    const SegmentMap& segments);
+
+}  // namespace mclg

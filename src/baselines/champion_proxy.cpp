@@ -1,0 +1,26 @@
+// ICCAD-2017-champion stand-in for Table 1 (DESIGN.md §3): a fast,
+// displacement-driven greedy legalizer with no routability model — nearest
+// free-slot packing followed by a fixed-row-&-order refinement with unit
+// weights. It is quick and produces competitive average displacement, but
+// ignores the edge-spacing table, rails, and IO pins, so it accrues the
+// violations the champion binary shows in the paper, and its greedy slot
+// choice leaves a heavier displacement tail than the window-based MGL.
+
+#include "baselines/baselines.hpp"
+#include "legal/mcfopt/fixed_row_order.hpp"
+
+namespace mclg {
+
+BaselineStats legalizeChampionProxy(PlacementState& state,
+                                    const SegmentMap& segments) {
+  const BaselineStats stats = legalizeTetris(state, segments);
+  FixedRowOrderConfig config;
+  config.contestWeights = true;  // it optimized the contest metric
+  config.routability = false;    // but had no pin-aware movement ranges
+  config.respectEdgeSpacing = false;
+  config.maxDispWeight = 0.0;
+  optimizeFixedRowOrder(state, segments, config);
+  return stats;
+}
+
+}  // namespace mclg

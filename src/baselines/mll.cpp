@@ -1,0 +1,21 @@
+// [12] MLL baseline: the shared window-insertion engine with displacement
+// measured from the cells' *current* locations (gpObjective = false). This
+// is precisely the difference the paper illustrates in Fig. 3.
+
+#include "baselines/baselines.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+
+namespace mclg {
+
+BaselineStats legalizeMll(PlacementState& state, const SegmentMap& segments,
+                          bool contestWeights) {
+  MglConfig config;
+  config.insertion.gpObjective = false;
+  config.insertion.contestWeights = contestWeights;
+  config.insertion.routability = false;
+  MglLegalizer legalizer(state, segments, config);
+  const MglStats stats = legalizer.run();
+  return {stats.placed, stats.failed};
+}
+
+}  // namespace mclg

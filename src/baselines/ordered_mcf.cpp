@@ -1,0 +1,33 @@
+// [9] proxy: order-preserving row assignment (the Abacus-multi pass)
+// followed by the globally optimal fixed-row-&-order movement — the linear
+// analogue of Chen et al.'s LCP-based global optimization under the
+// GP-cell-order restriction.
+
+#include "baselines/baselines.hpp"
+#include "baselines/qp_legalizer.hpp"
+#include "legal/mcfopt/fixed_row_order.hpp"
+
+namespace mclg {
+
+BaselineStats legalizeOrderedMcf(PlacementState& state,
+                                 const SegmentMap& segments) {
+  BaselineStats stats = legalizeAbacusMulti(state, segments);
+  FixedRowOrderConfig config;
+  config.contestWeights = false;
+  config.routability = false;
+  config.maxDispWeight = 0.0;
+  optimizeFixedRowOrder(state, segments, config);
+  return stats;
+}
+
+BaselineStats legalizeOrderedQp(PlacementState& state,
+                                const SegmentMap& segments) {
+  BaselineStats stats = legalizeAbacusMulti(state, segments);
+  QpLegalizerConfig config;
+  config.contestWeights = false;
+  config.respectEdgeSpacing = true;
+  optimizeQuadraticFixedRowOrder(state, segments, config);
+  return stats;
+}
+
+}  // namespace mclg

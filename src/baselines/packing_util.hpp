@@ -1,0 +1,5 @@
+// Shared helpers for the greedy baselines. The free-span query lives in the
+// db layer (db/free_span.hpp); this header remains for compatibility.
+#pragma once
+
+#include "db/free_span.hpp"

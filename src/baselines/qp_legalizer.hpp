@@ -1,0 +1,42 @@
+// Quadratic fixed-row-&-order optimization via the LCP route of Chen et
+// al. [9]: minimize Σ w_i (x_i − x'_i)² subject to the neighbor separation
+// and boundary constraints, transformed by the KKT conditions into a linear
+// complementarity problem and solved with projected Gauss-Seidel. This is
+// the quadratic counterpart of our linear §3.3 MCF — implemented so the [9]
+// baseline optimizes the objective that the original paper optimized.
+//
+// On a single row the exact optimum is also produced by the classic Abacus
+// cluster collapse (baselines/abacus_row.hpp), which the tests use as an
+// independent oracle.
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+struct QpLegalizerConfig {
+  /// Weight w_i per cell: Eq. 2 metric weights or unit.
+  bool contestWeights = false;
+  /// PGS sweeps over the constraint set.
+  int maxIterations = 400;
+  /// Stop when no multiplier changes by more than this (site units).
+  double tolerance = 1e-7;
+  /// Honor the edge-spacing table in the separations.
+  bool respectEdgeSpacing = true;
+};
+
+struct QpLegalizerStats {
+  int cellsMoved = 0;
+  int iterations = 0;
+  double objectiveBefore = 0.0;  // Σ w (x − x')², site units
+  double objectiveAfter = 0.0;
+};
+
+/// Optimize x positions of all placed movable cells, keeping rows and
+/// per-row order. Positions are rounded to sites respecting constraints.
+QpLegalizerStats optimizeQuadraticFixedRowOrder(PlacementState& state,
+                                                const SegmentMap& segments,
+                                                const QpLegalizerConfig& config);
+
+}  // namespace mclg

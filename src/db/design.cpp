@@ -1,0 +1,119 @@
+#include "db/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+
+Rect PinShape::rectInOrient(Orient orient, int heightRows) const {
+  if (orient == Orient::N) return rect;
+  const std::int64_t fh = heightRows * Design::kFine;
+  return {rect.xlo, fh - rect.yhi, rect.xhi, fh - rect.ylo};
+}
+
+int Design::maxCellHeight() const {
+  if (cachedMaxHeight_ < 0) {
+    int h = 1;
+    for (const auto& cell : cells) {
+      if (!cell.fixed) h = std::max(h, types[cell.type].height);
+    }
+    cachedMaxHeight_ = h;
+  }
+  return cachedMaxHeight_;
+}
+
+const std::vector<int>& Design::cellsPerHeight() const {
+  if (cachedPerHeight_.empty()) {
+    cachedPerHeight_.assign(static_cast<std::size_t>(maxCellHeight()) + 1, 0);
+    for (const auto& cell : cells) {
+      if (!cell.fixed) ++cachedPerHeight_[types[cell.type].height];
+    }
+  }
+  return cachedPerHeight_;
+}
+
+double Design::metricWeight(CellId c) const {
+  if (cells[c].fixed) return 0.0;
+  const auto& perHeight = cellsPerHeight();
+  const int h = types[cells[c].type].height;
+  const int count = perHeight[static_cast<std::size_t>(h)];
+  if (count == 0) return 0.0;
+  return 1.0 / (static_cast<double>(maxCellHeight()) * count);
+}
+
+std::int64_t Design::maxIoPinWidthFine() const {
+  if (cachedMaxIoWidth_ < 0) {
+    std::int64_t w = 0;
+    for (const auto& pin : ioPins) w = std::max(w, pin.rect.width());
+    cachedMaxIoWidth_ = w;
+  }
+  return cachedMaxIoWidth_;
+}
+
+std::int64_t Design::maxCellWidth() const {
+  if (cachedMaxCellWidth_ < 0) {
+    std::int64_t w = 1;
+    for (const auto& type : types) w = std::max<std::int64_t>(w, type.width);
+    cachedMaxCellWidth_ = w;
+  }
+  return cachedMaxCellWidth_;
+}
+
+void Design::validate() const {
+  MCLG_ASSERT(numSitesX > 0 && numRows > 0, "empty core area");
+  MCLG_ASSERT(!fences.empty() && fences[0].rects.empty(),
+              "fence 0 must be the implicit default fence");
+  MCLG_ASSERT(siteWidthFactor > 0.0, "siteWidthFactor must be positive");
+  for (const auto& type : types) {
+    MCLG_ASSERT(type.width > 0 && type.height > 0, "degenerate cell type");
+    if (type.height % 2 == 0) {
+      MCLG_ASSERT(type.parity == 0 || type.parity == 1,
+                  "even-height type needs a P/G parity");
+    }
+    MCLG_ASSERT(type.leftEdge >= 0 && type.leftEdge < numEdgeClasses &&
+                    type.rightEdge >= 0 && type.rightEdge < numEdgeClasses,
+                "edge class out of range");
+  }
+  if (!edgeSpacingTable.empty()) {
+    MCLG_ASSERT(static_cast<int>(edgeSpacingTable.size()) ==
+                    numEdgeClasses * numEdgeClasses,
+                "edge spacing table size mismatch");
+  }
+  const Rect core(0, 0, numSitesX, numRows);
+  for (std::size_t f = 1; f < fences.size(); ++f) {
+    for (const auto& rect : fences[f].rects) {
+      MCLG_ASSERT(core.containsRect(rect), "fence rect outside core");
+    }
+  }
+  for (const auto& cell : cells) {
+    MCLG_ASSERT(cell.type >= 0 && cell.type < numTypes(), "bad cell type id");
+    MCLG_ASSERT(cell.fence >= 0 && cell.fence < numFences(), "bad fence id");
+    if (cell.fixed) {
+      MCLG_ASSERT(cell.x >= 0 && cell.y >= 0, "fixed cell without position");
+    }
+  }
+  for (std::size_t i = 1; i < hRails.size(); ++i) {
+    MCLG_ASSERT(hRails[i - 1].yFineLo <= hRails[i].yFineLo,
+                "hRails must be sorted by yFineLo");
+  }
+  for (std::size_t i = 1; i < vRails.size(); ++i) {
+    MCLG_ASSERT(vRails[i - 1].xFineLo <= vRails[i].xFineLo,
+                "vRails must be sorted by xFineLo");
+  }
+  for (std::size_t i = 1; i < ioPins.size(); ++i) {
+    MCLG_ASSERT(ioPins[i - 1].rect.xlo <= ioPins[i].rect.xlo,
+                "ioPins must be sorted by rect.xlo");
+  }
+  for (const auto& net : nets) {
+    for (const auto& conn : net.conns) {
+      MCLG_ASSERT(conn.cell >= 0 && conn.cell < numCells(), "bad net conn");
+      MCLG_ASSERT(conn.pin >= 0 &&
+                      conn.pin < static_cast<int>(typeOf(conn.cell).pins.size()),
+                  "net pin index out of range");
+    }
+  }
+}
+
+}  // namespace mclg

@@ -1,0 +1,223 @@
+// Design database: cell library, cells, fences, P/G rails, IO pins, nets.
+//
+// Unit conventions (see DESIGN.md §5):
+//  - x is measured in placement *sites* (int when legal, double for GP);
+//  - y is measured in *rows*;
+//  - displacement is reported in row-height units, so horizontal distances
+//    are scaled by siteWidthFactor() (= site width / row height, 0.5 in the
+//    ICCAD-2017-style technology we generate);
+//  - pin shapes, rails and IO pins live on a *fine grid* with kFine units
+//    per site horizontally and per row vertically, which lets signal-pin /
+//    rail overlap tests stay in integer arithmetic.
+//
+// Fence id 0 is the implicit default fence (everything outside explicit
+// fence rects); explicit fences are 1..numFences()-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace mclg {
+
+using CellId = std::int32_t;
+using TypeId = std::int32_t;
+using FenceId = std::int32_t;
+using NetId = std::int32_t;
+
+inline constexpr CellId kInvalidCell = -1;
+inline constexpr FenceId kDefaultFence = 0;
+
+/// Placement orientation. Odd-height cells flip vertically (FS) in
+/// alternate rows to keep their power pins on the correct rail — the
+/// paper's reason why odd heights carry no parity constraint. Even-height
+/// cells cannot fix alignment by flipping and always place N (their parity
+/// constraint does the aligning).
+enum class Orient : std::uint8_t { N = 0, FS = 1 };
+
+/// A signal-pin shape, in fine-grid units relative to the cell's lower-left
+/// corner (N orientation; flip with flippedVertically() for FS).
+struct PinShape {
+  int layer = 1;
+  Rect rect;  // fine units
+
+  /// The shape after a vertical mirror within a cell of `heightRows` rows
+  /// (x extent unchanged, y extent mirrored about the cell's mid-height).
+  Rect rectInOrient(Orient orient, int heightRows) const;
+};
+
+struct CellType {
+  std::string name;
+  int width = 1;   // sites
+  int height = 1;  // rows
+  /// Required parity of the bottom row (P/G alignment). Even-height cells
+  /// cannot fix their rail alignment by flipping, so they carry 0 or 1;
+  /// odd-height cells are free (-1).
+  int parity = -1;
+  int leftEdge = 0;   // edge-spacing class of the left boundary
+  int rightEdge = 0;  // edge-spacing class of the right boundary
+  std::vector<PinShape> pins;
+};
+
+struct Cell {
+  TypeId type = 0;
+  double gpX = 0.0;  // global-placement x, in sites
+  double gpY = 0.0;  // global-placement y, in rows
+  std::int64_t x = -1;  // legal site (valid when placed)
+  std::int64_t y = -1;  // legal bottom row (valid when placed)
+  FenceId fence = kDefaultFence;
+  bool fixed = false;   // fixed macro/blockage: never moves, x/y always valid
+  bool placed = false;
+};
+
+struct Fence {
+  std::string name;
+  std::vector<Rect> rects;  // site×row units; disjoint
+};
+
+/// Horizontal P/G rail: spans the full chip width on `layer`, covering
+/// fine-grid y in [yFineLo, yFineHi).
+struct HRail {
+  int layer = 2;
+  std::int64_t yFineLo = 0;
+  std::int64_t yFineHi = 0;
+};
+
+/// Vertical P/G stripe: spans the full chip height on `layer`, covering
+/// fine-grid x in [xFineLo, xFineHi).
+struct VRail {
+  int layer = 3;
+  std::int64_t xFineLo = 0;
+  std::int64_t xFineHi = 0;
+};
+
+struct IoPin {
+  int layer = 1;
+  Rect rect;  // fine units, absolute chip coordinates
+};
+
+/// A net connects pins of cells; pin index refers to the cell type's pin
+/// list. Used only for the HPWL terms of the contest score.
+struct Net {
+  struct Conn {
+    CellId cell = kInvalidCell;
+    int pin = 0;
+  };
+  std::vector<Conn> conns;
+};
+
+class Design {
+ public:
+  /// Fine-grid resolution (units per site in x, per row in y).
+  static constexpr std::int64_t kFine = 8;
+
+  std::string name;
+  std::int64_t numSitesX = 0;
+  std::int64_t numRows = 0;
+  /// site width / row height; multiplies x-distances when computing
+  /// displacement in row-height units.
+  double siteWidthFactor = 0.5;
+
+  std::vector<CellType> types;
+  std::vector<Cell> cells;
+  std::vector<Fence> fences;  // fences[0] = default fence, rects empty
+  std::vector<HRail> hRails;
+  std::vector<VRail> vRails;
+  std::vector<IoPin> ioPins;
+  std::vector<Net> nets;
+
+  int numEdgeClasses = 1;
+  /// Flattened numEdgeClasses × numEdgeClasses table, in sites.
+  std::vector<int> edgeSpacingTable;
+
+  Design() { fences.push_back({"<default>", {}}); }
+
+  int numCells() const { return static_cast<int>(cells.size()); }
+  int numTypes() const { return static_cast<int>(types.size()); }
+  int numFences() const { return static_cast<int>(fences.size()); }
+
+  const CellType& typeOf(CellId c) const { return types[cells[c].type]; }
+  int widthOf(CellId c) const { return typeOf(c).width; }
+  int heightOf(CellId c) const { return typeOf(c).height; }
+
+  /// Required spacing (sites) between a cell whose right edge has class e1
+  /// and the next cell whose left edge has class e2.
+  int edgeSpacing(int e1, int e2) const {
+    return edgeSpacingTable.empty()
+               ? 0
+               : edgeSpacingTable[e1 * numEdgeClasses + e2];
+  }
+
+  /// Spacing required between cell `left` placed immediately before cell
+  /// `right` in the same row(s).
+  int spacingBetween(CellId left, CellId right) const {
+    return edgeSpacing(typeOf(left).rightEdge, typeOf(right).leftEdge);
+  }
+
+  /// Displacement of cell c from its GP position, in row heights (Eq. 1
+  /// with the paper's row-height normalization).
+  double displacement(CellId c) const {
+    const Cell& cell = cells[c];
+    if (!cell.placed) return 0.0;
+    return siteWidthFactor *
+               std::abs(static_cast<double>(cell.x) - cell.gpX) +
+           std::abs(static_cast<double>(cell.y) - cell.gpY);
+  }
+
+  /// Largest cell height H in the design (used by the Eq. 2 weights).
+  int maxCellHeight() const;
+
+  /// Count of movable cells of each height 1..H (index 0 unused).
+  /// Returns the lazily built cache by reference — this sits on the MGL
+  /// hot path (metric weights), so it must not allocate per call.
+  const std::vector<int>& cellsPerHeight() const;
+
+  /// Eq. 2 weight of cell c: 1 / (H * |C_h|) for movable cells.
+  double metricWeight(CellId c) const;
+
+  /// Width (fine units) of the widest IO pin, for bounded look-back scans
+  /// over the xlo-sorted IO pin list.
+  std::int64_t maxIoPinWidthFine() const;
+
+  /// Width (sites) of the widest cell type, for bounded occupancy scans.
+  std::int64_t maxCellWidth() const;
+
+  /// True if placing a cell of this type with bottom row y satisfies the
+  /// P/G parity constraint.
+  bool parityOk(TypeId t, std::int64_t y) const {
+    const int parity = types[t].parity;
+    return parity < 0 || (y & 1) == parity;
+  }
+
+  /// Orientation implied by the row assignment: odd-height cells flip in
+  /// odd rows to stay rail-aligned; parity-constrained cells are always N.
+  Orient orientationAt(TypeId t, std::int64_t y) const {
+    if (types[t].height % 2 == 0) return Orient::N;
+    return (y & 1) == 0 ? Orient::N : Orient::FS;
+  }
+
+  /// Sanity-check internal consistency (index ranges, fence rects in core,
+  /// type dimensions positive). Aborts on violation; cheap enough to call
+  /// after generation/parsing.
+  void validate() const;
+
+  /// Drop the lazily cached statistics (max height, per-height counts, max
+  /// widths). Call after structurally editing the design — e.g. adding ECO
+  /// cells before an incremental legalization pass.
+  void invalidateCaches() {
+    cachedMaxHeight_ = -1;
+    cachedPerHeight_.clear();
+    cachedMaxIoWidth_ = -1;
+    cachedMaxCellWidth_ = -1;
+  }
+
+ private:
+  mutable int cachedMaxHeight_ = -1;
+  mutable std::vector<int> cachedPerHeight_;
+  mutable std::int64_t cachedMaxIoWidth_ = -1;
+  mutable std::int64_t cachedMaxCellWidth_ = -1;
+};
+
+}  // namespace mclg

@@ -1,0 +1,61 @@
+#include "db/free_span.hpp"
+
+#include <algorithm>
+
+namespace mclg {
+
+std::vector<Interval> freeIntervalsForSpan(const PlacementState& state,
+                                           const SegmentMap& segments,
+                                           std::int64_t y, int h,
+                                           FenceId fence,
+                                           const Interval& xWindow) {
+  const auto& design = state.design();
+  std::vector<Interval> result;
+  bool first = true;
+  std::vector<Interval> rowFree;
+  for (std::int64_t r = y; r < y + h; ++r) {
+    rowFree.clear();
+    for (const auto& seg : segments.row(r)) {
+      if (seg.fence != fence) continue;
+      Interval iv = seg.x.intersect(xWindow);
+      if (iv.empty()) continue;
+      // Subtract occupied cells.
+      const auto& rowMap = state.rowCells(r);
+      std::int64_t cursor = iv.lo;
+      auto it = rowMap.lower_bound(iv.lo);
+      if (it != rowMap.begin()) {
+        auto prev = std::prev(it);
+        const std::int64_t prevEnd =
+            prev->first + design.widthOf(prev->second);
+        if (prevEnd > cursor) cursor = prevEnd;
+      }
+      for (; it != rowMap.end() && it->first < iv.hi; ++it) {
+        if (it->first > cursor) rowFree.push_back({cursor, it->first});
+        cursor = std::max(cursor, it->first + design.widthOf(it->second));
+      }
+      if (cursor < iv.hi) rowFree.push_back({cursor, iv.hi});
+    }
+    if (first) {
+      result = rowFree;
+      first = false;
+    } else {
+      // Intersect the accumulated intervals with this row's free intervals.
+      std::vector<Interval> merged;
+      std::size_t a = 0, b = 0;
+      while (a < result.size() && b < rowFree.size()) {
+        const Interval iv = result[a].intersect(rowFree[b]);
+        if (!iv.empty()) merged.push_back(iv);
+        if (result[a].hi < rowFree[b].hi) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+      result = std::move(merged);
+    }
+    if (result.empty()) return result;
+  }
+  return result;
+}
+
+}  // namespace mclg

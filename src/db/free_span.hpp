@@ -1,0 +1,23 @@
+// Free-interval queries over a multi-row span: where could a cell of a
+// given fence land without pushing anything? Used by the greedy baselines
+// and by MGL's guaranteed last-resort placement.
+#pragma once
+
+#include <vector>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "geometry/interval.hpp"
+
+namespace mclg {
+
+/// Maximal intervals of `xWindow` that are (a) inside fence-`fence`
+/// segments in every row of [y, y+h) and (b) free of movable cells there.
+/// Sorted, disjoint.
+std::vector<Interval> freeIntervalsForSpan(const PlacementState& state,
+                                           const SegmentMap& segments,
+                                           std::int64_t y, int h,
+                                           FenceId fence,
+                                           const Interval& xWindow);
+
+}  // namespace mclg

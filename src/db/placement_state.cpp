@@ -1,0 +1,127 @@
+#include "db/placement_state.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+
+PlacementState::PlacementState(Design& design) : design_(&design) {
+  rows_.resize(static_cast<std::size_t>(design.numRows));
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    auto& cell = design.cells[c];
+    if (cell.fixed) continue;
+    if (cell.placed) {
+      // Re-index an already-placed design (e.g. loaded from a file).
+      const int h = design.heightOf(c);
+      for (std::int64_t y = cell.y; y < cell.y + h; ++y) {
+        rows_[static_cast<std::size_t>(y)].emplace(cell.x, c);
+      }
+      ++numPlaced_;
+    }
+  }
+}
+
+void PlacementState::place(CellId c, std::int64_t x, std::int64_t y) {
+  auto& cell = design_->cells[c];
+  MCLG_ASSERT(!cell.fixed, "cannot place a fixed cell");
+  MCLG_ASSERT(!cell.placed, "cell is already placed");
+  const int h = design_->heightOf(c);
+  const int w = design_->widthOf(c);
+  MCLG_ASSERT(y >= 0 && y + h <= design_->numRows, "row span outside core");
+  MCLG_ASSERT(x >= 0 && x + w <= design_->numSitesX, "site span outside core");
+  MCLG_ASSERT(spanEmpty(y, h, x, w), "placement overlaps an existing cell");
+  for (std::int64_t row = y; row < y + h; ++row) {
+    rows_[static_cast<std::size_t>(row)].emplace(x, c);
+  }
+  cell.x = x;
+  cell.y = y;
+  cell.placed = true;
+  ++numPlaced_;
+}
+
+void PlacementState::remove(CellId c) {
+  auto& cell = design_->cells[c];
+  MCLG_ASSERT(cell.placed, "removing a cell that is not placed");
+  const int h = design_->heightOf(c);
+  for (std::int64_t row = cell.y; row < cell.y + h; ++row) {
+    auto& rowMap = rows_[static_cast<std::size_t>(row)];
+    auto it = rowMap.find(cell.x);
+    MCLG_ASSERT(it != rowMap.end() && it->second == c,
+                "occupancy index out of sync");
+    rowMap.erase(it);
+  }
+  cell.placed = false;
+  --numPlaced_;
+}
+
+void PlacementState::shiftX(CellId c, std::int64_t newX) {
+  auto& cell = design_->cells[c];
+  MCLG_ASSERT(cell.placed, "shifting a cell that is not placed");
+  if (newX == cell.x) return;
+  const int h = design_->heightOf(c);
+  const int w = design_->widthOf(c);
+  MCLG_ASSERT(newX >= 0 && newX + w <= design_->numSitesX,
+              "shift outside core");
+  for (std::int64_t row = cell.y; row < cell.y + h; ++row) {
+    auto& rowMap = rows_[static_cast<std::size_t>(row)];
+    auto it = rowMap.find(cell.x);
+    MCLG_ASSERT(it != rowMap.end() && it->second == c,
+                "occupancy index out of sync");
+    rowMap.erase(it);
+    rowMap.emplace(newX, c);
+  }
+  cell.x = newX;
+}
+
+CellId PlacementState::cellAt(std::int64_t y, std::int64_t x) const {
+  if (y < 0 || y >= design_->numRows) return kInvalidCell;
+  const auto& rowMap = rows_[static_cast<std::size_t>(y)];
+  auto it = rowMap.upper_bound(x);
+  if (it == rowMap.begin()) return kInvalidCell;
+  --it;
+  const CellId c = it->second;
+  return it->first + design_->widthOf(c) > x ? c : kInvalidCell;
+}
+
+bool PlacementState::spanEmpty(std::int64_t y, int h, std::int64_t x, int w,
+                               CellId ignore) const {
+  for (std::int64_t row = y; row < y + h; ++row) {
+    if (row < 0 || row >= design_->numRows) return false;
+    const auto& rowMap = rows_[static_cast<std::size_t>(row)];
+    // First cell whose left edge is < x+w; walk left while overlapping.
+    auto it = rowMap.lower_bound(x + w);
+    while (it != rowMap.begin()) {
+      --it;
+      const CellId c = it->second;
+      if (it->first + design_->widthOf(c) <= x) break;
+      if (c != ignore) return false;
+    }
+  }
+  return true;
+}
+
+void PlacementState::collectInRect(const Rect& rect,
+                                   std::vector<CellId>& out) const {
+  out.clear();
+  const std::int64_t yLo = std::max<std::int64_t>(0, rect.ylo);
+  const std::int64_t yHi = std::min(design_->numRows, rect.yhi);
+  for (std::int64_t y = yLo; y < yHi; ++y) {
+    const auto& rowMap = rows_[static_cast<std::size_t>(y)];
+    auto it = rowMap.lower_bound(rect.xlo);
+    // Step back once: a cell starting left of xlo may still overlap.
+    if (it != rowMap.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + design_->widthOf(prev->second) > rect.xlo) it = prev;
+    }
+    for (; it != rowMap.end() && it->first < rect.xhi; ++it) {
+      const CellId c = it->second;
+      // Report each multi-row cell once, at its bottom row inside the rect.
+      const std::int64_t bottomVisible =
+          std::max<std::int64_t>(design_->cells[c].y, yLo);
+      if (bottomVisible == y) out.push_back(c);
+    }
+  }
+}
+
+}  // namespace mclg

@@ -1,0 +1,63 @@
+// Mutable occupancy index over a Design: which movable cell occupies which
+// sites of which rows. Legalizers mutate placements exclusively through
+// this class so the per-row ordered indices stay consistent with the cells'
+// coordinates.
+//
+// Fixed cells are *not* tracked here — they are carved out of the free area
+// by SegmentMap, which keeps every query in this class about movable cells
+// only.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "db/design.hpp"
+#include "geometry/rect.hpp"
+
+namespace mclg {
+
+class PlacementState {
+ public:
+  explicit PlacementState(Design& design);
+
+  Design& design() { return *design_; }
+  const Design& design() const { return *design_; }
+
+  /// Place cell c with bottom-left site (x, y). The span must be empty.
+  void place(CellId c, std::int64_t x, std::int64_t y);
+
+  /// Remove cell c from the index (keeps its coordinates for reference).
+  void remove(CellId c);
+
+  /// Move an already-placed cell horizontally within its rows.
+  void shiftX(CellId c, std::int64_t newX);
+
+  /// Cell covering site x of row y, or kInvalidCell.
+  CellId cellAt(std::int64_t y, std::int64_t x) const;
+
+  /// True iff no movable cell overlaps [x, x+w) × [y, y+h), ignoring
+  /// `ignore` if given.
+  bool spanEmpty(std::int64_t y, int h, std::int64_t x, int w,
+                 CellId ignore = kInvalidCell) const;
+
+  /// All distinct movable cells intersecting the rect (site×row units),
+  /// in increasing (row-major, then x) discovery order without duplicates.
+  void collectInRect(const Rect& rect, std::vector<CellId>& out) const;
+
+  /// Ordered occupancy of one row: left-site -> cell id.
+  const std::map<std::int64_t, CellId>& rowCells(std::int64_t y) const {
+    return rows_[static_cast<std::size_t>(y)];
+  }
+
+  /// Number of placed movable cells. (Atomic: the MGL scheduler places
+  /// cells from several threads, in row-disjoint windows.)
+  int numPlaced() const { return numPlaced_.load(std::memory_order_relaxed); }
+
+ private:
+  Design* design_;
+  std::vector<std::map<std::int64_t, CellId>> rows_;
+  std::atomic<int> numPlaced_{0};
+};
+
+}  // namespace mclg

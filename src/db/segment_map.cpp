@@ -1,0 +1,132 @@
+#include "db/segment_map.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+namespace {
+
+/// Paint fence ownership / blockages over one row and emit the segments.
+struct RowPainter {
+  // Ownership changes as half-open runs; later paints win, blockage final.
+  struct Op {
+    std::int64_t xlo, xhi;
+    FenceId fence;  // -1 = blocked
+  };
+  std::vector<Op> ops;
+
+  std::vector<Segment> build(std::int64_t width) const {
+    // Sweep with a priority: blockage (-1) beats fences beats default.
+    // Fences are disjoint by contract, so at most one fence op covers any
+    // point; blockages may overlap anything.
+    std::vector<std::int64_t> cuts{0, width};
+    for (const auto& op : ops) {
+      if (op.xlo > 0 && op.xlo < width) cuts.push_back(op.xlo);
+      if (op.xhi > 0 && op.xhi < width) cuts.push_back(op.xhi);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::vector<Segment> result;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const std::int64_t lo = cuts[i], hi = cuts[i + 1];
+      const std::int64_t mid = lo;  // constant ownership on [lo, hi)
+      FenceId fence = kDefaultFence;
+      bool blocked = false;
+      for (const auto& op : ops) {
+        if (op.xlo <= mid && mid < op.xhi) {
+          if (op.fence < 0) {
+            blocked = true;
+            break;
+          }
+          fence = op.fence;
+        }
+      }
+      if (blocked) continue;
+      if (!result.empty() && result.back().x.hi == lo &&
+          result.back().fence == fence) {
+        result.back().x.hi = hi;  // merge
+      } else {
+        result.push_back({{lo, hi}, fence});
+      }
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+SegmentMap::SegmentMap(const Design& design) {
+  const auto numRows = static_cast<std::size_t>(design.numRows);
+  std::vector<RowPainter> painters(numRows);
+
+  for (FenceId f = 1; f < design.numFences(); ++f) {
+    for (const auto& rect : design.fences[f].rects) {
+      for (std::int64_t y = rect.ylo; y < rect.yhi; ++y) {
+        painters[static_cast<std::size_t>(y)].ops.push_back(
+            {rect.xlo, rect.xhi, f});
+      }
+    }
+  }
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (!cell.fixed) continue;
+    const int h = design.heightOf(c);
+    const int w = design.widthOf(c);
+    for (std::int64_t y = cell.y; y < cell.y + h; ++y) {
+      if (y < 0 || y >= design.numRows) continue;
+      painters[static_cast<std::size_t>(y)].ops.push_back(
+          {cell.x, cell.x + w, FenceId{-1}});
+    }
+  }
+
+  rows_.resize(numRows);
+  for (std::size_t y = 0; y < numRows; ++y) {
+    rows_[y] = painters[y].build(design.numSitesX);
+  }
+}
+
+const Segment* SegmentMap::find(std::int64_t y, std::int64_t x) const {
+  if (y < 0 || y >= numRows()) return nullptr;
+  const auto& segs = rows_[static_cast<std::size_t>(y)];
+  // Binary search for the segment with x.lo <= x < x.hi.
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), x,
+      [](std::int64_t v, const Segment& s) { return v < s.x.lo; });
+  if (it == segs.begin()) return nullptr;
+  --it;
+  return it->x.contains(x) ? &*it : nullptr;
+}
+
+bool SegmentMap::spanInFence(std::int64_t y, int h, std::int64_t x, int w,
+                             FenceId fence) const {
+  if (y < 0 || y + h > numRows()) return false;
+  for (std::int64_t row = y; row < y + h; ++row) {
+    const Segment* seg = find(row, x);
+    if (seg == nullptr || seg->fence != fence ||
+        !seg->x.containsInterval({x, x + w})) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Interval SegmentMap::slideRange(std::int64_t y, int h, std::int64_t x, int w,
+                                FenceId fence) const {
+  Interval range{0, 0};
+  if (y < 0 || y + h > numRows()) return range;
+  bool first = true;
+  for (std::int64_t row = y; row < y + h; ++row) {
+    const Segment* seg = find(row, x);
+    if (seg == nullptr || seg->fence != fence ||
+        !seg->x.containsInterval({x, x + w})) {
+      return {0, 0};
+    }
+    range = first ? seg->x : range.intersect(seg->x);
+    first = false;
+  }
+  return range;
+}
+
+}  // namespace mclg

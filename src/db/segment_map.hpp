@@ -1,0 +1,50 @@
+// Row segmentation: each row is cut into maximal free intervals, each owned
+// by exactly one fence region (the default fence where no explicit fence
+// rect covers it), with fixed cells/blockages removed.
+//
+// Legalizers place movable cells only inside segments whose fence matches
+// the cell's fence assignment; a multi-row cell needs a matching segment
+// span in every row it crosses.
+#pragma once
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "geometry/interval.hpp"
+
+namespace mclg {
+
+struct Segment {
+  Interval x;
+  FenceId fence = kDefaultFence;
+};
+
+class SegmentMap {
+ public:
+  explicit SegmentMap(const Design& design);
+
+  const std::vector<Segment>& row(std::int64_t y) const {
+    return rows_[static_cast<std::size_t>(y)];
+  }
+
+  /// Segment of row y containing site x, or nullptr if x is blocked/outside.
+  const Segment* find(std::int64_t y, std::int64_t x) const;
+
+  /// True iff [x, x+w) lies inside a segment of fence `fence` in every row
+  /// of [y, y+h).
+  bool spanInFence(std::int64_t y, int h, std::int64_t x, int w,
+                   FenceId fence) const;
+
+  /// The x-interval that a cell of fence `fence` occupying [x, x+w) in rows
+  /// [y, y+h) may slide within: the intersection over rows of the containing
+  /// segments (empty interval if the span is not legal to begin with).
+  Interval slideRange(std::int64_t y, int h, std::int64_t x, int w,
+                      FenceId fence) const;
+
+  std::int64_t numRows() const { return static_cast<std::int64_t>(rows_.size()); }
+
+ private:
+  std::vector<std::vector<Segment>> rows_;
+};
+
+}  // namespace mclg

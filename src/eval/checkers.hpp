@@ -1,0 +1,79 @@
+// Constraint checkers (paper §2): overlap / core bounds, P/G parity, fence
+// containment, edge spacing, and pin access / pin short.
+//
+// These run over the whole design after legalization; the legalizers use
+// their own incremental variants internally, so the checkers double as an
+// independent audit of every stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/design.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+struct LegalityReport {
+  int unplacedCells = 0;
+  int outOfCore = 0;
+  int overlaps = 0;        // number of overlapping (unordered) cell pairs
+  int parityViolations = 0;
+  int fenceViolations = 0;
+
+  bool legal() const {
+    return unplacedCells == 0 && outOfCore == 0 && overlaps == 0 &&
+           parityViolations == 0 && fenceViolations == 0;
+  }
+};
+
+/// Hard constraints: all cells placed, inside the core, no overlaps (with
+/// movable or fixed cells), P/G parity satisfied, fences respected.
+LegalityReport checkLegality(const Design& design, const SegmentMap& segments);
+
+/// Count of adjacent cell pairs violating the edge-spacing table. A pair
+/// abutting in several rows counts once.
+int countEdgeSpacingViolations(const Design& design);
+
+struct PinViolationReport {
+  int shorts = 0;   // signal pin overlapping a rail/IO pin on its own layer
+  int access = 0;   // signal pin overlapping a rail/IO pin on layer+1
+
+  int total() const { return shorts + access; }
+};
+
+/// Pin short / access violations against P/G rails and IO pins (paper §2 and
+/// Fig. 1). Counted per (cell pin, category); a pin that is both short and
+/// inaccessible contributes to both counters.
+PinViolationReport countPinViolations(const Design& design);
+
+/// Pin violations of a *candidate* placement of one cell (used by MGL's
+/// routability-driven insertion, §3.4). `x`/`y` in sites/rows.
+PinViolationReport pinViolationsAt(const Design& design, TypeId type,
+                                   std::int64_t x, std::int64_t y);
+
+/// True iff some signal pin of `type` placed at bottom row `y` overlaps a
+/// horizontal rail on a conflicting layer — independent of x, so MGL uses
+/// it to reject whole insertion rows (§3.4).
+bool hasHorizontalRailConflict(const Design& design, TypeId type,
+                               std::int64_t y);
+
+/// The set of forbidden x-intervals (in sites, half-open) for `type` at
+/// bottom row `y` caused by vertical rails. Sorted, disjoint.
+std::vector<Interval> verticalRailForbiddenX(const Design& design, TypeId type,
+                                             std::int64_t y);
+
+/// Number of signal pins of `type` at (x, y) overlapping an IO pin on a
+/// conflicting layer (short or access). MGL penalizes these instead of
+/// rejecting the position outright (§3.4).
+int countIoOverlaps(const Design& design, TypeId type, std::int64_t x,
+                    std::int64_t y);
+
+/// Forbidden x-intervals (sites, half-open, sorted, disjoint) for `type` at
+/// bottom row `y` caused by IO pins on conflicting layers. Together with
+/// verticalRailForbiddenX this realizes the §3.4 feasible ranges ("the
+/// intersection of the row segment and the P/G rails or IO pins").
+std::vector<Interval> ioPinForbiddenX(const Design& design, TypeId type,
+                                      std::int64_t y);
+
+}  // namespace mclg

@@ -1,0 +1,133 @@
+#include "eval/design_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "db/free_span.hpp"
+
+namespace mclg {
+
+std::string DesignStats::toString() const {
+  std::ostringstream out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cells: %d movable + %d fixed; core %lld sites, free %lld, "
+                "cell area %lld (util %.1f%%)\n",
+                movableCells, fixedCells,
+                static_cast<long long>(coreSites),
+                static_cast<long long>(freeSites),
+                static_cast<long long>(cellSites), utilization * 100.0);
+  out << buf;
+  out << "height mix:";
+  for (std::size_t h = 1; h < cellsPerHeight.size(); ++h) {
+    if (cellsPerHeight[h] > 0) {
+      out << " h" << h << "=" << cellsPerHeight[h];
+    }
+  }
+  out << "\n";
+  for (const auto& fence : fences) {
+    std::snprintf(buf, sizeof(buf),
+                  "fence %-12s: %5d cells, %7lld/%lld sites (util %.1f%%)\n",
+                  fence.name.c_str(), fence.cells,
+                  static_cast<long long>(fence.usedSites),
+                  static_cast<long long>(fence.freeSites),
+                  fence.utilization() * 100.0);
+    out << buf;
+  }
+  if (peakBinUtilization > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "density bins: peak util %.2f, %d overfull; free space: %d "
+                  "gaps, largest %lld sites\n",
+                  peakBinUtilization, overfullBins, freeGaps,
+                  static_cast<long long>(largestGap));
+    out << buf;
+  }
+  return out.str();
+}
+
+DesignStats computeDesignStats(const PlacementState& state,
+                               const SegmentMap& segments, int binRows) {
+  const auto& design = state.design();
+  DesignStats stats;
+  stats.coreSites = design.numSitesX * design.numRows;
+  stats.cellsPerHeight.assign(
+      static_cast<std::size_t>(design.maxCellHeight()) + 1, 0);
+
+  stats.fences.resize(static_cast<std::size_t>(design.numFences()));
+  for (FenceId f = 0; f < design.numFences(); ++f) {
+    stats.fences[static_cast<std::size_t>(f)].fence = f;
+    stats.fences[static_cast<std::size_t>(f)].name =
+        design.fences[static_cast<std::size_t>(f)].name;
+  }
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    for (const auto& seg : segments.row(y)) {
+      stats.freeSites += seg.x.length();
+      stats.fences[static_cast<std::size_t>(seg.fence)].freeSites +=
+          seg.x.length();
+    }
+  }
+
+  bool anyPlaced = false;
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed) {
+      ++stats.fixedCells;
+      continue;
+    }
+    ++stats.movableCells;
+    const auto area = static_cast<std::int64_t>(design.widthOf(c)) *
+                      design.heightOf(c);
+    stats.cellSites += area;
+    ++stats.cellsPerHeight[static_cast<std::size_t>(design.heightOf(c))];
+    auto& fence = stats.fences[static_cast<std::size_t>(cell.fence)];
+    fence.usedSites += area;
+    ++fence.cells;
+    anyPlaced |= cell.placed;
+  }
+  stats.utilization = stats.freeSites > 0
+                          ? static_cast<double>(stats.cellSites) /
+                                static_cast<double>(stats.freeSites)
+                          : 0.0;
+
+  if (anyPlaced) {
+    // Density bins over placed positions.
+    const std::int64_t binH = std::max(1, binRows);
+    const std::int64_t binW = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(binH / design.siteWidthFactor));
+    const auto cols = static_cast<std::size_t>(
+        (design.numSitesX + binW - 1) / binW);
+    const auto rows = static_cast<std::size_t>(
+        (design.numRows + binH - 1) / binH);
+    std::vector<double> usage(cols * rows, 0.0);
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      const auto& cell = design.cells[c];
+      if (cell.fixed || !cell.placed) continue;
+      const auto bx = static_cast<std::size_t>(cell.x / binW);
+      const auto by = static_cast<std::size_t>(cell.y / binH);
+      usage[std::min(by, rows - 1) * cols + std::min(bx, cols - 1)] +=
+          static_cast<double>(design.widthOf(c)) * design.heightOf(c);
+    }
+    const double capacity = static_cast<double>(binW) * binH;
+    for (const double u : usage) {
+      const double util = u / capacity;
+      stats.peakBinUtilization = std::max(stats.peakBinUtilization, util);
+      if (util > 1.0) ++stats.overfullBins;
+    }
+
+    // Fragmentation: single-row free gaps.
+    for (std::int64_t y = 0; y < design.numRows; ++y) {
+      for (const auto& seg : segments.row(y)) {
+        const auto gaps =
+            freeIntervalsForSpan(state, segments, y, 1, seg.fence, seg.x);
+        for (const auto& gap : gaps) {
+          ++stats.freeGaps;
+          stats.largestGap = std::max(stats.largestGap, gap.length());
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace mclg

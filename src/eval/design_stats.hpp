@@ -1,0 +1,54 @@
+// Design statistics: the numbers an engineer asks for before and after
+// legalization — utilization (global, per fence, per density bin),
+// cell-height mix, free-space fragmentation. Backed by the same segment
+// and occupancy structures the legalizers use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+struct FenceStats {
+  FenceId fence = kDefaultFence;
+  std::string name;
+  std::int64_t freeSites = 0;   // segment area of this fence (sites)
+  std::int64_t usedSites = 0;   // area of movable cells assigned to it
+  int cells = 0;
+  double utilization() const {
+    return freeSites > 0 ? static_cast<double>(usedSites) / freeSites : 0.0;
+  }
+};
+
+struct DesignStats {
+  int movableCells = 0;
+  int fixedCells = 0;
+  std::vector<int> cellsPerHeight;  // index = height (0 unused)
+  std::int64_t coreSites = 0;       // numSitesX * numRows
+  std::int64_t freeSites = 0;       // core minus blockages (segment area)
+  std::int64_t cellSites = 0;       // total movable cell area
+  double utilization = 0.0;         // cellSites / freeSites
+  std::vector<FenceStats> fences;
+
+  // Density bins (only for placed designs): utilization of the fullest bin
+  // and the count of bins above 1.0 of their free capacity.
+  double peakBinUtilization = 0.0;
+  int overfullBins = 0;
+
+  // Fragmentation of the free space after placement: gap count and the
+  // largest contiguous single-row gap (sites).
+  int freeGaps = 0;
+  std::int64_t largestGap = 0;
+
+  std::string toString() const;
+};
+
+/// Compute statistics. Placement-dependent fields (bins, gaps) are zero
+/// when no cell is placed. `binRows` sets the density-bin size.
+DesignStats computeDesignStats(const PlacementState& state,
+                               const SegmentMap& segments, int binRows = 8);
+
+}  // namespace mclg

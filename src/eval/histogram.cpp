@@ -1,0 +1,52 @@
+#include "eval/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mclg {
+
+std::string DisplacementHistogram::toString() const {
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    char label[32];
+    if (b < bounds.size()) {
+      std::snprintf(label, sizeof(label), "<=%g", bounds[b]);
+    } else {
+      std::snprintf(label, sizeof(label), ">%g", bounds.back());
+    }
+    char line[64];
+    std::snprintf(line, sizeof(line), "  %6s rows: %6d ", label, counts[b]);
+    out << line;
+    for (int i = 0; i < counts[b] && i < 180; i += 3) out << '#';
+    out << '\n';
+  }
+  return out.str();
+}
+
+DisplacementHistogram displacementHistogram(const Design& design, TypeId type,
+                                            std::vector<double> bounds) {
+  DisplacementHistogram hist;
+  std::sort(bounds.begin(), bounds.end());
+  hist.bounds = std::move(bounds);
+  hist.counts.assign(hist.bounds.size() + 1, 0);
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed || !cell.placed) continue;
+    if (type >= 0 && cell.type != type) continue;
+    const double d = design.displacement(c);
+    hist.maximum = std::max(hist.maximum, d);
+    ++hist.total;
+    std::size_t bucket = hist.bounds.size();
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      if (d <= hist.bounds[b]) {
+        bucket = b;
+        break;
+      }
+    }
+    ++hist.counts[bucket];
+  }
+  return hist;
+}
+
+}  // namespace mclg

@@ -1,0 +1,76 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mclg {
+
+DisplacementStats displacementStats(const Design& design) {
+  DisplacementStats stats;
+  const auto perHeight = design.cellsPerHeight();
+  const int maxHeight = design.maxCellHeight();
+  std::vector<double> sumPerHeight(perHeight.size(), 0.0);
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed || !cell.placed) continue;
+    const double disp = design.displacement(c);
+    stats.maximum = std::max(stats.maximum, disp);
+    stats.totalSites += disp / design.siteWidthFactor;
+    sumPerHeight[static_cast<std::size_t>(design.heightOf(c))] += disp;
+  }
+  double avg = 0.0;
+  for (int h = 1; h <= maxHeight; ++h) {
+    if (perHeight[static_cast<std::size_t>(h)] > 0) {
+      avg += sumPerHeight[static_cast<std::size_t>(h)] /
+             perHeight[static_cast<std::size_t>(h)];
+    }
+  }
+  stats.average = avg / maxHeight;
+  return stats;
+}
+
+double hpwl(const Design& design, bool useGp) {
+  double total = 0.0;
+  const double fine = static_cast<double>(Design::kFine);
+  for (const auto& net : design.nets) {
+    if (net.conns.size() < 2) continue;
+    double xlo = std::numeric_limits<double>::infinity(), xhi = -xlo;
+    double ylo = xlo, yhi = -xlo;
+    for (const auto& conn : net.conns) {
+      const auto& cell = design.cells[conn.cell];
+      const auto& type = design.typeOf(conn.cell);
+      const auto& pin = type.pins[static_cast<std::size_t>(conn.pin)];
+      const bool atGp = useGp || (!cell.placed && !cell.fixed);
+      const double cx = atGp ? cell.gpX : static_cast<double>(cell.x);
+      const double cy = atGp ? cell.gpY : static_cast<double>(cell.y);
+      // Pin center offset in site units (legal positions honor the
+      // row-implied orientation; GP has none, so use N).
+      const Rect shape = atGp ? pin.rect
+                              : pin.rectInOrient(
+                                    design.orientationAt(cell.type, cell.y),
+                                    type.height);
+      const double px =
+          cx + static_cast<double>(shape.xlo + shape.xhi) / (2.0 * fine);
+      const double py =
+          cy + static_cast<double>(shape.ylo + shape.yhi) / (2.0 * fine);
+      xlo = std::min(xlo, px);
+      xhi = std::max(xhi, px);
+      ylo = std::min(ylo, py);
+      yhi = std::max(yhi, py);
+    }
+    // y in rows; convert to site units via the site-width factor so both
+    // axes share a unit.
+    total += (xhi - xlo) + (yhi - ylo) / design.siteWidthFactor;
+  }
+  return total;
+}
+
+double hpwlIncreaseRatio(const Design& design) {
+  const double before = hpwl(design, /*useGp=*/true);
+  if (before <= 0.0) return 0.0;
+  const double after = hpwl(design, /*useGp=*/false);
+  return (after - before) / before;
+}
+
+}  // namespace mclg

@@ -1,0 +1,116 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+#include <sstream>
+
+namespace mclg {
+
+std::string summarize(const Design& design, const ScoreBreakdown& score) {
+  std::ostringstream out;
+  out << design.name << ": ";
+  out << (score.legality.legal() ? "LEGAL" : "ILLEGAL");
+  if (!score.legality.legal()) {
+    out << " (unplaced=" << score.legality.unplacedCells
+        << " overlap=" << score.legality.overlaps
+        << " parity=" << score.legality.parityViolations
+        << " fence=" << score.legality.fenceViolations
+        << " out-of-core=" << score.legality.outOfCore << ")";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                " avgDisp=%.3f maxDisp=%.1f hpwl%+.2f%% pinShort=%d "
+                "pinAccess=%d edge=%d score=%.3f",
+                score.displacement.average, score.displacement.maximum,
+                score.hpwlRatio * 100.0, score.pins.shorts, score.pins.access,
+                score.edgeSpacing, score.score);
+  out << buf;
+  return out.str();
+}
+
+bool writeDisplacementSvg(const Design& design, TypeId type,
+                          const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const double scale = 1000.0 / static_cast<double>(design.numSitesX);
+  const double height = static_cast<double>(design.numRows) * scale /
+                        design.siteWidthFactor * design.siteWidthFactor;
+  std::fprintf(file,
+               "<svg xmlns='http://www.w3.org/2000/svg' width='1000' "
+               "height='%.0f' viewBox='0 0 1000 %.0f'>\n",
+               height * 4, height * 4);
+  std::fprintf(file, "<rect width='100%%' height='100%%' fill='#fafafa'/>\n");
+  const double ys = height * 4 / static_cast<double>(design.numRows);
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed || !cell.placed) continue;
+    const bool selected = type < 0 || cell.type == type;
+    const double x = static_cast<double>(cell.x) * scale;
+    const double y = static_cast<double>(cell.y) * ys;
+    const double w = design.widthOf(c) * scale;
+    const double h = design.heightOf(c) * ys;
+    std::fprintf(file,
+                 "<rect x='%.2f' y='%.2f' width='%.2f' height='%.2f' "
+                 "fill='%s' stroke='#999' stroke-width='0.2'/>\n",
+                 x, y, w, h, selected ? "#d33" : "#ccc");
+    if (selected) {
+      std::fprintf(file,
+                   "<line x1='%.2f' y1='%.2f' x2='%.2f' y2='%.2f' "
+                   "stroke='#d33' stroke-width='0.5'/>\n",
+                   x + w / 2, y + h / 2, cell.gpX * scale, cell.gpY * ys);
+    }
+  }
+  std::fprintf(file, "</svg>\n");
+  std::fclose(file);
+  return true;
+}
+
+bool writeDensityMapSvg(const Design& design, const std::string& path,
+                        int binRows) {
+  const std::int64_t binH = binRows > 0 ? binRows : 8;
+  const auto binW = static_cast<std::int64_t>(
+      std::max(1.0, binH / design.siteWidthFactor));
+  const auto cols =
+      static_cast<int>((design.numSitesX + binW - 1) / binW);
+  const auto rows = static_cast<int>((design.numRows + binH - 1) / binH);
+  std::vector<double> usage(static_cast<std::size_t>(cols) * rows, 0.0);
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed && !cell.placed) continue;
+    const double x = cell.placed ? static_cast<double>(cell.x) : cell.gpX;
+    const double y = cell.placed ? static_cast<double>(cell.y) : cell.gpY;
+    const int bx = std::min(cols - 1, static_cast<int>(x / binW));
+    const int by = std::min(rows - 1, static_cast<int>(y / binH));
+    usage[static_cast<std::size_t>(by) * cols + bx] +=
+        static_cast<double>(design.widthOf(c)) * design.heightOf(c);
+  }
+  const double capacity = static_cast<double>(binW * binH);
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const int cellPx = 12;
+  std::fprintf(file,
+               "<svg xmlns='http://www.w3.org/2000/svg' width='%d' "
+               "height='%d'>\n",
+               cols * cellPx, rows * cellPx);
+  for (int by = 0; by < rows; ++by) {
+    for (int bx = 0; bx < cols; ++bx) {
+      const double util = std::min(
+          1.0, usage[static_cast<std::size_t>(by) * cols + bx] / capacity);
+      // Blue (empty) to red (full); y axis flipped so row 0 is at bottom.
+      const int red = static_cast<int>(util * 255.0);
+      const int blue = 255 - red;
+      std::fprintf(file,
+                   "<rect x='%d' y='%d' width='%d' height='%d' "
+                   "fill='rgb(%d,40,%d)'/>\n",
+                   bx * cellPx, (rows - 1 - by) * cellPx, cellPx, cellPx, red,
+                   blue);
+    }
+  }
+  std::fprintf(file, "</svg>\n");
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace mclg

@@ -1,0 +1,27 @@
+// Human-readable evaluation summaries and the Fig.-6-style SVG dump of
+// per-cell displacement vectors.
+#pragma once
+
+#include <string>
+
+#include "db/design.hpp"
+#include "eval/score.hpp"
+
+namespace mclg {
+
+/// One-paragraph textual summary of an evaluation.
+std::string summarize(const Design& design, const ScoreBreakdown& score);
+
+/// Write an SVG showing cells of `type` (all types when -1) as rectangles
+/// with red lines from each cell's legal position to its GP position — the
+/// visualization style of the paper's Fig. 6. Returns false on I/O error.
+bool writeDisplacementSvg(const Design& design, TypeId type,
+                          const std::string& path);
+
+/// Write an SVG heat map of placement density (cell area per bin, blue =
+/// empty through red = full), using legal positions when placed and GP
+/// positions otherwise. Returns false on I/O error.
+bool writeDensityMapSvg(const Design& design, const std::string& path,
+                        int binRows = 8);
+
+}  // namespace mclg

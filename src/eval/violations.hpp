@@ -1,0 +1,45 @@
+// Structured per-violation diagnostics: where checkers.hpp returns counts
+// (for scores and tables), this module returns the offending cells and
+// geometry — what a user needs to debug a flow or waive a rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+enum class ViolationKind {
+  Unplaced,
+  OutOfCore,
+  Overlap,
+  Parity,
+  Fence,
+  EdgeSpacing,
+  PinShort,
+  PinAccess,
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::Unplaced;
+  CellId cell = kInvalidCell;        // primary offender
+  CellId otherCell = kInvalidCell;   // partner (overlap / spacing pairs)
+  Rect where;                        // site×row box of the offense
+  std::string detail;                // human-readable one-liner
+};
+
+const char* violationKindName(ViolationKind kind);
+
+/// Collect every violation, hard and soft, up to `limit` entries (0 = all).
+/// Counts always match the checkers in eval/checkers.hpp.
+std::vector<Violation> collectViolations(const Design& design,
+                                         const SegmentMap& segments,
+                                         std::size_t limit = 0);
+
+/// Render a violation list as text, one line per violation.
+std::string formatViolations(const Design& design,
+                             const std::vector<Violation>& violations);
+
+}  // namespace mclg

@@ -1,0 +1,45 @@
+#include "flow/bipartite_matching.hpp"
+
+#include "util/assert.hpp"
+
+namespace mclg {
+
+std::optional<std::vector<int>> solveAssignment(
+    int numLeft, int numRight, const std::vector<AssignmentEdge>& edges) {
+  MCLG_ASSERT(numLeft <= numRight, "assignment needs numLeft <= numRight");
+  McfProblem problem;
+  const int source = problem.addNode();
+  const int sink = problem.addNode();
+  const int leftBase = problem.addNodes(numLeft);
+  const int rightBase = problem.addNodes(numRight);
+  problem.addSupply(source, numLeft);
+  problem.addSupply(sink, -numLeft);
+  for (int i = 0; i < numLeft; ++i) {
+    problem.addArc(source, leftBase + i, 1, 0);
+  }
+  for (int j = 0; j < numRight; ++j) {
+    problem.addArc(rightBase + j, sink, 1, 0);
+  }
+  const int firstEdgeArc = problem.numArcs();
+  for (const auto& edge : edges) {
+    MCLG_ASSERT(edge.left >= 0 && edge.left < numLeft, "edge.left range");
+    MCLG_ASSERT(edge.right >= 0 && edge.right < numRight, "edge.right range");
+    problem.addArc(leftBase + edge.left, rightBase + edge.right, 1, edge.cost);
+  }
+
+  const McfSolution sol = NetworkSimplex::solve(problem);
+  if (sol.status != McfStatus::Optimal) return std::nullopt;
+
+  std::vector<int> match(static_cast<std::size_t>(numLeft), -1);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (sol.flow[firstEdgeArc + static_cast<int>(e)] > 0) {
+      match[static_cast<std::size_t>(edges[e].left)] = edges[e].right;
+    }
+  }
+  for (const int m : match) {
+    if (m < 0) return std::nullopt;  // not a perfect matching
+  }
+  return match;
+}
+
+}  // namespace mclg

@@ -1,0 +1,25 @@
+// Min-cost perfect bipartite matching on sparse edge lists, solved as an
+// MCF (the reduction the paper uses for its §3.2 maximum-displacement
+// optimization).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/mcf.hpp"
+
+namespace mclg {
+
+struct AssignmentEdge {
+  int left = 0;
+  int right = 0;
+  CostValue cost = 0;
+};
+
+/// Perfect matching of all `numLeft` left vertices into distinct right
+/// vertices (numRight >= numLeft) minimizing total cost. Returns
+/// match[left] = right, or nullopt when no perfect matching exists.
+std::optional<std::vector<int>> solveAssignment(
+    int numLeft, int numRight, const std::vector<AssignmentEdge>& edges);
+
+}  // namespace mclg

@@ -1,0 +1,287 @@
+// Cost-scaling min-cost flow (Goldberg & Tarjan).
+//
+// Phase 0 establishes a feasible flow with a Dinic max-flow from the excess
+// nodes to the deficit nodes (infeasible supplies are detected here).
+// Costs are then scaled by (n+1) and ε-scaling refine phases run: each
+// phase saturates every negative-reduced-cost residual arc and discharges
+// active nodes with push / relabel (decrement-by-ε relabeling) until the
+// pseudoflow is a flow again; ε shrinks by a constant factor until ε < 1,
+// at which point the flow is optimal for the original integer costs.
+// Potentials for the McfSolution are recomputed exactly on the final
+// residual graph with Bellman-Ford so verifyMcfOptimality accepts them.
+
+#include <deque>
+#include <queue>
+
+#include "flow/mcf.hpp"
+#include "util/assert.hpp"
+
+namespace mclg {
+namespace {
+
+using Wide = __int128;  // scaled reduced costs / potentials
+
+struct RArc {
+  int to = 0;
+  int rev = 0;          // index in adj[to]
+  FlowValue cap = 0;    // residual capacity
+  CostValue cost = 0;   // original (unscaled) cost
+  int origArc = -1;     // >= 0 forward, ~orig for backward
+};
+
+class CostScaling {
+ public:
+  explicit CostScaling(const McfProblem& problem) : p_(problem) {}
+
+  McfSolution run() {
+    McfSolution sol;
+    const int n = p_.numNodes();
+    adj_.assign(static_cast<std::size_t>(n), {});
+    flow_.assign(static_cast<std::size_t>(p_.numArcs()), 0);
+
+    // Flow-decomposition bound: no arc of some optimal solution needs more
+    // than (total positive supply + total capacity of negative-cost arcs),
+    // so uncapacitated arcs can be clamped — refine()'s saturation step
+    // would otherwise overflow excesses with kInfiniteCap pushes.
+    FlowValue bound = 1;
+    for (int v = 0; v < n; ++v) {
+      if (p_.supply(v) > 0) bound += p_.supply(v);
+    }
+    for (int a = 0; a < p_.numArcs(); ++a) {
+      const auto& arc = p_.arc(a);
+      if (arc.cost < 0) {
+        MCLG_ASSERT(arc.cap < kInfiniteCap,
+                    "cost scaling requires finite caps on negative arcs");
+        bound += arc.cap;
+      }
+    }
+
+    CostValue maxCost = 0;
+    for (int a = 0; a < p_.numArcs(); ++a) {
+      const auto& arc = p_.arc(a);
+      maxCost = std::max<CostValue>(maxCost, std::llabs(arc.cost));
+      addPair(arc.src, arc.dst, std::min(arc.cap, bound), arc.cost, a);
+    }
+
+    if (!establishFeasibleFlow()) {
+      sol.status = McfStatus::Infeasible;
+      return sol;
+    }
+
+    // ε-scaling refine phases on costs scaled by (n+1).
+    pi_.assign(static_cast<std::size_t>(n), 0);
+    const Wide scale = n + 1;
+    Wide eps = static_cast<Wide>(maxCost) * scale;
+    while (eps >= 1) {
+      refine(eps);
+      if (eps == 1) break;
+      eps = eps / kAlpha;
+      if (eps < 1) eps = 1;
+    }
+
+    sol.status = McfStatus::Optimal;
+    sol.flow = flow_;
+    sol.potential = exactPotentials();
+    sol.totalCost = McfSolution::costOf(p_, sol.flow);
+    return sol;
+  }
+
+ private:
+  static constexpr int kAlpha = 8;
+
+  void addPair(int u, int v, FlowValue cap, CostValue cost, int orig) {
+    adj_[static_cast<std::size_t>(u)].push_back(
+        {v, static_cast<int>(adj_[static_cast<std::size_t>(v)].size()), cap,
+         cost, orig});
+    adj_[static_cast<std::size_t>(v)].push_back(
+        {u, static_cast<int>(adj_[static_cast<std::size_t>(u)].size()) - 1, 0,
+         -cost, ~orig});
+  }
+
+  void applyPush(int u, RArc& arc, FlowValue delta) {
+    arc.cap -= delta;
+    adj_[static_cast<std::size_t>(arc.to)][static_cast<std::size_t>(arc.rev)]
+        .cap += delta;
+    if (arc.origArc >= 0) {
+      flow_[static_cast<std::size_t>(arc.origArc)] += delta;
+    } else {
+      flow_[static_cast<std::size_t>(~arc.origArc)] -= delta;
+    }
+    excess_[static_cast<std::size_t>(u)] -= delta;
+    excess_[static_cast<std::size_t>(arc.to)] += delta;
+  }
+
+  /// Dinic max-flow from all excess nodes to all deficit nodes.
+  bool establishFeasibleFlow() {
+    const int n = p_.numNodes();
+    excess_.assign(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) excess_[static_cast<std::size_t>(v)] = p_.supply(v);
+
+    for (;;) {
+      // BFS levels from all sources over positive-residual arcs.
+      std::vector<int> level(static_cast<std::size_t>(n), -1);
+      std::deque<int> queue;
+      for (int v = 0; v < n; ++v) {
+        if (excess_[static_cast<std::size_t>(v)] > 0) {
+          level[static_cast<std::size_t>(v)] = 0;
+          queue.push_back(v);
+        }
+      }
+      bool reachedSink = false;
+      while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop_front();
+        if (excess_[static_cast<std::size_t>(u)] < 0) reachedSink = true;
+        for (const auto& arc : adj_[static_cast<std::size_t>(u)]) {
+          if (arc.cap > 0 && level[static_cast<std::size_t>(arc.to)] < 0) {
+            level[static_cast<std::size_t>(arc.to)] =
+                level[static_cast<std::size_t>(u)] + 1;
+            queue.push_back(arc.to);
+          }
+        }
+      }
+      if (!reachedSink) break;
+
+      // DFS blocking flow (iterative, with per-node arc cursors).
+      std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+      for (int s = 0; s < n; ++s) {
+        while (excess_[static_cast<std::size_t>(s)] > 0) {
+          const FlowValue sent =
+              dinicDfs(s, excess_[static_cast<std::size_t>(s)], level, cursor);
+          if (sent == 0) break;
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (excess_[static_cast<std::size_t>(v)] != 0) return false;
+    }
+    return true;
+  }
+
+  FlowValue dinicDfs(int u, FlowValue limit, const std::vector<int>& level,
+                     std::vector<std::size_t>& cursor) {
+    if (excess_[static_cast<std::size_t>(u)] < 0 && limit > 0) {
+      const FlowValue absorb =
+          std::min<FlowValue>(limit, -excess_[static_cast<std::size_t>(u)]);
+      // Caller adjusts excesses via applyPush along the path; absorbing at a
+      // deficit node is the recursion base case.
+      return absorb;
+    }
+    for (auto& i = cursor[static_cast<std::size_t>(u)];
+         i < adj_[static_cast<std::size_t>(u)].size(); ++i) {
+      auto& arc = adj_[static_cast<std::size_t>(u)][i];
+      if (arc.cap <= 0 ||
+          level[static_cast<std::size_t>(arc.to)] !=
+              level[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const FlowValue sent = dinicDfs(
+          arc.to, std::min(limit, arc.cap), level, cursor);
+      if (sent > 0) {
+        applyPush(u, arc, sent);
+        return sent;
+      }
+    }
+    return 0;
+  }
+
+  Wide reducedCost(int u, const RArc& arc) const {
+    return static_cast<Wide>(arc.cost) * (p_.numNodes() + 1) +
+           pi_[static_cast<std::size_t>(u)] -
+           pi_[static_cast<std::size_t>(arc.to)];
+  }
+
+  void refine(Wide eps) {
+    const int n = p_.numNodes();
+    // Saturate every negative-reduced-cost residual arc.
+    for (int u = 0; u < n; ++u) {
+      for (auto& arc : adj_[static_cast<std::size_t>(u)]) {
+        if (arc.cap > 0 && reducedCost(u, arc) < 0) {
+          applyPush(u, arc, arc.cap);
+        }
+      }
+    }
+    // Discharge active nodes.
+    std::deque<int> active;
+    std::vector<char> inQueue(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) {
+      if (excess_[static_cast<std::size_t>(v)] > 0) {
+        active.push_back(v);
+        inQueue[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+    while (!active.empty()) {
+      const int u = active.front();
+      active.pop_front();
+      inQueue[static_cast<std::size_t>(u)] = 0;
+      while (excess_[static_cast<std::size_t>(u)] > 0) {
+        if (cursor[static_cast<std::size_t>(u)] >=
+            adj_[static_cast<std::size_t>(u)].size()) {
+          // Relabel: lower the potential; admissible arcs may appear.
+          pi_[static_cast<std::size_t>(u)] -= eps;
+          cursor[static_cast<std::size_t>(u)] = 0;
+          continue;
+        }
+        auto& arc = adj_[static_cast<std::size_t>(u)]
+                        [cursor[static_cast<std::size_t>(u)]];
+        if (arc.cap > 0 && reducedCost(u, arc) < 0) {
+          const FlowValue delta =
+              std::min(excess_[static_cast<std::size_t>(u)], arc.cap);
+          applyPush(u, arc, delta);
+          if (excess_[static_cast<std::size_t>(arc.to)] > 0 &&
+              inQueue[static_cast<std::size_t>(arc.to)] == 0) {
+            active.push_back(arc.to);
+            inQueue[static_cast<std::size_t>(arc.to)] = 1;
+          }
+        } else {
+          ++cursor[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+  }
+
+  /// Exact potentials on the final residual graph (Bellman-Ford from a
+  /// virtual root connected to every node with cost 0).
+  std::vector<CostValue> exactPotentials() const {
+    const int n = p_.numNodes();
+    std::vector<CostValue> dist(static_cast<std::size_t>(n), 0);
+    for (int round = 0; round < n; ++round) {
+      bool changed = false;
+      for (int u = 0; u < n; ++u) {
+        for (const auto& arc : adj_[static_cast<std::size_t>(u)]) {
+          if (arc.cap <= 0) continue;
+          const CostValue cand = dist[static_cast<std::size_t>(u)] + arc.cost;
+          if (cand < dist[static_cast<std::size_t>(arc.to)]) {
+            dist[static_cast<std::size_t>(arc.to)] = cand;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    return dist;
+  }
+
+  const McfProblem& p_;
+  std::vector<std::vector<RArc>> adj_;
+  std::vector<FlowValue> flow_;
+  std::vector<FlowValue> excess_;
+  std::vector<Wide> pi_;
+};
+
+}  // namespace
+
+McfSolution CostScalingSolver::solve(const McfProblem& problem) {
+  FlowValue total = 0;
+  for (int v = 0; v < problem.numNodes(); ++v) total += problem.supply(v);
+  if (total != 0) {
+    McfSolution sol;
+    sol.status = McfStatus::Infeasible;
+    return sol;
+  }
+  CostScaling solver(problem);
+  return solver.run();
+}
+
+}  // namespace mclg

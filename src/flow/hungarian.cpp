@@ -1,0 +1,77 @@
+#include "flow/hungarian.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+
+std::vector<int> solveAssignmentDense(int n, int numRight,
+                                      const std::vector<CostValue>& cost) {
+  MCLG_ASSERT(n <= numRight, "dense assignment needs n <= numRight");
+  MCLG_ASSERT(static_cast<int>(cost.size()) == n * numRight,
+              "cost matrix size mismatch");
+  constexpr CostValue kInf = std::numeric_limits<CostValue>::max() / 4;
+
+  // 1-indexed JV formulation: u[i] row potentials, v[j] column potentials,
+  // way[j] the augmenting-path predecessor column.
+  std::vector<CostValue> u(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<CostValue> v(static_cast<std::size_t>(numRight) + 1, 0);
+  std::vector<int> matchedRow(static_cast<std::size_t>(numRight) + 1, 0);
+  std::vector<int> way(static_cast<std::size_t>(numRight) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    matchedRow[0] = i;
+    int j0 = 0;  // virtual column the new row starts at
+    std::vector<CostValue> minv(static_cast<std::size_t>(numRight) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(numRight) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = matchedRow[static_cast<std::size_t>(j0)];
+      CostValue delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= numRight; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const CostValue cur =
+            cost[static_cast<std::size_t>(i0 - 1) * numRight + (j - 1)] -
+            u[static_cast<std::size_t>(i0)] - v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= numRight; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(matchedRow[static_cast<std::size_t>(j)])] +=
+              delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (matchedRow[static_cast<std::size_t>(j0)] != 0);
+    // Unwind the augmenting path.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      matchedRow[static_cast<std::size_t>(j0)] =
+          matchedRow[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= numRight; ++j) {
+    if (matchedRow[static_cast<std::size_t>(j)] > 0) {
+      match[static_cast<std::size_t>(matchedRow[static_cast<std::size_t>(j)]) -
+            1] = j - 1;
+    }
+  }
+  return match;
+}
+
+}  // namespace mclg

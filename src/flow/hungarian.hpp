@@ -1,0 +1,23 @@
+// Dense min-cost assignment via the O(n³) shortest-augmenting-path
+// Hungarian algorithm (Jonker-Volgenant potentials form).
+//
+// The §3.2 matching solves sparse instances through the MCF reduction
+// (flow/bipartite_matching.hpp); for *dense* groups the matrix form is
+// asymptotically and practically faster. solveAssignmentDense is
+// cross-validated against the MCF path in tests and benchmarked in
+// bench_micro.
+#pragma once
+
+#include <vector>
+
+#include "flow/mcf.hpp"
+
+namespace mclg {
+
+/// Minimize sum cost[i][j] over perfect matchings of n rows to n of the
+/// numRight >= n columns. cost is row-major n × numRight. Returns
+/// match[row] = column.
+std::vector<int> solveAssignmentDense(int n, int numRight,
+                                      const std::vector<CostValue>& cost);
+
+}  // namespace mclg

@@ -1,0 +1,185 @@
+// Successive-shortest-path min-cost flow with Dijkstra + node potentials.
+//
+// Used as an independent oracle against the network simplex in tests, and
+// as a fallback solver. Negative-cost arcs are eliminated up front by the
+// standard transformation: saturate the arc, adjust both endpoint excesses,
+// and rely on its (positive-cost) residual reverse arc. After that, every
+// residual arc with free capacity has non-negative reduced cost, so
+// Dijkstra with potentials stays valid throughout.
+
+#include <queue>
+
+#include "flow/mcf.hpp"
+#include "util/assert.hpp"
+
+namespace mclg {
+namespace {
+
+struct ResidualArc {
+  int to = 0;
+  int rev = 0;          // index of the reverse arc in adj_[to]
+  FlowValue cap = 0;    // remaining capacity
+  CostValue cost = 0;
+  int origArc = -1;     // original arc id (for forward arcs), -1 for reverse
+};
+
+class Ssp {
+ public:
+  explicit Ssp(const McfProblem& problem) : p_(problem) {}
+
+  McfSolution run() {
+    McfSolution sol;
+    const int n = p_.numNodes();
+    adj_.assign(n, {});
+    excess_.assign(n, 0);
+    for (int v = 0; v < n; ++v) excess_[v] = p_.supply(v);
+
+    flow_.assign(p_.numArcs(), 0);
+    for (int a = 0; a < p_.numArcs(); ++a) {
+      const auto& arc = p_.arc(a);
+      FlowValue initial = 0;
+      if (arc.cost < 0) {
+        MCLG_ASSERT(arc.cap < kInfiniteCap,
+                    "SSP requires finite capacity on negative-cost arcs");
+        initial = arc.cap;  // saturate; reverse residual arc has cost > 0
+        excess_[arc.src] -= arc.cap;
+        excess_[arc.dst] += arc.cap;
+        flow_[a] = arc.cap;
+      }
+      addResidualPair(arc.src, arc.dst, arc.cap - initial, initial, arc.cost,
+                      a);
+    }
+
+    pi_.assign(n, 0);
+    if (!drainExcess()) {
+      sol.status = McfStatus::Infeasible;
+      return sol;
+    }
+
+    sol.status = McfStatus::Optimal;
+    sol.flow = flow_;
+    sol.potential.assign(n, 0);
+    for (int v = 0; v < n; ++v) sol.potential[v] = pi_[v];
+    sol.totalCost = McfSolution::costOf(p_, sol.flow);
+    return sol;
+  }
+
+ private:
+  void addResidualPair(int u, int v, FlowValue fwdCap, FlowValue bwdCap,
+                       CostValue cost, int origArc) {
+    adj_[u].push_back(
+        {v, static_cast<int>(adj_[v].size()), fwdCap, cost, origArc});
+    adj_[v].push_back(
+        {u, static_cast<int>(adj_[u].size()) - 1, bwdCap, -cost, ~origArc});
+  }
+
+  /// Repeatedly route excess from sources to sinks along shortest paths.
+  /// Returns false if some excess cannot be drained (infeasible).
+  bool drainExcess() {
+    const int n = p_.numNodes();
+    for (;;) {
+      // Multi-source Dijkstra from all positive-excess nodes.
+      std::vector<CostValue> dist(n, kUnreached);
+      std::vector<int> prevNode(n, -1), prevArc(n, -1);
+      using Item = std::pair<CostValue, int>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+      bool anySource = false;
+      for (int v = 0; v < n; ++v) {
+        if (excess_[v] > 0) {
+          dist[v] = 0;
+          heap.push({0, v});
+          anySource = true;
+        }
+      }
+      if (!anySource) return true;
+
+      int sink = -1;
+      std::vector<bool> done(n, false);
+      while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (done[u]) continue;
+        done[u] = true;
+        if (excess_[u] < 0 && sink == -1) {
+          sink = u;
+          // Keep settling to preserve potential validity for *all* settled
+          // nodes; stopping here is also correct if we only update settled
+          // potentials, which is what we do below.
+          break;
+        }
+        for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+          const auto& arc = adj_[u][i];
+          if (arc.cap <= 0) continue;
+          const CostValue nd = d + arc.cost + pi_[u] - pi_[arc.to];
+          MCLG_ASSERT(arc.cost + pi_[u] - pi_[arc.to] >= 0,
+                      "negative reduced cost in SSP Dijkstra");
+          if (nd < dist[arc.to]) {
+            dist[arc.to] = nd;
+            prevNode[arc.to] = u;
+            prevArc[arc.to] = static_cast<int>(i);
+            heap.push({nd, arc.to});
+          }
+        }
+      }
+      if (sink == -1) return false;  // some excess is unroutable
+
+      // Update potentials for settled nodes; unsettled ones get the sink
+      // distance (standard capped update keeps reduced costs non-negative).
+      const CostValue dSink = dist[sink];
+      for (int v = 0; v < n; ++v) {
+        pi_[v] += std::min(dist[v], dSink);
+      }
+
+      // Bottleneck along the path.
+      FlowValue delta = excess_[sink] < 0 ? -excess_[sink] : 0;
+      for (int v = sink; prevNode[v] != -1; v = prevNode[v]) {
+        const auto& arc = adj_[prevNode[v]][prevArc[v]];
+        delta = std::min(delta, arc.cap);
+      }
+      int source = sink;
+      for (int v = sink; prevNode[v] != -1; v = prevNode[v]) source = prevNode[v];
+      delta = std::min(delta, excess_[source]);
+      MCLG_ASSERT(delta > 0, "zero augmentation in SSP");
+
+      // Augment.
+      for (int v = sink; prevNode[v] != -1; v = prevNode[v]) {
+        auto& arc = adj_[prevNode[v]][prevArc[v]];
+        auto& rev = adj_[v][arc.rev];
+        arc.cap -= delta;
+        rev.cap += delta;
+        if (arc.origArc >= 0) {
+          flow_[arc.origArc] += delta;
+        } else {
+          flow_[~arc.origArc] -= delta;
+        }
+      }
+      excess_[source] -= delta;
+      excess_[sink] += delta;
+    }
+  }
+
+  static constexpr CostValue kUnreached =
+      std::numeric_limits<CostValue>::max() / 4;
+
+  const McfProblem& p_;
+  std::vector<std::vector<ResidualArc>> adj_;
+  std::vector<FlowValue> excess_;
+  std::vector<FlowValue> flow_;
+  std::vector<CostValue> pi_;
+};
+
+}  // namespace
+
+McfSolution SspSolver::solve(const McfProblem& problem) {
+  FlowValue total = 0;
+  for (int v = 0; v < problem.numNodes(); ++v) total += problem.supply(v);
+  if (total != 0) {
+    McfSolution sol;
+    sol.status = McfStatus::Infeasible;
+    return sol;
+  }
+  Ssp ssp(problem);
+  return ssp.run();
+}
+
+}  // namespace mclg

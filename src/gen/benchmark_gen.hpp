@@ -1,0 +1,48 @@
+// Synthetic design generator.
+//
+// The paper evaluates on the ICCAD 2017 contest designs and on modified
+// ISPD 2015 designs; neither tarball is redistributable here, so the suites
+// in iccad17_suite/ispd15_suite regenerate designs with the *published*
+// statistics (cell counts per height, density, fences, P/G grid) through
+// this generator. Everything is deterministic in the seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "db/design.hpp"
+
+namespace mclg {
+
+struct GenSpec {
+  std::string name = "synthetic";
+  /// Movable cell counts by height (index 0 -> height 1, ... index 3 -> 4).
+  std::array<int, 4> cellsPerHeight = {1000, 0, 0, 0};
+  /// Target utilization: total movable cell area / free core area.
+  double density = 0.5;
+  int numFences = 0;        // explicit fence regions
+  int numBlockages = 0;     // fixed macro obstacles
+  int typesPerHeight = 4;   // cell-type variety per height class
+  bool withRoutability = true;  // P/G straps, IO pins, pin shapes
+  bool withNets = true;
+  int numIoPins = 200;
+  int numEdgeClasses = 3;   // >1 enables edge-spacing rules
+  /// Fraction of cells concentrated in Gaussian hotspots (creates the
+  /// overlapping clusters legalization has to resolve).
+  double clusterFraction = 0.35;
+  int numClusters = 6;
+  /// Sigma of the hotspot Gaussians, in rows.
+  double clusterSigmaRows = 12.0;
+  std::uint64_t seed = 1;
+};
+
+/// Build a design from the spec. The result passes Design::validate() and
+/// has all movable cells unplaced with GP coordinates inside the core.
+Design generate(const GenSpec& spec);
+
+/// Scale a spec's cell counts (and IO pins) by `factor`, keeping density and
+/// structure. Used by the benches to run reduced-size suites quickly.
+GenSpec scaled(GenSpec spec, double factor);
+
+}  // namespace mclg

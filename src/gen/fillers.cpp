@@ -1,0 +1,101 @@
+#include "gen/fillers.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "db/free_span.hpp"
+#include "util/assert.hpp"
+
+namespace mclg {
+namespace {
+
+constexpr const char* kFillerPrefix = "FILL";
+
+/// Get or create the filler type of the given width.
+TypeId fillerType(Design& design, int width) {
+  const std::string name = kFillerPrefix + std::to_string(width);
+  for (TypeId t = 0; t < design.numTypes(); ++t) {
+    if (design.types[static_cast<std::size_t>(t)].name == name) return t;
+  }
+  CellType type;
+  type.name = name;
+  type.width = width;
+  type.height = 1;
+  type.parity = -1;
+  design.types.push_back(std::move(type));
+  return design.numTypes() - 1;
+}
+
+}  // namespace
+
+bool isFillerType(const Design& design, TypeId type) {
+  return design.types[static_cast<std::size_t>(type)].name.rfind(
+             kFillerPrefix, 0) == 0;
+}
+
+FillerStats insertFillers(PlacementState& state, const SegmentMap& segments,
+                          int maxWidth) {
+  auto& design = state.design();
+  FillerStats stats;
+
+  // Candidate widths: powers of two up to maxWidth, descending.
+  std::vector<int> widths;
+  for (int w = 1; w <= maxWidth; w *= 2) widths.push_back(w);
+  std::reverse(widths.begin(), widths.end());
+  std::vector<TypeId> types;
+  types.reserve(widths.size());
+  for (const int w : widths) types.push_back(fillerType(design, w));
+
+  std::vector<Cell> fillers;
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    for (const auto& seg : segments.row(y)) {
+      const auto gaps = freeIntervalsForSpan(state, segments, y, 1, seg.fence,
+                                             seg.x);
+      for (const auto& gap : gaps) {
+        std::int64_t x = gap.lo;
+        std::int64_t remaining = gap.length();
+        for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+          while (remaining >= widths[wi]) {
+            Cell cell;
+            cell.type = types[wi];
+            cell.fixed = true;
+            cell.placed = true;
+            cell.x = x;
+            cell.y = y;
+            cell.gpX = static_cast<double>(x);
+            cell.gpY = static_cast<double>(y);
+            fillers.push_back(cell);
+            x += widths[wi];
+            remaining -= widths[wi];
+            ++stats.fillersAdded;
+            stats.sitesFilled += widths[wi];
+          }
+        }
+        stats.sitesLeftUncovered += remaining;
+      }
+    }
+  }
+  design.cells.insert(design.cells.end(), fillers.begin(), fillers.end());
+  design.invalidateCaches();
+  return stats;
+}
+
+int removeFillers(Design& design) {
+  // Fillers are appended after all real cells; removing a suffix keeps
+  // every existing cell id (and thus all net connections) stable.
+  std::size_t firstFiller = design.cells.size();
+  while (firstFiller > 0 &&
+         isFillerType(design, design.cells[firstFiller - 1].type)) {
+    --firstFiller;
+  }
+  for (std::size_t c = 0; c < firstFiller; ++c) {
+    MCLG_ASSERT(!isFillerType(design, design.cells[c].type),
+                "non-suffix filler cell; ids would shift on removal");
+  }
+  const int removed = static_cast<int>(design.cells.size() - firstFiller);
+  design.cells.resize(firstFiller);
+  design.invalidateCaches();
+  return removed;
+}
+
+}  // namespace mclg

@@ -1,0 +1,31 @@
+// Filler-cell insertion: after legalization, fill every remaining gap with
+// filler cells so each row is 100% covered (the step real flows run before
+// routing; the paper's §3.4 mentions fillers in the context of edge
+// spacing). Fillers are generated as dedicated fixed cells of power-of-two
+// widths and never violate edge spacing (their edges are class 0).
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+struct FillerStats {
+  int fillersAdded = 0;
+  std::int64_t sitesFilled = 0;
+  std::int64_t sitesLeftUncovered = 0;  // gaps narrower than the min width
+};
+
+/// Append filler cells (single-height, widths 1..maxWidth by powers of two)
+/// into every free gap of every segment. The fillers are marked fixed; call
+/// removeFillers to undo. Design caches are invalidated.
+FillerStats insertFillers(PlacementState& state, const SegmentMap& segments,
+                          int maxWidth = 8);
+
+/// Remove all filler cells previously added by insertFillers.
+int removeFillers(Design& design);
+
+/// True if the type id was created by insertFillers.
+bool isFillerType(const Design& design, TypeId type);
+
+}  // namespace mclg

@@ -1,0 +1,198 @@
+#include "gen/global_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+struct BinGrid {
+  int cols = 0;
+  int rows = 0;
+  double binW = 1.0;  // sites
+  double binH = 1.0;  // rows
+  std::vector<double> usage;     // cell area per bin
+  std::vector<double> centX;     // area-weighted centroid
+  std::vector<double> centY;
+  double capacityPerBin = 0.0;   // sites*rows
+
+  int indexOf(double x, double y) const {
+    const int bx = std::clamp(static_cast<int>(x / binW), 0, cols - 1);
+    const int by = std::clamp(static_cast<int>(y / binH), 0, rows - 1);
+    return by * cols + bx;
+  }
+};
+
+BinGrid makeGrid(const Design& design, const GlobalPlaceConfig& config) {
+  BinGrid grid;
+  grid.binH = config.binRows;
+  grid.binW = config.binRows / design.siteWidthFactor;  // square physically
+  grid.cols = std::max(
+      1, static_cast<int>(std::ceil(design.numSitesX / grid.binW)));
+  grid.rows = std::max(
+      1, static_cast<int>(std::ceil(design.numRows / grid.binH)));
+  grid.capacityPerBin = grid.binW * grid.binH * config.binCapacity;
+  grid.usage.assign(static_cast<std::size_t>(grid.cols) * grid.rows, 0.0);
+  grid.centX.assign(grid.usage.size(), 0.0);
+  grid.centY.assign(grid.usage.size(), 0.0);
+  return grid;
+}
+
+double maxUtilization(const Design& design, const GlobalPlaceConfig& config) {
+  BinGrid grid = makeGrid(design, config);
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed) continue;
+    const double area =
+        static_cast<double>(design.widthOf(c)) * design.heightOf(c);
+    grid.usage[static_cast<std::size_t>(grid.indexOf(cell.gpX, cell.gpY))] +=
+        area;
+  }
+  double worst = 0.0;
+  for (const double u : grid.usage) {
+    worst = std::max(worst, u / (grid.binW * grid.binH));
+  }
+  return worst;
+}
+
+/// Clamp a GP position into the cell's fence (nearest fence rect) or core.
+void clampToRegion(const Design& design, CellId c, double* x, double* y) {
+  const auto& cell = design.cells[c];
+  const double w = design.widthOf(c);
+  const double h = design.heightOf(c);
+  if (cell.fence != kDefaultFence) {
+    const auto& rects = design.fences[static_cast<std::size_t>(cell.fence)].rects;
+    double bestDist = 0.0;
+    double bestX = *x, bestY = *y;
+    bool first = true;
+    for (const auto& rect : rects) {
+      const double cx = std::clamp(*x, static_cast<double>(rect.xlo),
+                                   static_cast<double>(rect.xhi) - w);
+      const double cy = std::clamp(*y, static_cast<double>(rect.ylo),
+                                   static_cast<double>(rect.yhi) - h);
+      const double dist = std::abs(cx - *x) + std::abs(cy - *y);
+      if (first || dist < bestDist) {
+        bestDist = dist;
+        bestX = cx;
+        bestY = cy;
+        first = false;
+      }
+    }
+    *x = bestX;
+    *y = bestY;
+    return;
+  }
+  *x = std::clamp(*x, 0.0, static_cast<double>(design.numSitesX) - w);
+  *y = std::clamp(*y, 0.0, static_cast<double>(design.numRows) - h);
+}
+
+}  // namespace
+
+GlobalPlaceStats globalPlace(Design& design, const GlobalPlaceConfig& config) {
+  GlobalPlaceStats stats;
+  stats.hpwlBefore = hpwl(design, /*useGp=*/true);
+  stats.maxBinUtilBefore = maxUtilization(design, config);
+
+  const int n = design.numCells();
+  // Net membership per cell (star model).
+  std::vector<std::vector<NetId>> netsOf(static_cast<std::size_t>(n));
+  for (NetId net = 0; net < static_cast<NetId>(design.nets.size()); ++net) {
+    for (const auto& conn : design.nets[net].conns) {
+      netsOf[static_cast<std::size_t>(conn.cell)].push_back(net);
+    }
+  }
+
+  std::vector<double> netCx(design.nets.size(), 0.0);
+  std::vector<double> netCy(design.nets.size(), 0.0);
+  Rng rng(config.seed ^ 0xABCDEF1234567ULL);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // (a) net centroids from the current GP.
+    for (std::size_t net = 0; net < design.nets.size(); ++net) {
+      double sx = 0.0, sy = 0.0;
+      const auto& conns = design.nets[net].conns;
+      for (const auto& conn : conns) {
+        sx += design.cells[conn.cell].gpX;
+        sy += design.cells[conn.cell].gpY;
+      }
+      const double inv = conns.empty() ? 0.0 : 1.0 / conns.size();
+      netCx[net] = sx * inv;
+      netCy[net] = sy * inv;
+    }
+
+    // (b) density bins.
+    BinGrid grid = makeGrid(design, config);
+    for (CellId c = 0; c < n; ++c) {
+      const auto& cell = design.cells[c];
+      if (cell.fixed) continue;
+      const double area =
+          static_cast<double>(design.widthOf(c)) * design.heightOf(c);
+      const auto bin = static_cast<std::size_t>(
+          grid.indexOf(cell.gpX, cell.gpY));
+      grid.usage[bin] += area;
+      grid.centX[bin] += area * cell.gpX;
+      grid.centY[bin] += area * cell.gpY;
+    }
+    for (std::size_t bin = 0; bin < grid.usage.size(); ++bin) {
+      if (grid.usage[bin] > 0.0) {
+        grid.centX[bin] /= grid.usage[bin];
+        grid.centY[bin] /= grid.usage[bin];
+      }
+    }
+
+    // (c) move every movable cell.
+    for (CellId c = 0; c < n; ++c) {
+      auto& cell = design.cells[c];
+      if (cell.fixed) continue;
+      double x = cell.gpX;
+      double y = cell.gpY;
+
+      // Wirelength pull toward the mean of connected net centroids.
+      const auto& myNets = netsOf[static_cast<std::size_t>(c)];
+      if (!myNets.empty()) {
+        double tx = 0.0, ty = 0.0;
+        for (const NetId net : myNets) {
+          tx += netCx[static_cast<std::size_t>(net)];
+          ty += netCy[static_cast<std::size_t>(net)];
+        }
+        tx /= myNets.size();
+        ty /= myNets.size();
+        x += config.wirelengthStep * (tx - x);
+        y += config.wirelengthStep * (ty - y);
+      }
+
+      // Spreading push away from the centroid of an overfilled bin. A tiny
+      // deterministic jitter breaks the degenerate case of a cell exactly
+      // on the centroid.
+      const auto bin = static_cast<std::size_t>(grid.indexOf(cell.gpX, cell.gpY));
+      const double overflow = grid.usage[bin] / grid.capacityPerBin;
+      if (overflow > 1.0) {
+        double dx = cell.gpX - grid.centX[bin];
+        double dy = cell.gpY - grid.centY[bin];
+        if (std::abs(dx) + std::abs(dy) < 1e-9) {
+          dx = rng.uniformReal(-0.5, 0.5);
+          dy = rng.uniformReal(-0.5, 0.5);
+        }
+        const double gain =
+            config.spreadingStep * std::min(4.0, overflow - 1.0);
+        x += gain * dx;
+        y += gain * dy;
+      }
+
+      clampToRegion(design, c, &x, &y);
+      cell.gpX = x;
+      cell.gpY = y;
+    }
+  }
+
+  stats.hpwlAfter = hpwl(design, /*useGp=*/true);
+  stats.maxBinUtilAfter = maxUtilization(design, config);
+  return stats;
+}
+
+}  // namespace mclg

@@ -1,0 +1,56 @@
+#include "gen/iccad17_suite.hpp"
+
+namespace mclg {
+namespace {
+
+Iccad17Entry entry(const char* name, int h1, int h2, int h3, int h4,
+                   double density, int fences, std::uint64_t seed,
+                   double avgBefore, double avgAfter, double maxBefore,
+                   double maxAfter) {
+  Iccad17Entry e;
+  e.spec.name = name;
+  e.spec.cellsPerHeight = {h1, h2, h3, h4};
+  e.spec.density = density;
+  e.spec.numFences = fences;
+  e.spec.numBlockages = 2;
+  e.spec.withRoutability = true;
+  e.spec.withNets = true;
+  e.spec.numIoPins = 200;
+  e.spec.seed = seed;
+  e.paperAvgDispBefore = avgBefore;
+  e.paperAvgDispAfter = avgAfter;
+  e.paperMaxDispBefore = maxBefore;
+  e.paperMaxDispAfter = maxAfter;
+  return e;
+}
+
+}  // namespace
+
+std::vector<Iccad17Entry> iccad17Suite(double scale) {
+  // Cell counts per height and densities from Table 1; before/after
+  // displacement references from Table 3.
+  std::vector<Iccad17Entry> suite = {
+      entry("des_perf_1", 112644, 0, 0, 0, 0.906, 0, 11, 0.931, 0.903, 8.4, 8.4),
+      entry("des_perf_a_md1", 103589, 4699, 0, 0, 0.551, 4, 12, 1.131, 1.122, 60.7, 60.7),
+      entry("des_perf_a_md2", 105030, 1086, 1086, 1086, 0.559, 4, 13, 1.458, 1.380, 57.0, 48.1),
+      entry("des_perf_b_md1", 106782, 5862, 0, 0, 0.550, 2, 14, 0.745, 0.725, 39.5, 10.0),
+      entry("des_perf_b_md2", 101908, 6781, 2260, 1695, 0.647, 2, 15, 0.720, 0.718, 27.5, 23.3),
+      entry("edit_dist_1_md1", 118005, 7994, 2664, 1998, 0.674, 0, 16, 0.762, 0.752, 5.7, 5.7),
+      entry("edit_dist_a_md2", 115066, 7799, 2599, 1949, 0.594, 3, 17, 0.700, 0.697, 16.4, 16.4),
+      entry("edit_dist_a_md3", 119616, 2599, 2599, 2599, 0.572, 3, 18, 0.839, 0.837, 31.4, 31.4),
+      entry("fft_2_md2", 28930, 2117, 705, 529, 0.827, 0, 19, 0.916, 0.905, 9.6, 7.1),
+      entry("fft_a_md2", 27431, 2018, 672, 504, 0.323, 1, 20, 0.637, 0.631, 34.3, 34.3),
+      entry("fft_a_md3", 28609, 672, 672, 672, 0.312, 1, 21, 0.611, 0.605, 11.3, 11.3),
+      entry("pci_bridge32_a_md1", 26680, 1792, 597, 448, 0.495, 2, 22, 0.718, 0.712, 45.7, 45.9),
+      entry("pci_bridge32_a_md2", 25239, 2090, 1194, 994, 0.577, 2, 23, 0.876, 0.872, 18.1, 18.1),
+      entry("pci_bridge32_b_md1", 26134, 1756, 585, 439, 0.266, 3, 24, 0.862, 0.853, 51.4, 51.4),
+      entry("pci_bridge32_b_md2", 28038, 292, 292, 292, 0.183, 3, 25, 0.791, 0.785, 61.7, 61.7),
+      entry("pci_bridge32_b_md3", 27452, 292, 585, 585, 0.222, 3, 26, 1.046, 1.031, 49.8, 49.8),
+  };
+  if (scale != 1.0) {
+    for (auto& e : suite) e.spec = scaled(e.spec, scale);
+  }
+  return suite;
+}
+
+}  // namespace mclg

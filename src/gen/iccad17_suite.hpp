@@ -1,0 +1,27 @@
+// The 16-design ICCAD-2017-style suite used by Tables 1 and 3.
+//
+// Cell counts per height and densities follow the published per-design
+// statistics; each entry also carries the paper-reported quality numbers so
+// benches can print paper-vs-measured side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/benchmark_gen.hpp"
+
+namespace mclg {
+
+struct Iccad17Entry {
+  GenSpec spec;
+  // Paper Table 1 / Table 3 reference values ("ours" column).
+  double paperAvgDispBefore = 0.0;  // Table 3, before post-processing
+  double paperAvgDispAfter = 0.0;   // Table 3 / Table 1 "Ours"
+  double paperMaxDispBefore = 0.0;
+  double paperMaxDispAfter = 0.0;
+};
+
+/// All 16 designs, with cell counts scaled by `scale` (1.0 = full size).
+std::vector<Iccad17Entry> iccad17Suite(double scale = 1.0);
+
+}  // namespace mclg

@@ -1,0 +1,69 @@
+#include "gen/ispd15_suite.hpp"
+
+#include <cmath>
+
+namespace mclg {
+namespace {
+
+Ispd15Entry entry(const char* name, int numCells, double density,
+                  std::uint64_t seed, double mll, double abacus,
+                  double ordered, double ours) {
+  Ispd15Entry e;
+  e.spec.name = name;
+  // 10% of cells are double height (half width), matching the paper's
+  // benchmark modification.
+  const int doubles = numCells / 10;
+  e.spec.cellsPerHeight = {numCells - doubles, doubles, 0, 0};
+  e.spec.density = density;
+  e.spec.numFences = 0;
+  e.spec.numBlockages = 0;
+  e.spec.withRoutability = false;  // Table 2 ignores routability constraints
+  e.spec.withNets = false;         // objective is pure displacement
+  e.spec.numEdgeClasses = 1;
+  e.spec.seed = seed;
+  e.paperMll = mll;
+  e.paperAbacus = abacus;
+  e.paperOrdered = ordered;
+  e.paperOurs = ours;
+  return e;
+}
+
+}  // namespace
+
+std::vector<Ispd15Entry> ispd15Suite(double scale) {
+  // #cells, density and per-algorithm total displacement from Table 2.
+  std::vector<Ispd15Entry> suite = {
+      entry("des_perf_1", 112644, 0.9058, 101, 279545, 474789, 242622, 188693),
+      entry("des_perf_a", 108292, 0.4290, 102, 81452, 73057, 72561, 71044),
+      entry("des_perf_b", 112644, 0.4971, 103, 81540, 72429, 71888, 70917),
+      entry("edit_dist_a", 127419, 0.4554, 104, 59814, 60971, 62961, 56228),
+      entry("fft_1", 32281, 0.8355, 105, 54501, 53389, 46121, 38821),
+      entry("fft_2", 32281, 0.4997, 106, 25697, 21018, 20979, 20368),
+      entry("fft_a", 30631, 0.2509, 107, 19613, 18150, 18304, 17375),
+      entry("fft_b", 30631, 0.2819, 108, 28461, 21234, 21671, 20092),
+      entry("matrix_mult_1", 155325, 0.8024, 109, 80235, 73682, 71793, 62026),
+      entry("matrix_mult_2", 155325, 0.7903, 110, 75810, 65959, 65876, 58214),
+      entry("matrix_mult_a", 149655, 0.4195, 111, 46001, 40736, 40298, 38013),
+      entry("matrix_mult_b", 146442, 0.3090, 112, 40059, 37243, 37215, 35070),
+      entry("matrix_mult_c", 146442, 0.3083, 113, 42490, 40942, 40710, 37907),
+      entry("pci_bridge32_a", 29521, 0.3839, 114, 27832, 26674, 26289, 25917),
+      entry("pci_bridge32_b", 28920, 0.1430, 115, 27864, 26160, 26028, 26081),
+      entry("superblue11_a", 927074, 0.4292, 116, 1786342, 1983090, 1742941, 1595873),
+      entry("superblue12", 1287037, 0.4472, 117, 2015678, 1995140, 1963403, 1716930),
+      entry("superblue14", 612583, 0.5578, 118, 1599810, 1497490, 1566966, 1331144),
+      entry("superblue16_a", 680869, 0.4785, 119, 1173106, 1147530, 1135186, 1055707),
+      entry("superblue19", 506383, 0.5233, 120, 806529, 808164, 781928, 705239),
+  };
+  if (scale != 1.0) {
+    for (auto& e : suite) {
+      const int total = e.spec.cellsPerHeight[0] + e.spec.cellsPerHeight[1];
+      const int newTotal =
+          std::max(100, static_cast<int>(std::lround(total * scale)));
+      const int doubles = newTotal / 10;
+      e.spec.cellsPerHeight = {newTotal - doubles, doubles, 0, 0};
+    }
+  }
+  return suite;
+}
+
+}  // namespace mclg

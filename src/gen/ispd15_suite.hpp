@@ -1,0 +1,24 @@
+// The 20-design modified-ISPD-2015 suite used by Table 2: 10% of the cells
+// converted to double height & half width; total displacement objective,
+// fences and routability constraints off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/benchmark_gen.hpp"
+
+namespace mclg {
+
+struct Ispd15Entry {
+  GenSpec spec;
+  // Paper Table 2 total displacement (sites) per algorithm.
+  double paperMll = 0.0;      // [12]-Imp
+  double paperAbacus = 0.0;   // [7]
+  double paperOrdered = 0.0;  // [9]
+  double paperOurs = 0.0;
+};
+
+std::vector<Ispd15Entry> ispd15Suite(double scale = 1.0);
+
+}  // namespace mclg

@@ -1,0 +1,33 @@
+// Closed-open integer interval [lo, hi) used for site spans and segments.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mclg {
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+
+  Interval() = default;
+  Interval(std::int64_t l, std::int64_t h) : lo(l), hi(h) {}
+
+  std::int64_t length() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool contains(std::int64_t x) const { return x >= lo && x < hi; }
+  bool containsInterval(const Interval& other) const {
+    return other.lo >= lo && other.hi <= hi;
+  }
+  bool overlaps(const Interval& other) const {
+    return lo < other.hi && other.lo < hi;
+  }
+
+  Interval intersect(const Interval& other) const {
+    return {std::max(lo, other.lo), std::min(hi, other.hi)};
+  }
+
+  bool operator==(const Interval& other) const = default;
+};
+
+}  // namespace mclg

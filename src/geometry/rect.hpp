@@ -1,0 +1,57 @@
+// Axis-aligned integer rectangle, closed-open on both axes.
+//
+// Used for fence regions, pin shapes, IO pins, and rail geometry. The unit
+// depends on context (sites×rows for placement objects, fine pin-grid units
+// for pin shapes) — see db/design.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "geometry/interval.hpp"
+
+namespace mclg {
+
+struct Rect {
+  std::int64_t xlo = 0;
+  std::int64_t ylo = 0;
+  std::int64_t xhi = 0;  // exclusive
+  std::int64_t yhi = 0;  // exclusive
+
+  Rect() = default;
+  Rect(std::int64_t xl, std::int64_t yl, std::int64_t xh, std::int64_t yh)
+      : xlo(xl), ylo(yl), xhi(xh), yhi(yh) {}
+
+  std::int64_t width() const { return xhi - xlo; }
+  std::int64_t height() const { return yhi - ylo; }
+  std::int64_t area() const { return width() * height(); }
+  bool empty() const { return xhi <= xlo || yhi <= ylo; }
+
+  Interval xSpan() const { return {xlo, xhi}; }
+  Interval ySpan() const { return {ylo, yhi}; }
+
+  bool contains(std::int64_t x, std::int64_t y) const {
+    return x >= xlo && x < xhi && y >= ylo && y < yhi;
+  }
+  bool containsRect(const Rect& other) const {
+    return other.xlo >= xlo && other.xhi <= xhi && other.ylo >= ylo &&
+           other.yhi <= yhi;
+  }
+  bool overlaps(const Rect& other) const {
+    return xlo < other.xhi && other.xlo < xhi && ylo < other.yhi &&
+           other.ylo < yhi;
+  }
+
+  Rect intersect(const Rect& other) const {
+    return {std::max(xlo, other.xlo), std::max(ylo, other.ylo),
+            std::min(xhi, other.xhi), std::min(yhi, other.yhi)};
+  }
+
+  Rect shifted(std::int64_t dx, std::int64_t dy) const {
+    return {xlo + dx, ylo + dy, xhi + dx, yhi + dy};
+  }
+
+  bool operator==(const Rect& other) const = default;
+};
+
+}  // namespace mclg

@@ -1,0 +1,209 @@
+#include "legal/maxdisp/matching_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "flow/bipartite_matching.hpp"
+#include "flow/hungarian.hpp"
+#include "util/thread_pool.hpp"
+#include "util/assert.hpp"
+
+namespace mclg {
+
+double phiCost(double delta, double delta0) {
+  if (delta <= delta0) return delta;
+  const double r = delta / delta0;
+  return delta0 * r * r * r * r * r;  // δ^5 / δ0^4
+}
+
+namespace {
+
+struct Position {
+  std::int64_t x;
+  std::int64_t y;
+};
+
+/// Displacement (row heights) of `cell` if moved to position p.
+double dispAt(const Design& design, CellId cell, const Position& p) {
+  const auto& c = design.cells[cell];
+  return design.siteWidthFactor * std::abs(static_cast<double>(p.x) - c.gpX) +
+         std::abs(static_cast<double>(p.y) - c.gpY);
+}
+
+/// Compute the optimal permutation moves for one group of same-type,
+/// same-fence cells (read-only; application happens serially).
+std::vector<std::pair<CellId, Position>> computeGroupMoves(
+    const Design& design, const MaxDispConfig& config,
+    const std::vector<CellId>& group) {
+  const int n = static_cast<int>(group.size());
+  std::vector<Position> positions;
+  positions.reserve(group.size());
+  for (const CellId c : group) {
+    positions.push_back({design.cells[c].x, design.cells[c].y});
+  }
+
+  auto phiOf = [&](int i, int j) {
+    const double phi = std::min(
+        config.phiClamp,
+        phiCost(dispAt(design, group[static_cast<std::size_t>(i)],
+                       positions[static_cast<std::size_t>(j)]),
+                config.delta0));
+    return static_cast<CostValue>(std::llround(phi * config.costScale));
+  };
+
+  // Small groups: exact dense Hungarian over the full matrix.
+  if (n <= config.denseSolverThreshold) {
+    std::vector<CostValue> cost(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        cost[static_cast<std::size_t>(i) * n + j] = phiOf(i, j);
+      }
+    }
+    const auto match = solveAssignmentDense(n, n, cost);
+    std::vector<std::pair<CellId, Position>> moves;
+    for (int i = 0; i < n; ++i) {
+      const int j = match[static_cast<std::size_t>(i)];
+      if (j == i) continue;
+      moves.emplace_back(group[static_cast<std::size_t>(i)],
+                         positions[static_cast<std::size_t>(j)]);
+    }
+    return moves;
+  }
+
+  // Sparse candidate edges: own position (guarantees a perfect matching
+  // exists) plus the nearest K positions per cell.
+  std::vector<AssignmentEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(config.candidatesPerCell + 1));
+  std::vector<std::pair<double, int>> ranked(positions.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ranked[static_cast<std::size_t>(j)] = {
+          dispAt(design, group[static_cast<std::size_t>(i)],
+                 positions[static_cast<std::size_t>(j)]),
+          j};
+    }
+    const int keep = std::min(n, config.candidatesPerCell);
+    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end());
+    bool ownIncluded = false;
+    for (int k = 0; k < keep; ++k) {
+      const int j = ranked[static_cast<std::size_t>(k)].second;
+      if (j == i) ownIncluded = true;
+      const double phi =
+          std::min(config.phiClamp,
+                   phiCost(ranked[static_cast<std::size_t>(k)].first,
+                           config.delta0));
+      edges.push_back(
+          {i, j, static_cast<CostValue>(std::llround(phi * config.costScale))});
+    }
+    if (!ownIncluded) {
+      const double phi = std::min(
+          config.phiClamp,
+          phiCost(dispAt(design, group[static_cast<std::size_t>(i)],
+                         positions[static_cast<std::size_t>(i)]),
+                  config.delta0));
+      edges.push_back(
+          {i, i, static_cast<CostValue>(std::llround(phi * config.costScale))});
+    }
+  }
+
+  const auto match = solveAssignment(n, n, edges);
+  MCLG_ASSERT(match.has_value(),
+              "identity edges guarantee a perfect matching");
+
+  std::vector<std::pair<CellId, Position>> moves;
+  for (int i = 0; i < n; ++i) {
+    const int j = (*match)[static_cast<std::size_t>(i)];
+    if (j == i) continue;
+    moves.emplace_back(group[static_cast<std::size_t>(i)],
+                       positions[static_cast<std::size_t>(j)]);
+  }
+  return moves;
+}
+
+/// Apply a group's permutation: remove all moved cells first, then
+/// re-place (positions are a permutation, so this never collides).
+void applyMoves(PlacementState& state,
+                const std::vector<std::pair<CellId, Position>>& moves) {
+  for (const auto& [cell, pos] : moves) {
+    (void)pos;
+    state.remove(cell);
+  }
+  for (const auto& [cell, pos] : moves) {
+    state.place(cell, pos.x, pos.y);
+  }
+}
+
+}  // namespace
+
+MaxDispStats optimizeMaxDisplacement(PlacementState& state,
+                                     const MaxDispConfig& config) {
+  auto& design = state.design();
+  MaxDispStats stats;
+
+  // Group movable placed cells by (type, fence) — or by interchangeable
+  // footprint when pin geometry is irrelevant.
+  std::map<std::pair<std::int64_t, FenceId>, std::vector<CellId>> groups;
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed || !cell.placed) continue;
+    std::int64_t key = cell.type;
+    if (config.groupByFootprint) {
+      const auto& type = design.typeOf(c);
+      key = (((static_cast<std::int64_t>(type.width) * 64 + type.height) * 4 +
+              (type.parity + 1)) *
+                 64 +
+             type.leftEdge) *
+                64 +
+            type.rightEdge;
+    }
+    groups[{key, cell.fence}].push_back(c);
+  }
+
+  // Flatten into chunks (oversized groups split into spatially coherent
+  // pieces sorted by current row, then x).
+  std::vector<std::vector<CellId>> chunks;
+  for (auto& [key, cells] : groups) {
+    (void)key;
+    if (cells.size() < 2) continue;
+    stats.cellsConsidered += static_cast<int>(cells.size());
+    if (static_cast<int>(cells.size()) <= config.maxGroupSize) {
+      chunks.push_back(std::move(cells));
+      continue;
+    }
+    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+      const auto& ca = design.cells[a];
+      const auto& cb = design.cells[b];
+      if (ca.y != cb.y) return ca.y < cb.y;
+      if (ca.x != cb.x) return ca.x < cb.x;
+      return a < b;
+    });
+    for (std::size_t start = 0; start < cells.size();
+         start += static_cast<std::size_t>(config.maxGroupSize)) {
+      const std::size_t end = std::min(
+          cells.size(), start + static_cast<std::size_t>(config.maxGroupSize));
+      if (end - start < 2) break;
+      chunks.emplace_back(cells.begin() + static_cast<std::ptrdiff_t>(start),
+                          cells.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  stats.groups = static_cast<int>(chunks.size());
+
+  // Assignment problems are independent and read-only: solve in parallel,
+  // apply serially in chunk order (thread-count invariant results).
+  std::vector<std::vector<std::pair<CellId, Position>>> allMoves(
+      chunks.size());
+  ThreadPool pool(config.numThreads);
+  pool.parallelForBatch(static_cast<int>(chunks.size()), [&](int i) {
+    allMoves[static_cast<std::size_t>(i)] = computeGroupMoves(
+        design, config, chunks[static_cast<std::size_t>(i)]);
+  });
+  for (const auto& moves : allMoves) {
+    applyMoves(state, moves);
+    stats.cellsMoved += static_cast<int>(moves.size());
+  }
+  return stats;
+}
+
+}  // namespace mclg

@@ -1,0 +1,64 @@
+// Maximum-displacement optimization by same-type position matching
+// (paper §3.2).
+//
+// Within each (cell type × fence region) group, cells may freely exchange
+// their current positions: every position in the group is legal for every
+// cell of the group (same footprint, same parity, same edge classes, and a
+// position's pin-violation status does not depend on which same-type cell
+// occupies it). A min-cost perfect matching between cells and the group's
+// positions therefore cannot create any violation, and with the convexified
+// cost
+//
+//   φ(δ) = δ           for δ <= δ0,
+//          δ^5 / δ0^4  otherwise                     (Eq. 3)
+//
+// it trades (almost) no average displacement for large reductions of the
+// tail — the paper's Table 3 effect.
+#pragma once
+
+#include "db/placement_state.hpp"
+
+namespace mclg {
+
+struct MaxDispConfig {
+  /// Tolerable displacement threshold δ0 of Eq. 3, in row heights.
+  double delta0 = 10.0;
+  /// Groups larger than this are split into spatially coherent chunks to
+  /// bound the matching size (the paper's groups are naturally small; our
+  /// synthetic suites can produce bigger ones).
+  int maxGroupSize = 600;
+  /// Sparsification: per cell, keep the own position plus this many nearest
+  /// candidate positions.
+  int candidatesPerCell = 16;
+  /// Fixed-point scale for converting φ to integer MCF costs.
+  double costScale = 1024.0;
+  /// φ is clamped at this value to keep scaled costs inside int64.
+  double phiClamp = 1e12;
+  /// Groups are independent; their assignment problems solve in parallel
+  /// (moves are applied serially, so results are thread-count invariant).
+  int numThreads = 1;
+  /// Groups up to this size solve with the dense O(n³) Hungarian algorithm
+  /// (full cost matrix); larger groups use the sparse MCF reduction with
+  /// nearest-candidate edges. Both are exact on their respective edge sets.
+  int denseSolverThreshold = 96;
+  /// Group by footprint (width × height × parity × edge classes) instead of
+  /// cell type. Strictly more exchange opportunities; only valid when pin
+  /// geometry does not matter (no-routability mode — different types have
+  /// different pins, so a swap could change the pin-violation count).
+  bool groupByFootprint = false;
+};
+
+struct MaxDispStats {
+  int groups = 0;
+  int cellsConsidered = 0;
+  int cellsMoved = 0;
+};
+
+/// φ of Eq. 3 (exposed for tests and the φ-threshold ablation bench).
+double phiCost(double delta, double delta0);
+
+/// Run the optimization on a legal placement. Never degrades legality.
+MaxDispStats optimizeMaxDisplacement(PlacementState& state,
+                                     const MaxDispConfig& config);
+
+}  // namespace mclg

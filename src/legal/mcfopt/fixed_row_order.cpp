@@ -1,0 +1,295 @@
+#include "legal/mcfopt/fixed_row_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "legal/refine/feasible_range.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mclg {
+namespace {
+
+double weightedObjective(const Design& design,
+                         const std::vector<CellId>& cells,
+                         bool contestWeights) {
+  double total = 0.0;
+  for (const CellId c : cells) {
+    const auto& cell = design.cells[c];
+    const double w = contestWeights ? design.metricWeight(c) : 1.0;
+    total += w * design.siteWidthFactor *
+             std::abs(static_cast<double>(cell.x) - cell.gpX);
+  }
+  return total;
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<CellId> placedMovableCells(const Design& design) {
+  std::vector<CellId> cells;
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (!cell.fixed && cell.placed) cells.push_back(c);
+  }
+  return cells;
+}
+
+/// Build the network for a subset of cells (a connected component of the
+/// constraint graph, or all placed movable cells). Neighbor pairs with
+/// either endpoint outside the subset are skipped — for true components
+/// none exist.
+FroNetwork buildNetworkForCells(const PlacementState& state,
+                                const SegmentMap& segments,
+                                const FixedRowOrderConfig& config,
+                                std::vector<CellId> subset) {
+  const auto& design = state.design();
+  FroNetwork net;
+  net.cells = std::move(subset);
+  std::vector<int> indexOf(static_cast<std::size_t>(design.numCells()), -1);
+  for (std::size_t i = 0; i < net.cells.size(); ++i) {
+    indexOf[static_cast<std::size_t>(net.cells[i])] = static_cast<int>(i);
+  }
+  const int m = static_cast<int>(net.cells.size());
+  if (m == 0) return net;
+
+  // Integer weights n_i (caps of the +- arcs).
+  std::vector<FlowValue> weight(static_cast<std::size_t>(m), 1);
+  long double weightSum = 0.0L;
+  for (int i = 0; i < m; ++i) {
+    if (config.contestWeights) {
+      weight[static_cast<std::size_t>(i)] = std::max<FlowValue>(
+          1,
+          std::llround(design.metricWeight(net.cells[static_cast<std::size_t>(i)]) *
+                       static_cast<double>(config.weightScale)));
+    }
+    weightSum += static_cast<long double>(weight[static_cast<std::size_t>(i)]);
+  }
+  const FlowValue n0 =
+      config.maxDispWeight > 0.0
+          ? std::max<FlowValue>(
+                1, std::llround(config.maxDispWeight *
+                                static_cast<double>(weightSum) / m))
+          : 0;
+
+  auto& problem = net.problem;
+  const int base = problem.addNodes(m);
+  net.zNode = problem.addNode();
+  const int z = net.zNode;
+  const int p = n0 > 0 ? problem.addNode() : -1;
+  const int nNode = n0 > 0 ? problem.addNode() : -1;
+  net.cellNode.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) net.cellNode[static_cast<std::size_t>(i)] = base + i;
+
+  std::vector<CostValue> gpX(static_cast<std::size_t>(m), 0);
+  net.ranges.resize(static_cast<std::size_t>(m));
+  CostValue maxDy = 0;
+  std::vector<CostValue> dy(static_cast<std::size_t>(m), 0);
+  for (int i = 0; i < m; ++i) {
+    const CellId c = net.cells[static_cast<std::size_t>(i)];
+    const auto& cell = design.cells[c];
+    gpX[static_cast<std::size_t>(i)] = std::llround(cell.gpX);
+    net.ranges[static_cast<std::size_t>(i)] =
+        feasibleRange(design, segments, c, config.routability);
+    // y displacement in site units so all costs share one unit.
+    dy[static_cast<std::size_t>(i)] = std::llround(
+        std::abs(static_cast<double>(cell.y) - cell.gpY) /
+        design.siteWidthFactor);
+    maxDy = std::max(maxDy, dy[static_cast<std::size_t>(i)]);
+  }
+
+  for (int i = 0; i < m; ++i) {
+    const FlowValue ni = weight[static_cast<std::size_t>(i)];
+    const CostValue xi = gpX[static_cast<std::size_t>(i)];
+    const CostValue li = net.ranges[static_cast<std::size_t>(i)].lo;
+    const CostValue ri = net.ranges[static_cast<std::size_t>(i)].hi - 1;
+    if (config.mrdpStyleNetwork) {
+      // MrDP-style expanded structure (§3.3 point (1)): keep the |x| aux
+      // vertices v_i^+ / v_i^- in series with the cost arcs instead of
+      // eliminating them — same flows, same optimum, 3m+2 nodes, 6m+|E|
+      // arcs.
+      const int plus = problem.addNode();
+      const int minus = problem.addNode();
+      problem.addArc(base + i, plus, ni, 0);
+      problem.addArc(plus, z, ni, xi);            // f_i^+ via v_i^+
+      problem.addArc(z, minus, ni, -xi);          // f_i^- via v_i^-
+      problem.addArc(minus, base + i, ni, 0);
+      problem.addArc(z, base + i, kInfiniteCap, -li);  // f_i^l
+      problem.addArc(base + i, z, kInfiniteCap, ri);   // f_i^r
+    } else {
+      problem.addArc(base + i, z, ni, xi);             // f_i^+
+      problem.addArc(z, base + i, ni, -xi);            // f_i^-
+      problem.addArc(z, base + i, kInfiniteCap, -li);  // f_i^l
+      problem.addArc(base + i, z, kInfiniteCap, ri);   // f_i^r
+    }
+    if (n0 > 0) {
+      problem.addArc(base + i, p, kInfiniteCap,
+                     xi - dy[static_cast<std::size_t>(i)]);  // f_i^p
+      problem.addArc(nNode, base + i, kInfiniteCap,
+                     -xi - dy[static_cast<std::size_t>(i)]);  // f_i^n
+    }
+  }
+  if (n0 > 0) {
+    problem.addArc(p, z, n0, maxDy);      // f^p
+    problem.addArc(z, nNode, n0, maxDy);  // f^n
+  }
+
+  // Neighbor constraints E: consecutive movable cells in each row, deduped
+  // (a pair abutting in several rows yields one constraint; the spacing is
+  // identical in each row since it depends only on the two types).
+  std::unordered_set<std::uint64_t> seenPairs;
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    const auto& rowMap = state.rowCells(y);
+    CellId prev = kInvalidCell;
+    std::int64_t prevX = 0;
+    for (const auto& [x, c] : rowMap) {
+      if (prev != kInvalidCell) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(prev))
+             << 32) |
+            static_cast<std::uint32_t>(c);
+        if (indexOf[static_cast<std::size_t>(prev)] >= 0 &&
+            indexOf[static_cast<std::size_t>(c)] >= 0 &&
+            seenPairs.insert(key).second) {
+          CostValue sep =
+              design.widthOf(prev) +
+              (config.respectEdgeSpacing ? design.spacingBetween(prev, c) : 0);
+          // A last-resort placement may already violate the (soft) spacing
+          // rule; clamping to the existing separation keeps the LP feasible
+          // without letting any pair get closer than it already is.
+          sep = std::min<CostValue>(sep, x - prevX);
+          problem.addArc(base + indexOf[static_cast<std::size_t>(prev)],
+                         base + indexOf[static_cast<std::size_t>(c)],
+                         kInfiniteCap, -sep);
+        }
+      }
+      prev = c;
+      prevX = x;
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+FroNetwork buildFixedRowOrderNetwork(const PlacementState& state,
+                                     const SegmentMap& segments,
+                                     const FixedRowOrderConfig& config) {
+  return buildNetworkForCells(state, segments, config,
+                              placedMovableCells(state.design()));
+}
+
+namespace {
+
+/// Solve one subset's network and append its moves.
+void solveSubset(const PlacementState& state, const SegmentMap& segments,
+                 const FixedRowOrderConfig& config, std::vector<CellId> subset,
+                 std::vector<std::pair<CellId, std::int64_t>>* moves) {
+  const auto& design = state.design();
+  const FroNetwork net =
+      buildNetworkForCells(state, segments, config, std::move(subset));
+  if (net.cells.empty()) return;
+  const McfSolution sol = NetworkSimplex::solve(net.problem);
+  MCLG_ASSERT(sol.status == McfStatus::Optimal,
+              "fixed-row-order MCF must be optimal (zero flow is feasible)");
+  // Read positions back from the potentials: x_i = pi(v_z) - pi(v_i).
+  const CostValue piZ = sol.potential[static_cast<std::size_t>(net.zNode)];
+  for (std::size_t i = 0; i < net.cells.size(); ++i) {
+    const CellId c = net.cells[i];
+    std::int64_t x = piZ - sol.potential[static_cast<std::size_t>(net.cellNode[i])];
+    const auto& r = net.ranges[i];
+    MCLG_ASSERT(x >= r.lo && x <= r.hi - 1,
+                "MCF potentials violate a feasible range");
+    x = std::clamp<std::int64_t>(x, r.lo, r.hi - 1);
+    if (x != design.cells[c].x) moves->emplace_back(c, x);
+  }
+}
+
+}  // namespace
+
+FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
+                                         const SegmentMap& segments,
+                                         const FixedRowOrderConfig& config) {
+  auto& design = state.design();
+  FixedRowOrderStats stats;
+
+  const std::vector<CellId> all = placedMovableCells(design);
+  const int m = static_cast<int>(all.size());
+  if (m == 0) return stats;
+  stats.objectiveBefore = weightedObjective(design, all, config.contestWeights);
+
+  std::vector<std::pair<CellId, std::int64_t>> moves;
+  // The §3.3.1 max-displacement term couples every cell, so component
+  // decomposition is only exact for the plain objective.
+  if (config.numThreads > 1 && config.maxDispWeight == 0.0) {
+    // Union-find over the neighbor constraint graph.
+    std::vector<CellId> parent(static_cast<std::size_t>(design.numCells()));
+    for (CellId c = 0; c < design.numCells(); ++c) parent[static_cast<std::size_t>(c)] = c;
+    std::function<CellId(CellId)> find = [&](CellId c) {
+      while (parent[static_cast<std::size_t>(c)] != c) {
+        parent[static_cast<std::size_t>(c)] =
+            parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(c)])];
+        c = parent[static_cast<std::size_t>(c)];
+      }
+      return c;
+    };
+    for (std::int64_t y = 0; y < design.numRows; ++y) {
+      CellId prev = kInvalidCell;
+      for (const auto& [x, c] : state.rowCells(y)) {
+        (void)x;
+        if (prev != kInvalidCell) {
+          parent[static_cast<std::size_t>(find(prev))] = find(c);
+        }
+        prev = c;
+      }
+    }
+    std::unordered_map<CellId, std::size_t> componentIndex;
+    std::vector<std::vector<CellId>> components;
+    for (const CellId c : all) {
+      const CellId root = find(c);
+      auto [it, inserted] = componentIndex.emplace(root, components.size());
+      if (inserted) components.emplace_back();
+      components[it->second].push_back(c);
+    }
+    std::vector<std::vector<std::pair<CellId, std::int64_t>>> perComponent(
+        components.size());
+    ThreadPool pool(config.numThreads);
+    pool.parallelForBatch(static_cast<int>(components.size()), [&](int i) {
+      solveSubset(state, segments, config,
+                  components[static_cast<std::size_t>(i)],
+                  &perComponent[static_cast<std::size_t>(i)]);
+    });
+    for (auto& part : perComponent) {
+      moves.insert(moves.end(), part.begin(), part.end());
+    }
+  } else {
+    solveSubset(state, segments, config, all, &moves);
+  }
+
+  // Apply: remove all moved cells first, then re-place left-to-right.
+  for (const auto& [c, x] : moves) {
+    (void)x;
+    state.remove(c);
+  }
+  std::sort(moves.begin(), moves.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [c, x] : moves) {
+    state.place(c, x, design.cells[c].y);
+  }
+  stats.cellsMoved = static_cast<int>(moves.size());
+  stats.objectiveAfter = weightedObjective(design, all, config.contestWeights);
+  if (stats.objectiveAfter > stats.objectiveBefore + 1e-6) {
+    // Only possible through the integer rounding of GP positions and
+    // weights; should stay within rounding noise.
+    MCLG_LOG_WARN() << "fixed-row-order objective regressed: "
+                    << stats.objectiveBefore << " -> " << stats.objectiveAfter;
+  }
+  return stats;
+}
+
+}  // namespace mclg

@@ -1,0 +1,87 @@
+// Fixed-row & fixed-order post-optimization (paper §3.3).
+//
+// Keeping row assignments and per-row cell order, the optimal x positions
+// under the weighted-displacement objective are the solution of LP (4),
+// solved through its dual min-cost flow (6): one node per cell plus one
+// auxiliary node v_z, arcs
+//
+//   v_i -> v_z   cap n_i, cost +x'_i        (the |x_i - x'_i| pair ...)
+//   v_z -> v_i   cap n_i, cost -x'_i        (... after aux-node elimination)
+//   v_z -> v_i   cap inf, cost -l_i         (left feasible bound)
+//   v_i -> v_z   cap inf, cost +r_i         (right feasible bound)
+//   v_i -> v_j   cap inf, cost -(w_i+s_ij)  (left-neighbor constraints E)
+//
+// which is the m+1-node / 2m+|C_L|+|C_R|+|E|-arc network the paper compares
+// against MrDP's larger formulation. The §3.3.1 extension adds nodes
+// v_p, v_n and weight n_0 so a weighted max-displacement term is optimized
+// simultaneously (Eqs. 8-9). Optimal positions are read back from the node
+// potentials: x_i = pi(v_z) - pi(v_i).
+//
+// Feasible ranges [l_i, r_i] come from legal/refine/feasible_range.hpp, so
+// with routability on the step cannot create pin or fence violations
+// (C_L = C_R = C, §3.4).
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "flow/mcf.hpp"
+#include "geometry/interval.hpp"
+
+namespace mclg {
+
+struct FixedRowOrderConfig {
+  /// true: weight n_i per Eq. 2 (contest metric); false: n_i = 1 (total
+  /// displacement, Table 2 mode).
+  bool contestWeights = true;
+  /// Relative weight n_0 of the max-displacement term; 0 disables the
+  /// §3.3.1 extension. Expressed as a multiple of the mean cell weight.
+  double maxDispWeight = 4.0;
+  /// Restrict movements to pin-clean ranges (§3.4).
+  bool routability = true;
+  /// Include the edge-spacing table in the neighbor separations. Must be
+  /// false when refining a placement produced by a spacing-oblivious
+  /// legalizer (the LP would be infeasible otherwise).
+  bool respectEdgeSpacing = true;
+  /// Fixed-point scale turning fractional Eq. 2 weights into integer caps.
+  std::int64_t weightScale = 1'000'000;
+  /// Build the MrDP-style expanded network (3m+2 nodes, 6m+|E| arcs: the
+  /// per-cell |x| auxiliary vertices are kept instead of eliminated) rather
+  /// than the paper's compact m+1-node network. Same optimum; exists to
+  /// reproduce the paper's formulation-size comparison (§3.3 point (1)).
+  bool mrdpStyleNetwork = false;
+  /// With > 1, the constraint graph's connected components (cells linked by
+  /// neighbor constraints) are solved as independent MCFs in parallel.
+  /// Exact same optimum — the LP separates over components — and
+  /// thread-count invariant (moves apply serially in component order).
+  int numThreads = 1;
+};
+
+struct FixedRowOrderStats {
+  int cellsMoved = 0;
+  /// Weighted x-displacement objective (row heights) before/after, for the
+  /// improvement assertions in tests.
+  double objectiveBefore = 0.0;
+  double objectiveAfter = 0.0;
+};
+
+/// Run the optimization on a legal placement. Never degrades legality; the
+/// weighted objective never increases.
+FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
+                                         const SegmentMap& segments,
+                                         const FixedRowOrderConfig& config);
+
+/// The flow network of the optimization, exposed for the formulation-size
+/// comparison and for tests that check both structures reach one optimum.
+struct FroNetwork {
+  McfProblem problem;
+  std::vector<CellId> cells;      // row-indexed movable cells
+  std::vector<int> cellNode;      // node id of each cell's v_i
+  int zNode = -1;
+  std::vector<Interval> ranges;   // feasible left-edge ranges (half-open)
+};
+
+FroNetwork buildFixedRowOrderNetwork(const PlacementState& state,
+                                     const SegmentMap& segments,
+                                     const FixedRowOrderConfig& config);
+
+}  // namespace mclg

@@ -1,0 +1,494 @@
+#include "legal/mgl/insertion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/checkers.hpp"
+#include "geometry/disp_curve.hpp"
+#include "util/assert.hpp"
+
+namespace mclg {
+
+int InsertionSearcher::edgeSpacing(int rightEdgeClass,
+                                   int leftEdgeClass) const {
+  return config_.respectEdgeSpacing
+             ? state_.design().edgeSpacing(rightEdgeClass, leftEdgeClass)
+             : 0;
+}
+
+int InsertionSearcher::spacingBetween(CellId left, CellId right) const {
+  return config_.respectEdgeSpacing
+             ? state_.design().spacingBetween(left, right)
+             : 0;
+}
+
+bool InsertionSearcher::isLocal(CellId c, const Rect& window) const {
+  const auto& design = state_.design();
+  const auto& cell = design.cells[c];
+  if (cell.fixed || !cell.placed) return false;
+  const Rect box{cell.x, cell.y, cell.x + design.widthOf(c),
+                 cell.y + design.heightOf(c)};
+  return window.containsRect(box);
+}
+
+bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
+                                     std::int64_t y, std::int64_t seed,
+                                     Candidate& out) const {
+  const auto& design = state_.design();
+  const auto& target = design.cells[c];
+  const auto& type = design.typeOf(c);
+  const int h = type.height;
+  const int w = type.width;
+  const double seedCenter = static_cast<double>(seed) + w * 0.5;
+
+  std::int64_t lo = window.xlo;
+  std::int64_t hi = window.xhi - w;
+
+  // Chain entries, deduplicated across rows for multi-row local cells (the
+  // most constraining row's offset wins). Scratch reused across calls.
+  auto& entries = entryScratch_;
+  auto& entryIndex = entryIndexScratch_;
+  entries.clear();
+  entryIndex.clear();
+  auto addEntry = [&](CellId j, std::int64_t off, bool left) {
+    auto [it, inserted] = entryIndex.emplace(j, entries.size());
+    if (inserted) {
+      entries.push_back({j, off, left});
+    } else if (off > entries[it->second].off) {
+      entries[it->second].off = off;
+    }
+  };
+
+  for (std::int64_t r = y; r < y + h; ++r) {
+    const Segment* seg = segments_.find(r, seed);
+    if (seg == nullptr || seg->fence != target.fence) return false;
+    const std::int64_t rowLo = std::max(seg->x.lo, window.xlo);
+    const std::int64_t rowHi = std::min(seg->x.hi, window.xhi);
+
+    const auto& rowMap = state_.rowCells(r);
+    // Left chain: cells with center <= seedCenter, walked right-to-left.
+    {
+      std::int64_t acc = 0;
+      TypeId prevType = target.type;
+      auto it = rowMap.lower_bound(seed + w);  // anything further is right
+      bool wallFound = false;
+      while (it != rowMap.begin()) {
+        --it;
+        const CellId j = it->second;
+        if (it->first < seg->x.lo) break;  // outside the segment
+        const double center = static_cast<double>(it->first) +
+                              design.widthOf(j) * 0.5;
+        if (center > seedCenter) continue;  // belongs to the right side
+        const int sp = edgeSpacing(design.typeOf(j).rightEdge,
+                                          design.types[prevType].leftEdge);
+        if (isLocal(j, window)) {
+          const std::int64_t off = acc + sp + design.widthOf(j);
+          addEntry(j, off, /*left=*/true);
+          acc = off;
+          prevType = design.cells[j].type;
+        } else {
+          lo = std::max(lo, it->first + design.widthOf(j) + sp + acc);
+          wallFound = true;
+          break;
+        }
+      }
+      if (!wallFound) lo = std::max(lo, rowLo + acc);
+    }
+    // Right chain: cells with center > seedCenter, walked left-to-right.
+    // Right-side cells satisfy j.x > seedCenter - w_j/2, so starting the
+    // scan maxCellWidth sites left of the seed cannot miss any.
+    {
+      std::int64_t acc = w;
+      TypeId prevType = target.type;
+      auto it = rowMap.lower_bound(
+          std::max(seg->x.lo, seed - design.maxCellWidth()));
+      bool wallFound = false;
+      for (; it != rowMap.end() && it->first < seg->x.hi; ++it) {
+        const CellId j = it->second;
+        const double center = static_cast<double>(it->first) +
+                              design.widthOf(j) * 0.5;
+        if (center <= seedCenter) continue;  // left side
+        const int sp = edgeSpacing(design.types[prevType].rightEdge,
+                                          design.typeOf(j).leftEdge);
+        if (isLocal(j, window)) {
+          const std::int64_t off = acc + sp;
+          addEntry(j, off, /*left=*/false);
+          acc = off + design.widthOf(j);
+          prevType = design.cells[j].type;
+        } else {
+          // Chain must fit left of the wall: x + acc + sp <= j.x.
+          hi = std::min(hi, it->first - sp - acc);
+          wallFound = true;
+          break;
+        }
+      }
+      if (!wallFound) hi = std::min(hi, rowHi - acc);
+    }
+    if (lo > hi) return false;
+  }
+
+  // Displacement curves (Fig. 4) summed over the target and local cells.
+  const double swf = design.siteWidthFactor;
+  auto weight = [&](CellId j) {
+    return config_.contestWeights ? design.metricWeight(j) : 1.0;
+  };
+  CurveSum& sum = sumScratch_;
+  sum.clear();
+  const double wT = weight(c);
+  sum.add(DispCurve::targetV(target.gpX).scaled(swf * wT));
+  sum.add(DispCurve::constant(
+      std::abs(static_cast<double>(y) - target.gpY) * wT));
+  // Local-cell curves measure absolute displacement from GP; subtracting
+  // each cell's *current* displacement turns the total into the change in
+  // regional displacement caused by this insertion, which is comparable
+  // across insertion points with different local-cell sets (and is exactly
+  // zero-based in MLL mode, where gp == cur).
+  double baseline = 0.0;
+  for (const auto& entry : entries) {
+    const auto& cell = design.cells[entry.cell];
+    const double cur = static_cast<double>(cell.x);
+    const double gp = config_.gpObjective ? cell.gpX : cur;
+    const double scale = swf * weight(entry.cell);
+    baseline += scale * std::abs(cur - gp);
+    sum.add(entry.left
+                ? DispCurve::leftPush(cur, gp, static_cast<double>(entry.off))
+                      .scaled(scale)
+                : DispCurve::rightPush(cur, gp, static_cast<double>(entry.off))
+                      .scaled(scale));
+  }
+  auto best = sum.minimizeOnSites(lo, hi);
+  if (!best.feasible) return false;
+  best.value -= baseline;
+
+  if (config_.routability) {
+    // Dodge vertical-rail conflicts: move to the nearest clean site.
+    const auto forbidden =
+        verticalRailForbiddenX(design, target.type, y);
+    auto inForbidden = [&](std::int64_t x) -> const Interval* {
+      for (const auto& iv : forbidden) {
+        if (iv.contains(x)) return &iv;
+      }
+      return nullptr;
+    };
+    if (const Interval* iv = inForbidden(best.x)) {
+      const std::int64_t leftAlt = iv->lo - 1;
+      const std::int64_t rightAlt = iv->hi;
+      double bestVal = 0.0;
+      std::int64_t bestX = 0;
+      bool found = false;
+      if (leftAlt >= lo && inForbidden(leftAlt) == nullptr) {
+        bestVal = sum.value(static_cast<double>(leftAlt));
+        bestX = leftAlt;
+        found = true;
+      }
+      if (rightAlt <= hi && inForbidden(rightAlt) == nullptr) {
+        const double v = sum.value(static_cast<double>(rightAlt));
+        if (!found || v < bestVal) {
+          bestVal = v;
+          bestX = rightAlt;
+          found = true;
+        }
+      }
+      if (!found) return false;
+      best.x = bestX;
+      best.value = bestVal - baseline;
+    }
+    // IO-pin overlap penalty (§3.4: penalties, not hard rejections).
+    const int ioOverlaps =
+        countIoOverlaps(design, target.type, best.x, y);
+    best.value += ioOverlaps * config_.ioPenalty * wT;
+  }
+
+  out.x = best.x;
+  out.y = y;
+  out.cost = best.value;
+  out.seed = seed;
+  return true;
+}
+
+void InsertionSearcher::evaluateRow(CellId c, const Rect& window,
+                                    std::int64_t y,
+                                    std::vector<Candidate>& out) const {
+  const auto& design = state_.design();
+  const auto& target = design.cells[c];
+  const auto& type = design.typeOf(c);
+  if (!design.parityOk(target.type, y)) return;
+  if (y < window.ylo || y + type.height > window.yhi) return;
+  if (config_.routability &&
+      hasHorizontalRailConflict(design, target.type, y)) {
+    return;
+  }
+
+  // Candidate seeds: the GP x plus the gap edges of every cell crossing the
+  // row span, plus segment boundaries.
+  auto& seeds = seedScratch_;
+  seeds.clear();
+  const auto gpSeed = static_cast<std::int64_t>(std::lround(target.gpX));
+  seeds.push_back(std::clamp(gpSeed, window.xlo, window.xhi - type.width));
+  for (std::int64_t r = y; r < y + type.height; ++r) {
+    for (const auto& seg : segments_.row(r)) {
+      if (seg.fence != target.fence) continue;
+      if (seg.x.hi <= window.xlo || seg.x.lo >= window.xhi) continue;
+      seeds.push_back(std::max(seg.x.lo, window.xlo));
+      seeds.push_back(std::min(seg.x.hi, window.xhi) - type.width);
+    }
+    const auto& rowMap = state_.rowCells(r);
+    for (auto it = rowMap.lower_bound(window.xlo);
+         it != rowMap.end() && it->first < window.xhi; ++it) {
+      const std::int64_t wj = design.widthOf(it->second);
+      seeds.push_back(it->first + wj);           // right after the cell
+      seeds.push_back(it->first - type.width);   // right before the cell
+    }
+  }
+  for (auto& seed : seeds) {
+    seed = std::clamp(seed, window.xlo, window.xhi - type.width);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  if (static_cast<int>(seeds.size()) > config_.maxSeedsPerRow) {
+    // Keep the seeds nearest the GP x.
+    std::nth_element(
+        seeds.begin(), seeds.begin() + config_.maxSeedsPerRow, seeds.end(),
+        [&](std::int64_t a, std::int64_t b) {
+          return std::abs(a - gpSeed) < std::abs(b - gpSeed);
+        });
+    seeds.resize(static_cast<std::size_t>(config_.maxSeedsPerRow));
+    std::sort(seeds.begin(), seeds.end());
+  }
+
+  for (const auto seed : seeds) {
+    Candidate cand;
+    if (evaluateSeed(c, window, y, seed, cand)) out.push_back(cand);
+  }
+}
+
+bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
+  const auto& design = state_.design();
+  const auto& target = design.cells[c];
+  MCLG_ASSERT(!target.placed && !target.fixed, "target must be unplaced");
+  const int h = design.heightOf(c);
+
+  auto& candidates = candidateScratch_;
+  candidates.clear();
+  const std::int64_t yLo = std::max<std::int64_t>(0, window.ylo);
+  const std::int64_t yHi = std::min(window.yhi - h, design.numRows - h);
+  // Visit rows by distance from the GP row. Large (expanded) windows can
+  // cover hundreds of rows; distant rows pay their y-distance in every
+  // candidate, so once enough candidates exist AND the y-cost of the next
+  // row alone exceeds the best found cost (plus a margin for the rare
+  // negative pull of type C/D curves), further rows cannot win.
+  const auto gpRow = static_cast<std::int64_t>(std::lround(target.gpY));
+  const double wT =
+      config_.contestWeights ? design.metricWeight(c) : 1.0;
+  double bestCost = std::numeric_limits<double>::infinity();
+  for (std::int64_t dy = 0;; ++dy) {
+    const std::int64_t below = gpRow - dy;
+    const std::int64_t above = gpRow + dy;
+    if (below < yLo && above > yHi) break;
+    const std::size_t sizeBefore = candidates.size();
+    if (below >= yLo && below <= yHi) evaluateRow(c, window, below, candidates);
+    if (dy > 0 && above >= yLo && above <= yHi) {
+      evaluateRow(c, window, above, candidates);
+    }
+    for (std::size_t i = sizeBefore; i < candidates.size(); ++i) {
+      bestCost = std::min(bestCost, candidates[i].cost);
+    }
+    if (static_cast<int>(candidates.size()) >= config_.maxCommitAttempts &&
+        wT * static_cast<double>(dy + 1) > bestCost + 2.0 * wT) {
+      break;
+    }
+  }
+  if (candidates.empty()) return false;
+
+  const double gpY = target.gpY;
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              const double dya = std::abs(static_cast<double>(a.y) - gpY);
+              const double dyb = std::abs(static_cast<double>(b.y) - gpY);
+              if (dya != dyb) return dya < dyb;
+              if (a.y != b.y) return a.y < b.y;
+              return a.x < b.x;
+            });
+  // Attempt commits in cost order, skipping duplicate (x, y) targets
+  // (different seeds can coincide).
+  std::unordered_set<std::uint64_t> seen;
+  int attempts = 0;
+  for (const auto& cand : candidates) {
+    if (cand.cost >= config_.costCeiling) break;  // sorted ascending
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cand.x)) << 32) |
+        static_cast<std::uint32_t>(cand.y);
+    if (!seen.insert(key).second) continue;
+    if (commit(c, cand, window)) {
+      lastCommit_.x = cand.x;
+      lastCommit_.y = cand.y;
+      lastCommit_.estimatedCost = cand.cost;
+      return true;
+    }
+    if (++attempts >= config_.maxCommitAttempts) break;
+  }
+  return false;
+}
+
+bool InsertionSearcher::commit(CellId c, const Candidate& cand,
+                               const Rect& window) {
+  auto& design = state_.design();
+  const auto& type = design.typeOf(c);
+  const int h = type.height;
+  const int w = type.width;
+  const double seedCenter = static_cast<double>(cand.seed) + w * 0.5;
+  const std::int64_t x = cand.x;
+  const std::int64_t y = cand.y;
+
+  auto& newX = newXScratch_;
+  newX.clear();
+  auto curX = [&](CellId j) {
+    auto it = newX.find(j);
+    return it != newX.end() ? it->second : design.cells[j].x;
+  };
+
+  // Two vector-backed FIFO work lists (head index instead of pop_front).
+  auto& leftQ = queueScratch_;
+  leftQ.clear();
+  std::vector<PushReq> rightQ;
+  rightQ.clear();
+
+  // Seed the push requirements from the target's row span.
+  for (std::int64_t r = y; r < y + h; ++r) {
+    const auto& rowMap = state_.rowCells(r);
+    // Immediate left neighbor: rightmost cell with center <= seedCenter.
+    for (auto it = rowMap.lower_bound(cand.seed + w + 1); it != rowMap.begin();) {
+      --it;
+      const CellId j = it->second;
+      const double center =
+          static_cast<double>(it->first) + design.widthOf(j) * 0.5;
+      if (center <= seedCenter) {
+        const int sp = spacingBetween(j, c);
+        leftQ.push_back({j, x - sp - design.widthOf(j)});
+        break;
+      }
+    }
+    // Immediate right neighbor: leftmost cell with center > seedCenter
+    // (such a cell has x > seedCenter - maxCellWidth/2).
+    for (auto it = rowMap.lower_bound(cand.seed - design.maxCellWidth());
+         it != rowMap.end(); ++it) {
+      const CellId j = it->second;
+      const double center =
+          static_cast<double>(it->first) + design.widthOf(j) * 0.5;
+      if (center > seedCenter) {
+        const int sp = spacingBetween(c, j);
+        rightQ.push_back({j, x + w + sp});
+        break;
+      }
+    }
+  }
+
+  auto& leftShifts = leftShiftScratch_;
+  auto& rightShifts = rightShiftScratch_;
+  leftShifts.clear();
+  rightShifts.clear();
+
+  // Left pushes: bound is the max allowed left edge.
+  for (std::size_t head = 0; head < leftQ.size();) {
+    const PushReq req = leftQ[head++];
+    if (curX(req.cell) <= req.bound) continue;
+    if (!isLocal(req.cell, window)) return false;
+    const auto& cell = design.cells[req.cell];
+    const int hj = design.heightOf(req.cell);
+    const int wj = design.widthOf(req.cell);
+    const Interval range =
+        segments_.slideRange(cell.y, hj, cell.x, wj, cell.fence);
+    if (req.bound < range.lo) return false;
+    newX[req.cell] = req.bound;
+    for (std::int64_t r = cell.y; r < cell.y + hj; ++r) {
+      const auto& rowMap = state_.rowCells(r);
+      auto it = rowMap.find(cell.x);
+      MCLG_ASSERT(it != rowMap.end() && it->second == req.cell,
+                  "occupancy out of sync in commit");
+      if (it == rowMap.begin()) continue;
+      --it;
+      const CellId n = it->second;
+      const int sp = spacingBetween(n, req.cell);
+      leftQ.push_back({n, req.bound - sp - design.widthOf(n)});
+    }
+  }
+  // Right pushes: bound is the min allowed left edge.
+  for (std::size_t head = 0; head < rightQ.size();) {
+    const PushReq req = rightQ[head++];
+    if (curX(req.cell) >= req.bound) continue;
+    if (!isLocal(req.cell, window)) return false;
+    const auto& cell = design.cells[req.cell];
+    const int hj = design.heightOf(req.cell);
+    const int wj = design.widthOf(req.cell);
+    const Interval range =
+        segments_.slideRange(cell.y, hj, cell.x, wj, cell.fence);
+    if (req.bound + wj > range.hi) return false;
+    newX[req.cell] = req.bound;
+    for (std::int64_t r = cell.y; r < cell.y + hj; ++r) {
+      const auto& rowMap = state_.rowCells(r);
+      auto it = rowMap.find(cell.x);
+      MCLG_ASSERT(it != rowMap.end() && it->second == req.cell,
+                  "occupancy out of sync in commit");
+      ++it;
+      if (it == rowMap.end()) continue;
+      const CellId n = it->second;
+      const int sp = spacingBetween(req.cell, n);
+      rightQ.push_back({n, req.bound + wj + sp});
+    }
+  }
+
+  // Split the accepted moves by direction, preserving chain order.
+  for (const auto& [j, nx] : newX) {
+    if (nx < design.cells[j].x) {
+      leftShifts.emplace_back(j, nx);
+    } else if (nx > design.cells[j].x) {
+      rightShifts.emplace_back(j, nx);
+    }
+  }
+  std::sort(leftShifts.begin(), leftShifts.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::sort(rightShifts.begin(), rightShifts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Exactly measured weighted regional delta, and the undo record.
+  const double swf = design.siteWidthFactor;
+  auto weightOf = [&](CellId j) {
+    return config_.contestWeights ? design.metricWeight(j) : 1.0;
+  };
+  const auto& target = design.cells[c];
+  double measured = weightOf(c) *
+                    (swf * std::abs(static_cast<double>(x) - target.gpX) +
+                     std::abs(static_cast<double>(y) - target.gpY));
+  lastCommit_.shifts.clear();
+  auto applyShift = [&](CellId j, std::int64_t nx) {
+    const auto& cell = design.cells[j];
+    const double gp = config_.gpObjective ? cell.gpX
+                                          : static_cast<double>(cell.x);
+    measured += weightOf(j) * swf *
+                (std::abs(static_cast<double>(nx) - gp) -
+                 std::abs(static_cast<double>(cell.x) - gp));
+    lastCommit_.shifts.emplace_back(j, cell.x);
+    state_.shiftX(j, nx);
+  };
+  for (const auto& [j, nx] : leftShifts) applyShift(j, nx);
+  for (const auto& [j, nx] : rightShifts) applyShift(j, nx);
+  state_.place(c, x, y);
+  lastCommit_.measuredCost = measured;
+  return true;
+}
+
+void InsertionSearcher::undoLastCommit(CellId c) {
+  state_.remove(c);
+  // Restore in reverse application order so transient key collisions in the
+  // per-row maps cannot occur.
+  for (auto it = lastCommit_.shifts.rbegin(); it != lastCommit_.shifts.rend();
+       ++it) {
+    state_.shiftX(it->first, it->second);
+  }
+  lastCommit_ = {};
+}
+
+}  // namespace mclg

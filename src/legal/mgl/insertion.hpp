@@ -1,0 +1,144 @@
+// Insertion-point search and commit for one target cell in one window —
+// the inner loop of MGL (paper §3.1, Algorithm 1) and, in current-location
+// mode, of the MLL baseline [12].
+//
+// For every parity-legal, rail-clean bottom row of the window, candidate
+// insertion points are seeded from the gap edges of the cells crossing the
+// target's row span. Each insertion point fixes, per row, which cells stay
+// left and which go right of the target; the cells that can move (the
+// *local* cells, fully inside the window) contribute displacement curves
+// (geometry/disp_curve.hpp) and the sum is minimized over the feasible
+// x-interval. Routability (§3.4) enters as: horizontal-rail conflicts kill
+// whole rows, vertical-rail conflicts shift the x optimum to the nearest
+// clean site, IO-pin overlaps add a cost penalty.
+//
+// Committing re-simulates the pushes exactly (with full multi-row chain
+// propagation) before mutating the placement, so a candidate whose
+// estimated chains interact across rows is safely discarded instead of
+// producing an illegal placement.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "geometry/disp_curve.hpp"
+#include "geometry/rect.hpp"
+
+namespace mclg {
+
+struct InsertionConfig {
+  /// true: displacement measured from GP positions (MGL); false: from the
+  /// cells' current positions (the MLL baseline's objective).
+  bool gpObjective = true;
+  /// true: weight each cell by Eq. 2 (contest metric); false: unit weights
+  /// (total-displacement objective, Table 2 mode).
+  bool contestWeights = true;
+  /// Enable §3.4 routability handling (rails, IO pins).
+  bool routability = true;
+  /// Honor the edge-spacing table between abutting cells. The champion
+  /// proxy baseline disables this (and pays the Table 1 violations).
+  bool respectEdgeSpacing = true;
+  /// Cost penalty per IO-pin violation at the chosen position (row heights).
+  double ioPenalty = 2.0;
+  /// Cap on candidate seeds per row span (nearest to the GP x are kept).
+  int maxSeedsPerRow = 32;
+  /// How many best-cost insertion points to attempt committing before
+  /// giving up on the window. Commits are much cheaper than evaluations, so
+  /// a high cap pays for itself: chains that interact across rows make
+  /// individual commits fail, and falling through to window expansion is
+  /// far more expensive than trying the next candidate.
+  int maxCommitAttempts = 256;
+  /// Only commit candidates with estimated cost strictly below this bound
+  /// (weighted regional displacement delta). The rip-up refinement uses it
+  /// to re-insert a cell only where it is a net win.
+  double costCeiling = std::numeric_limits<double>::infinity();
+};
+
+class InsertionSearcher {
+ public:
+  InsertionSearcher(PlacementState& state, const SegmentMap& segments,
+                    const InsertionConfig& config)
+      : state_(state), segments_(segments), config_(config) {}
+
+  /// Search the window for the cheapest legal insertion of cell c and commit
+  /// it (placing c and shifting local cells). Returns false if no candidate
+  /// in this window could be committed.
+  bool tryInsert(CellId c, const Rect& window);
+
+  /// Diagnostics of the last successful commit: position, the curve
+  /// model's estimated cost, the exactly measured cost (both are weighted
+  /// regional displacement deltas; they agree unless multi-row chains
+  /// interacted), and the applied shifts (enough to undo the commit).
+  struct CommitInfo {
+    std::int64_t x = 0;
+    std::int64_t y = 0;
+    double estimatedCost = 0.0;
+    double measuredCost = 0.0;
+    std::vector<std::pair<CellId, std::int64_t>> shifts;  // (cell, oldX)
+  };
+  const CommitInfo& lastCommit() const { return lastCommit_; }
+
+  /// Revert the last successful commit (remove the target, restore every
+  /// shifted cell). Must be called before any further mutation.
+  void undoLastCommit(CellId c);
+
+ private:
+  struct Candidate {
+    std::int64_t x = 0;  // target left edge
+    std::int64_t y = 0;  // target bottom row
+    double cost = 0.0;
+    std::int64_t seed = 0;  // partition seed (for the commit re-derivation)
+  };
+
+  /// Evaluate all insertion points with bottom row y; append candidates.
+  void evaluateRow(CellId c, const Rect& window, std::int64_t y,
+                   std::vector<Candidate>& out) const;
+
+  /// Evaluate the single insertion point defined by `seed` on row span
+  /// [y, y+h). Returns false if infeasible.
+  bool evaluateSeed(CellId c, const Rect& window, std::int64_t y,
+                    std::int64_t seed, Candidate& out) const;
+
+  /// Exact push simulation + mutation. Returns false (placement untouched)
+  /// if some required push hits a non-local cell or a segment boundary.
+  bool commit(CellId c, const Candidate& cand, const Rect& window);
+
+  bool isLocal(CellId c, const Rect& window) const;
+
+  int edgeSpacing(int rightEdgeClass, int leftEdgeClass) const;
+  int spacingBetween(CellId left, CellId right) const;
+
+  PlacementState& state_;
+  const SegmentMap& segments_;
+  InsertionConfig config_;
+  CommitInfo lastCommit_;
+
+  // Reused scratch buffers — the search runs millions of evaluations and
+  // commit attempts, and per-call container construction dominated the
+  // profile. A searcher is therefore NOT thread-safe; the scheduler uses
+  // one searcher per task.
+  struct ChainEntry {
+    CellId cell = kInvalidCell;
+    std::int64_t off = 0;
+    bool left = false;
+  };
+  struct PushReq {
+    CellId cell;
+    std::int64_t bound;
+  };
+  mutable std::vector<ChainEntry> entryScratch_;
+  mutable std::unordered_map<CellId, std::size_t> entryIndexScratch_;
+  mutable CurveSum sumScratch_;
+  mutable std::vector<std::int64_t> seedScratch_;
+  std::vector<Candidate> candidateScratch_;
+  std::unordered_map<CellId, std::int64_t> newXScratch_;
+  std::vector<PushReq> queueScratch_;
+  std::vector<std::pair<CellId, std::int64_t>> leftShiftScratch_;
+  std::vector<std::pair<CellId, std::int64_t>> rightShiftScratch_;
+};
+
+}  // namespace mclg

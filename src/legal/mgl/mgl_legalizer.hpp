@@ -1,0 +1,64 @@
+// MGL — multi-row global legalization (paper §3.1, Algorithm 1, §3.5).
+//
+// Cells are legalized sequentially (tallest/widest first so the hard cells
+// get first pick of the space); each cell is inserted into a window around
+// its GP position, the window expanding geometrically on failure. With
+// numThreads > 1, a deterministic scheduler processes batches of cells
+// whose windows occupy disjoint row ranges in parallel (§3.5).
+//
+// The same engine runs the MLL baseline [12]: set
+// config.insertion.gpObjective = false so displacement is measured from the
+// cells' current positions instead of their GP positions.
+#pragma once
+
+#include <vector>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "legal/mgl/insertion.hpp"
+#include "legal/mgl/window.hpp"
+
+namespace mclg {
+
+struct MglConfig {
+  WindowParams window;
+  InsertionConfig insertion;
+  int numThreads = 1;
+  /// Max windows per parallel batch (0 = 2 * numThreads).
+  int batchCap = 0;
+};
+
+struct MglStats {
+  int placed = 0;
+  int fallbackPlaced = 0;  // needed the routability-relaxed full-core pass
+  int failed = 0;          // could not be placed at all
+  long long windowExpansions = 0;
+};
+
+class MglLegalizer {
+ public:
+  MglLegalizer(PlacementState& state, const SegmentMap& segments,
+               const MglConfig& config)
+      : state_(state), segments_(segments), config_(config) {}
+
+  /// Legalize every unplaced movable cell. Returns per-run statistics;
+  /// stats.failed == 0 means a fully legal placement (modulo soft
+  /// routability constraints, which are optimized, not guaranteed).
+  MglStats run();
+
+  /// Processing order used by run(): taller, then wider, then leftmost GP.
+  std::vector<CellId> orderCells() const;
+
+ private:
+  friend class MglScheduler;
+
+  /// Full-core, routability-relaxed last resort for a cell no window could
+  /// take. Returns false only when the design genuinely has no room.
+  bool placeFallback(CellId c);
+
+  PlacementState& state_;
+  const SegmentMap& segments_;
+  MglConfig config_;
+};
+
+}  // namespace mclg

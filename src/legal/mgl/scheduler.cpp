@@ -1,0 +1,99 @@
+#include "legal/mgl/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/thread_pool.hpp"
+
+namespace mclg {
+
+MglStats MglScheduler::run() {
+  auto& state = legalizer_.state_;
+  auto& design = state.design();
+  const auto& config = legalizer_.config_;
+
+  struct Pending {
+    CellId cell;
+    int level = 0;
+  };
+  std::deque<Pending> queue;
+  for (const CellId c : legalizer_.orderCells()) queue.push_back({c, 0});
+
+  MglStats stats;
+  ThreadPool pool(numThreads_);
+
+  std::vector<Pending> batch;
+  std::vector<Rect> windows;
+  std::vector<char> success;
+  while (!queue.empty()) {
+    // Assemble a batch of row-disjoint windows, preserving queue order.
+    batch.clear();
+    windows.clear();
+    std::vector<Pending> skipped;
+    while (!queue.empty() && static_cast<int>(batch.size()) < batchCap_) {
+      const Pending p = queue.front();
+      queue.pop_front();
+      const auto& cell = design.cells[p.cell];
+      const Rect window =
+          makeWindow(design, cell.gpX, cell.gpY, design.typeOf(p.cell),
+                     config.window, p.level);
+      bool disjoint = true;
+      for (const auto& other : windows) {
+        if (window.ySpan().overlaps(other.ySpan())) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) {
+        batch.push_back(p);
+        windows.push_back(window);
+      } else {
+        skipped.push_back(p);
+      }
+    }
+    // Skipped cells go back to the *front*, keeping global order stable.
+    for (auto it = skipped.rbegin(); it != skipped.rend(); ++it) {
+      queue.push_front(*it);
+    }
+
+    if (batch.empty()) break;  // defensive; cannot happen with batchCap >= 1
+
+    // Process the batch in parallel; windows are row-disjoint so commits
+    // cannot touch the same occupancy maps.
+    success.assign(batch.size(), 0);
+    pool.parallelForBatch(
+        static_cast<int>(batch.size()), [&](int i) {
+          InsertionSearcher searcher(state, legalizer_.segments_,
+                                     config.insertion);
+          success[static_cast<std::size_t>(i)] =
+              searcher.tryInsert(batch[static_cast<std::size_t>(i)].cell,
+                                 windows[static_cast<std::size_t>(i)])
+                  ? 1
+                  : 0;
+        });
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (success[i] != 0) {
+        ++stats.placed;
+        continue;
+      }
+      ++stats.windowExpansions;
+      Pending p = batch[i];
+      ++p.level;
+      const Rect fullCore{0, 0, design.numSitesX, design.numRows};
+      if (p.level <= config.window.maxExpansions &&
+          windows[i] != fullCore) {
+        // Expanded windows wait at the back (the paper's L_w list).
+        queue.push_back(p);
+      } else if (legalizer_.placeFallback(p.cell)) {
+        ++stats.placed;
+        ++stats.fallbackPlaced;
+      } else {
+        ++stats.failed;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace mclg

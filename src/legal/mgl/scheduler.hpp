@@ -1,0 +1,33 @@
+// Deterministic multi-threaded window scheduler for MGL (paper §3.5).
+//
+// The scheduler walks the global cell order, assembling batches of pending
+// cells whose current windows occupy pairwise-disjoint row ranges; each
+// batch runs in parallel and is followed by a barrier. Row-disjointness is
+// slightly stronger than the paper's window-disjointness, and is what makes
+// concurrent commits safe with the shared per-row occupancy maps. Failed
+// cells get their windows expanded and re-enter the queue, mirroring the
+// paper's waiting list L_w. Results are independent of the thread count
+// because batch composition depends only on the (deterministic) queue
+// state, and windows in a batch commute.
+#pragma once
+
+#include "legal/mgl/mgl_legalizer.hpp"
+
+namespace mclg {
+
+class MglScheduler {
+ public:
+  MglScheduler(MglLegalizer& legalizer, int numThreads, int batchCap)
+      : legalizer_(legalizer),
+        numThreads_(numThreads),
+        batchCap_(batchCap > 0 ? batchCap : 2 * numThreads) {}
+
+  MglStats run();
+
+ private:
+  MglLegalizer& legalizer_;
+  int numThreads_;
+  int batchCap_;
+};
+
+}  // namespace mclg

@@ -1,0 +1,30 @@
+#include "legal/mgl/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mclg {
+
+Rect makeWindow(const Design& design, double gpX, double gpY,
+                const CellType& type, const WindowParams& params, int level) {
+  if (level >= params.maxExpansions) {
+    return {0, 0, design.numSitesX, design.numRows};
+  }
+  const double factor = std::pow(params.expandFactor, level);
+  const std::int64_t halfW = std::max<std::int64_t>(
+      type.width + 1,
+      static_cast<std::int64_t>(std::lround(params.initialW * factor / 2)));
+  const std::int64_t halfH = std::max<std::int64_t>(
+      type.height + 1,
+      static_cast<std::int64_t>(std::lround(params.initialH * factor / 2)));
+  const auto cx = static_cast<std::int64_t>(std::lround(gpX));
+  const auto cy = static_cast<std::int64_t>(std::lround(gpY));
+  Rect window{cx - halfW, cy - halfH, cx + halfW, cy + halfH};
+  window.xlo = std::max<std::int64_t>(0, window.xlo);
+  window.ylo = std::max<std::int64_t>(0, window.ylo);
+  window.xhi = std::min(design.numSitesX, window.xhi);
+  window.yhi = std::min(design.numRows, window.yhi);
+  return window;
+}
+
+}  // namespace mclg

@@ -1,0 +1,29 @@
+// Search windows for MGL (paper §3.1): a rectangle around the target
+// cell's GP position, expanded geometrically when insertion fails.
+#pragma once
+
+#include <cstdint>
+
+#include "db/design.hpp"
+#include "geometry/rect.hpp"
+
+namespace mclg {
+
+struct WindowParams {
+  int initialW = 24;        // sites
+  int initialH = 8;         // rows
+  double expandFactor = 1.7;
+  /// Give up on window growth after this many expansions and hand the cell
+  /// to the (cheap, gap-first) fallback. Quality saturates around 6 on the
+  /// suite designs while each further level roughly doubles the cost of
+  /// every hard cell — see bench_ablation_window.
+  int maxExpansions = 6;
+};
+
+/// Window centered on (gpX, gpY), clipped to the core, after `level`
+/// geometric expansions. Always large enough to hold a cell of the given
+/// type. At maxExpansions the window covers the whole core.
+Rect makeWindow(const Design& design, double gpX, double gpY,
+                const CellType& type, const WindowParams& params, int level);
+
+}  // namespace mclg

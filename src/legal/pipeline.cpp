@@ -1,0 +1,72 @@
+#include "legal/pipeline.hpp"
+
+#include "util/timer.hpp"
+
+namespace mclg {
+
+PipelineConfig PipelineConfig::contest() {
+  PipelineConfig config;
+  config.mgl.insertion.gpObjective = true;
+  config.mgl.insertion.contestWeights = true;
+  config.mgl.insertion.routability = true;
+  config.fixedRowOrder.contestWeights = true;
+  config.fixedRowOrder.routability = true;
+  config.fixedRowOrder.maxDispWeight = 4.0;
+  return config;
+}
+
+PipelineConfig PipelineConfig::totalDisplacement() {
+  PipelineConfig config;
+  config.mgl.insertion.gpObjective = true;
+  config.mgl.insertion.contestWeights = false;
+  config.mgl.insertion.routability = false;
+  // In the linear region φ(δ) = δ, the §3.2 matching minimizes the *total*
+  // displacement over same-type permutations — exactly the Table 2 metric —
+  // so run it with an effectively infinite threshold.
+  config.runMaxDisp = true;
+  config.maxDisp.delta0 = 1e9;
+  // Without routability, any equal-footprint cells can exchange positions,
+  // not just same-type ones.
+  config.maxDisp.groupByFootprint = true;
+  config.fixedRowOrder.contestWeights = false;
+  config.fixedRowOrder.routability = false;
+  config.fixedRowOrder.maxDispWeight = 0.0;
+  return config;
+}
+
+PipelineStats legalize(PlacementState& state, const SegmentMap& segments,
+                       const PipelineConfig& config) {
+  PipelineStats stats;
+  {
+    Timer timer;
+    MglLegalizer mgl(state, segments, config.mgl);
+    stats.mgl = mgl.run();
+    stats.secondsMgl = timer.seconds();
+  }
+  if (config.runMaxDisp) {
+    Timer timer;
+    stats.maxDisp = optimizeMaxDisplacement(state, config.maxDisp);
+    stats.secondsMaxDisp = timer.seconds();
+  }
+  if (config.runFixedRowOrder) {
+    Timer timer;
+    stats.fixedRowOrder =
+        optimizeFixedRowOrder(state, segments, config.fixedRowOrder);
+    stats.secondsFixedRowOrder = timer.seconds();
+  }
+  if (config.runRipup) {
+    Timer timer;
+    RipupConfig ripup = config.ripup;
+    ripup.insertion = config.mgl.insertion;  // same objective/constraints
+    stats.ripup = ripupRefine(state, segments, ripup);
+    stats.secondsRipup = timer.seconds();
+  }
+  if (config.runWirelengthRecovery) {
+    Timer timer;
+    stats.recovery = recoverWirelength(state, segments, config.recovery);
+    stats.secondsRecovery = timer.seconds();
+  }
+  return stats;
+}
+
+}  // namespace mclg

@@ -1,0 +1,61 @@
+// The full legalization flow of the paper (Fig. 2):
+//
+//   GP solution -> MGL (§3.1) -> max-displacement matching (§3.2)
+//               -> fixed-row-&-order MCF (§3.3) -> legal placement
+//
+// with routability handled inside MGL and via feasible ranges (§3.4).
+// This is the library's primary entry point.
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "legal/maxdisp/matching_opt.hpp"
+#include "legal/mcfopt/fixed_row_order.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "legal/refine/ripup_refine.hpp"
+#include "legal/refine/wirelength_recovery.hpp"
+
+namespace mclg {
+
+struct PipelineConfig {
+  MglConfig mgl;
+  MaxDispConfig maxDisp;
+  FixedRowOrderConfig fixedRowOrder;
+  RipupConfig ripup;
+  WirelengthRecoveryConfig recovery;
+  bool runMaxDisp = true;        // stage 2 toggle (Table 3 ablation)
+  bool runFixedRowOrder = true;  // stage 3 toggle (Table 3 ablation)
+  // Extension stages beyond the paper's flow, off by default.
+  bool runRipup = false;             // rip-up & re-insert (stage 4)
+  bool runWirelengthRecovery = false;  // budgeted HPWL recovery (stage 5)
+
+  /// Contest setup (Table 1): Eq. 2 weights, routability on.
+  static PipelineConfig contest();
+  /// Total-displacement setup (Table 2): unit weights, fences present but
+  /// routability constraints ignored, no max-displacement weighting.
+  static PipelineConfig totalDisplacement();
+};
+
+struct PipelineStats {
+  MglStats mgl;
+  MaxDispStats maxDisp;
+  FixedRowOrderStats fixedRowOrder;
+  RipupStats ripup;
+  WirelengthRecoveryStats recovery;
+  double secondsMgl = 0.0;
+  double secondsMaxDisp = 0.0;
+  double secondsFixedRowOrder = 0.0;
+  double secondsRipup = 0.0;
+  double secondsRecovery = 0.0;
+
+  double secondsTotal() const {
+    return secondsMgl + secondsMaxDisp + secondsFixedRowOrder + secondsRipup +
+           secondsRecovery;
+  }
+};
+
+/// Legalize all unplaced movable cells of the design behind `state`.
+PipelineStats legalize(PlacementState& state, const SegmentMap& segments,
+                       const PipelineConfig& config);
+
+}  // namespace mclg

@@ -1,0 +1,47 @@
+#include "legal/refine/feasible_range.hpp"
+
+#include <algorithm>
+
+#include "eval/checkers.hpp"
+#include "util/assert.hpp"
+
+namespace mclg {
+
+Interval feasibleRange(const Design& design, const SegmentMap& segments,
+                       CellId c, bool routability) {
+  const auto& cell = design.cells[c];
+  MCLG_ASSERT(cell.placed && !cell.fixed, "feasibleRange needs a placed cell");
+  const int h = design.heightOf(c);
+  const int w = design.widthOf(c);
+  const Interval seg =
+      segments.slideRange(cell.y, h, cell.x, w, cell.fence);
+  // Left-edge bounds from the segment (inclusive hi).
+  std::int64_t lo = seg.lo;
+  std::int64_t hi = seg.hi - w;
+  if (hi < lo) return {cell.x, cell.x + 1};  // degenerate; stay put
+
+  if (routability) {
+    // §3.4: the movement range is the largest interval around the current x
+    // that is clean of vertical-rail *and* IO-pin conflicts.
+    for (const auto& forbidden :
+         {verticalRailForbiddenX(design, cell.type, cell.y),
+          ioPinForbiddenX(design, cell.type, cell.y)}) {
+      for (const auto& iv : forbidden) {
+        if (iv.hi <= cell.x) {
+          lo = std::max(lo, iv.hi);
+        } else if (iv.lo > cell.x) {
+          hi = std::min(hi, iv.lo - 1);
+          break;  // intervals are sorted
+        } else {
+          // Current position already conflicts; freeze the cell.
+          return {cell.x, cell.x + 1};
+        }
+      }
+    }
+  }
+  lo = std::min(lo, cell.x);
+  hi = std::max(hi, cell.x);
+  return {lo, hi + 1};  // half-open like the rest of the library
+}
+
+}  // namespace mclg

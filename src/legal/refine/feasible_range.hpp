@@ -1,0 +1,25 @@
+// Feasible x-ranges for cells under routability constraints (paper §3.4).
+//
+// During the fixed-row-&-order optimization, each cell may only slide
+// within the intersection of (a) its row segment (fence + blockages) and
+// (b) the largest vertical-rail-clean interval around its current x, so the
+// optimization cannot introduce new pin shorts or pin access violations.
+// The paper encodes this by making every cell left- and right-bounded
+// (C_L = C_R = C).
+#pragma once
+
+#include "db/design.hpp"
+#include "db/segment_map.hpp"
+#include "geometry/interval.hpp"
+
+namespace mclg {
+
+/// Allowed left-edge interval [lo, hi] (inclusive on both ends) for cell c
+/// at its current rows. `routability` false limits only to the segment.
+/// Returns an interval containing the current x (the placement is assumed
+/// legal; if the cell currently sits on a rail conflict, the range degrades
+/// to the single current position rather than legalizing the conflict).
+Interval feasibleRange(const Design& design, const SegmentMap& segments,
+                       CellId c, bool routability);
+
+}  // namespace mclg

@@ -1,0 +1,44 @@
+// Rip-up & re-insert refinement (an extension beyond the paper's three
+// stages).
+//
+// MGL's sequential nature means early cells never see later arrivals; the
+// §3.2 matching fixes some of that within same-type groups, but a cell can
+// still be stranded far from its GP next to space that opened up later.
+// This pass takes the most-displaced cells, removes each one, and runs the
+// window insertion again with a cost ceiling equal to the displacement the
+// removal freed — the cell is re-committed only where the *regional*
+// weighted displacement strictly improves, otherwise it goes back to its
+// old spot. Legality is preserved unconditionally.
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "legal/mgl/insertion.hpp"
+
+namespace mclg {
+
+struct RipupConfig {
+  /// Only rip up cells displaced more than this (row heights).
+  double displacementThreshold = 5.0;
+  /// Cap on ripped-up cells per pass (most displaced first; 0 = all).
+  int maxCellsPerPass = 0;
+  int passes = 2;
+  /// Minimum improvement (weighted cost) to accept a move.
+  double minGain = 1e-9;
+  /// Search window half-extents around the GP (sites × rows).
+  int windowW = 64;
+  int windowH = 24;
+  InsertionConfig insertion;  // objective/routability flags
+};
+
+struct RipupStats {
+  int attempted = 0;
+  int improved = 0;
+  /// Total weighted displacement removed (same units as the MGL objective).
+  double gain = 0.0;
+};
+
+RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
+                       const RipupConfig& config);
+
+}  // namespace mclg

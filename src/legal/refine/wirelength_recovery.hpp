@@ -1,0 +1,42 @@
+// Optional HPWL recovery pass (x-only, rows and order fixed).
+//
+// The paper argues (§1, discussing MrDP) that optimizing HPWL during
+// legalization "may disturb some other metrics optimized in GP", and
+// therefore keeps displacement as its objective. This module makes that
+// trade-off measurable: after the displacement-driven pipeline, each cell
+// may slide within its neighbor gap (and §3.4 feasible range) toward its
+// nets' optimal region — the classic detailed-placement median move —
+// subject to a per-cell displacement budget. bench_ablation_hpwl sweeps the
+// budget and reproduces the trade-off curve.
+#pragma once
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+
+namespace mclg {
+
+struct WirelengthRecoveryConfig {
+  /// Number of sweeps over all cells.
+  int passes = 2;
+  /// Per-cell cap on *added* displacement, in row heights (0 = unlimited
+  /// within the gap).
+  double maxAddedDisplacement = 2.0;
+  /// Respect §3.4 pin-clean ranges while sliding.
+  bool routability = true;
+};
+
+struct WirelengthRecoveryStats {
+  int cellsMoved = 0;
+  double hpwlBefore = 0.0;
+  double hpwlAfter = 0.0;
+  double avgDispBefore = 0.0;  // Eq. 2 average
+  double avgDispAfter = 0.0;
+};
+
+/// Run the recovery on a legal placement. Never degrades legality; HPWL is
+/// non-increasing (moves are only taken when they strictly help).
+WirelengthRecoveryStats recoverWirelength(
+    PlacementState& state, const SegmentMap& segments,
+    const WirelengthRecoveryConfig& config);
+
+}  // namespace mclg

@@ -1,0 +1,340 @@
+#include "parsers/bookshelf.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace mclg {
+namespace {
+
+bool setError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// Strip comments (#) and skip the "UCLA <kind> 1.0" header line.
+std::vector<std::string> contentLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    line = line.substr(begin, line.find_last_not_of(" \t\r") - begin + 1);
+    if (first && line.rfind("UCLA", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+BookshelfBundle writeBookshelf(const Design& design) {
+  BookshelfBundle bundle;
+  // .nodes — dimensions in Bookshelf units: 1 unit = 1 site horizontally;
+  // a row is siteWidthFactor... keep x and y in *site units*, with row
+  // height = 1/siteWidthFactor sites so geometry stays isotropic.
+  const double rowUnits = 1.0 / design.siteWidthFactor;
+  int terminals = 0;
+  for (const auto& cell : design.cells) {
+    if (cell.fixed) ++terminals;
+  }
+  {
+    std::ostringstream out;
+    out << "UCLA nodes 1.0\n";
+    out << "NumNodes : " << design.numCells() << "\n";
+    out << "NumTerminals : " << terminals << "\n";
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      const auto& type = design.typeOf(c);
+      out << "o" << c << " " << type.width << " "
+          << type.height * rowUnits;
+      if (design.cells[c].fixed) out << " terminal";
+      out << "\n";
+    }
+    bundle.nodes = out.str();
+  }
+  {
+    std::ostringstream out;
+    out << "UCLA nets 1.0\n";
+    std::size_t numPins = 0;
+    for (const auto& net : design.nets) numPins += net.conns.size();
+    out << "NumNets : " << design.nets.size() << "\n";
+    out << "NumPins : " << numPins << "\n";
+    out.precision(4);
+    out << std::fixed;
+    for (std::size_t n = 0; n < design.nets.size(); ++n) {
+      const auto& net = design.nets[n];
+      out << "NetDegree : " << net.conns.size() << " n" << n << "\n";
+      for (const auto& conn : net.conns) {
+        const auto& type = design.typeOf(conn.cell);
+        const auto& pin = type.pins[static_cast<std::size_t>(conn.pin)];
+        // Bookshelf offsets are from the node center.
+        const double ox =
+            static_cast<double>(pin.rect.xlo + pin.rect.xhi) /
+                (2.0 * Design::kFine) -
+            type.width / 2.0;
+        const double oy = (static_cast<double>(pin.rect.ylo + pin.rect.yhi) /
+                               (2.0 * Design::kFine) -
+                           type.height / 2.0) *
+                          rowUnits;
+        out << "\to" << conn.cell << " B : " << ox << " " << oy << "\n";
+      }
+    }
+    bundle.nets = out.str();
+  }
+  {
+    std::ostringstream out;
+    out << "UCLA pl 1.0\n";
+    out.precision(6);
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      const auto& cell = design.cells[c];
+      const double px = cell.fixed ? static_cast<double>(cell.x) : cell.gpX;
+      const double py =
+          (cell.fixed ? static_cast<double>(cell.y) : cell.gpY) * rowUnits;
+      out << "o" << c << " " << px << " " << py << " : N";
+      if (cell.fixed) out << " /FIXED";
+      out << "\n";
+    }
+    bundle.pl = out.str();
+  }
+  {
+    std::ostringstream out;
+    out << "UCLA scl 1.0\n";
+    out << "NumRows : " << design.numRows << "\n";
+    for (std::int64_t r = 0; r < design.numRows; ++r) {
+      out << "CoreRow Horizontal\n";
+      out << "  Coordinate : " << static_cast<double>(r) * rowUnits << "\n";
+      out << "  Height : " << rowUnits << "\n";
+      out << "  Sitewidth : 1\n";
+      out << "  Sitespacing : 1\n";
+      out << "  Siteorient : N\n";
+      out << "  Sitesymmetry : Y\n";
+      out << "  SubrowOrigin : 0 NumSites : " << design.numSitesX << "\n";
+      out << "End\n";
+    }
+    bundle.scl = out.str();
+  }
+  return bundle;
+}
+
+std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
+                                    std::string* error) {
+  Design design;
+  design.name = "bookshelf";
+
+  // --- .scl: uniform row geometry.
+  double rowHeight = 0.0, siteWidth = 1.0, maxRowEnd = 0.0;
+  double minCoord = 0.0;
+  int numRows = 0;
+  {
+    for (const auto& line : contentLines(bundle.scl)) {
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key;
+      if (key == "Height") {
+        std::string colon;
+        double v;
+        if (ls >> colon >> v) {
+          if (rowHeight != 0.0 && std::abs(v - rowHeight) > 1e-9) {
+            setError(error, "non-uniform row heights are not supported");
+            return std::nullopt;
+          }
+          rowHeight = v;
+        }
+      } else if (key == "Sitewidth") {
+        std::string colon;
+        ls >> colon >> siteWidth;
+      } else if (key == "Coordinate") {
+        std::string colon;
+        double v;
+        if (ls >> colon >> v) minCoord = std::min(minCoord, v);
+      } else if (key == "SubrowOrigin") {
+        std::string colon, numSitesKey, colon2;
+        double origin = 0, sites = 0;
+        if (ls >> colon >> origin >> numSitesKey >> colon2 >> sites) {
+          maxRowEnd = std::max(maxRowEnd, origin + sites * siteWidth);
+        }
+      } else if (key == "CoreRow") {
+        ++numRows;
+      }
+    }
+    if (numRows == 0 || rowHeight <= 0.0 || siteWidth <= 0.0) {
+      setError(error, "missing or malformed .scl");
+      return std::nullopt;
+    }
+  }
+  design.numRows = numRows;
+  design.numSitesX =
+      static_cast<std::int64_t>(std::llround(maxRowEnd / siteWidth));
+  design.siteWidthFactor = siteWidth / rowHeight;
+
+  // --- .nodes: footprints (deduped into types).
+  std::unordered_map<std::string, CellId> cellByName;
+  std::map<std::pair<int, int>, TypeId> typeBySize;
+  for (const auto& line : contentLines(bundle.nodes)) {
+    std::istringstream ls(line);
+    std::string name;
+    double w = 0, h = 0;
+    if (!(ls >> name)) continue;
+    if (name == "NumNodes" || name == "NumTerminals") continue;
+    if (!(ls >> w >> h)) {
+      setError(error, "bad .nodes line: " + line);
+      return std::nullopt;
+    }
+    std::string flag;
+    ls >> flag;
+    const int widthSites =
+        std::max(1, static_cast<int>(std::llround(w / siteWidth)));
+    const int heightRows =
+        std::max(1, static_cast<int>(std::llround(h / rowHeight)));
+    auto [it, inserted] =
+        typeBySize.try_emplace({widthSites, heightRows}, design.numTypes());
+    if (inserted) {
+      CellType type;
+      type.name = "BK" + std::to_string(widthSites) + "x" +
+                  std::to_string(heightRows);
+      type.width = widthSites;
+      type.height = heightRows;
+      type.parity = heightRows % 2 == 0 ? 0 : -1;
+      // One center point pin so nets have geometry.
+      type.pins.push_back(
+          {1,
+           {widthSites * Design::kFine / 2, heightRows * Design::kFine / 2,
+            widthSites * Design::kFine / 2 + 1,
+            heightRows * Design::kFine / 2 + 1}});
+      design.types.push_back(std::move(type));
+    }
+    Cell cell;
+    cell.type = it->second;
+    cell.fixed = flag == "terminal";
+    cellByName[name] = design.numCells();
+    design.cells.push_back(cell);
+  }
+
+  // --- .pl: positions.
+  for (const auto& line : contentLines(bundle.pl)) {
+    std::istringstream ls(line);
+    std::string name;
+    double px = 0, py = 0;
+    if (!(ls >> name >> px >> py)) continue;
+    const auto it = cellByName.find(name);
+    if (it == cellByName.end()) {
+      setError(error, ".pl references unknown node " + name);
+      return std::nullopt;
+    }
+    auto& cell = design.cells[it->second];
+    cell.gpX = px / siteWidth;
+    cell.gpY = (py - minCoord) / rowHeight;
+    if (cell.fixed || line.find("/FIXED") != std::string::npos) {
+      cell.fixed = true;
+      cell.placed = true;
+      cell.x = static_cast<std::int64_t>(std::llround(cell.gpX));
+      cell.y = static_cast<std::int64_t>(std::llround(cell.gpY));
+    }
+  }
+
+  // --- .nets.
+  {
+    Net current;
+    int remaining = 0;
+    for (const auto& line : contentLines(bundle.nets)) {
+      std::istringstream ls(line);
+      std::string first;
+      ls >> first;
+      if (first == "NumNets" || first == "NumPins") continue;
+      if (first == "NetDegree") {
+        if (current.conns.size() >= 2) design.nets.push_back(current);
+        current = Net{};
+        std::string colon;
+        ls >> colon >> remaining;
+        continue;
+      }
+      const auto it = cellByName.find(first);
+      if (it == cellByName.end()) continue;  // pad/pin connections skipped
+      current.conns.push_back({it->second, 0});
+    }
+    if (current.conns.size() >= 2) design.nets.push_back(current);
+  }
+
+  design.validate();
+  return design;
+}
+
+bool saveBookshelf(const Design& design, const std::string& basePath) {
+  const BookshelfBundle bundle = writeBookshelf(design);
+  const std::string base =
+      basePath.size() > 4 && basePath.substr(basePath.size() - 4) == ".aux"
+          ? basePath.substr(0, basePath.size() - 4)
+          : basePath;
+  {
+    std::ofstream aux(base + ".aux");
+    if (!aux) return false;
+    const auto slash = base.find_last_of('/');
+    const std::string stem =
+        slash == std::string::npos ? base : base.substr(slash + 1);
+    aux << "RowBasedPlacement : " << stem << ".nodes " << stem << ".nets "
+        << stem << ".pl " << stem << ".scl\n";
+  }
+  const std::pair<const char*, const std::string*> files[] = {
+      {".nodes", &bundle.nodes},
+      {".nets", &bundle.nets},
+      {".pl", &bundle.pl},
+      {".scl", &bundle.scl},
+  };
+  for (const auto& [ext, content] : files) {
+    std::ofstream out(base + ext);
+    if (!out) return false;
+    out << *content;
+  }
+  return true;
+}
+
+std::optional<Design> loadBookshelf(const std::string& auxPath,
+                                    std::string* error) {
+  std::ifstream aux(auxPath);
+  if (!aux) {
+    setError(error, "cannot open " + auxPath);
+    return std::nullopt;
+  }
+  std::string line;
+  std::getline(aux, line);
+  std::istringstream ls(line);
+  std::string tag, colon;
+  ls >> tag >> colon;
+  const auto slash = auxPath.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "" : auxPath.substr(0, slash + 1);
+  BookshelfBundle bundle;
+  std::string fileName;
+  while (ls >> fileName) {
+    std::ifstream in(dir + fileName);
+    if (!in) {
+      setError(error, "cannot open " + dir + fileName);
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (fileName.find(".nodes") != std::string::npos) {
+      bundle.nodes = buffer.str();
+    } else if (fileName.find(".nets") != std::string::npos) {
+      bundle.nets = buffer.str();
+    } else if (fileName.find(".pl") != std::string::npos) {
+      bundle.pl = buffer.str();
+    } else if (fileName.find(".scl") != std::string::npos) {
+      bundle.scl = buffer.str();
+    }
+  }
+  return readBookshelf(bundle, error);
+}
+
+}  // namespace mclg

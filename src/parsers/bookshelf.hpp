@@ -1,0 +1,46 @@
+// Bookshelf reader/writer (UCLA .aux/.nodes/.nets/.pl/.scl) — the classic
+// academic placement interchange used by the ISPD placement-contest
+// lineage and by the original Abacus paper's benchmarks.
+//
+// Mapping to/from our Design:
+//  - every distinct (width, height) node footprint becomes a cell type
+//    ("BK<w>x<h>"); heights must be whole row multiples;
+//  - terminals become fixed cells; movable nodes' .pl coordinates are the
+//    GP input;
+//  - net pin offsets are carried as point pin shapes (one per connection
+//    footprint) so HPWL is comparable;
+//  - row geometry comes from .scl (uniform height and site width required).
+//
+// Fences, rails and edge-spacing rules have no Bookshelf encoding and are
+// dropped on write / default-initialized on read (documented limitation:
+// Bookshelf predates those constraints).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "db/design.hpp"
+
+namespace mclg {
+
+/// The five Bookshelf files as in-memory strings (keyed as in the .aux).
+struct BookshelfBundle {
+  std::string nodes;
+  std::string nets;
+  std::string pl;
+  std::string scl;
+};
+
+/// Serialize a design.
+BookshelfBundle writeBookshelf(const Design& design);
+
+/// Parse a bundle; nullopt + *error on malformed input.
+std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
+                                    std::string* error = nullptr);
+
+/// File helpers: `base.aux` plus the four sibling files.
+bool saveBookshelf(const Design& design, const std::string& basePath);
+std::optional<Design> loadBookshelf(const std::string& auxPath,
+                                    std::string* error = nullptr);
+
+}  // namespace mclg

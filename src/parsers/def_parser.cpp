@@ -1,0 +1,381 @@
+#include "parsers/def_parser.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "parsers/token_stream.hpp"
+
+namespace mclg {
+namespace {
+
+using parse::layerNumber;
+using parse::TokenStream;
+using parse::tokenize;
+
+struct DefError {
+  std::string* error;
+  bool set(const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  }
+};
+
+/// Parse "( x y )" into the two numbers.
+bool parsePoint(TokenStream& ts, double* x, double* y) {
+  return ts.accept("(") && ts.number(x) && ts.number(y) && ts.accept(")");
+}
+
+}  // namespace
+
+std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
+                              std::string* error) {
+  TokenStream ts(tokenize(text));
+  DefError err{error};
+  Design design;
+  design.siteWidthFactor = lib.siteWidthFactor();
+  design.types = lib.types;
+  design.numEdgeClasses = lib.numEdgeClasses;
+  design.edgeSpacingTable = lib.edgeSpacingTable;
+  // Guard against libraries whose macros reference edge classes the
+  // (optional) properties did not declare.
+  for (const auto& type : design.types) {
+    design.numEdgeClasses = std::max(
+        {design.numEdgeClasses, type.leftEdge + 1, type.rightEdge + 1});
+  }
+  if (static_cast<int>(design.edgeSpacingTable.size()) !=
+      design.numEdgeClasses * design.numEdgeClasses) {
+    design.edgeSpacingTable.assign(
+        static_cast<std::size_t>(design.numEdgeClasses) *
+            design.numEdgeClasses,
+        0);
+  }
+
+  double dbu = 2000.0;
+  const double siteW = lib.siteWidthMicron;
+  const double rowH = lib.rowHeightMicron;
+  auto xToSites = [&](double v) { return v / (siteW * dbu); };
+  auto yToRows = [&](double v) { return v / (rowH * dbu); };
+  auto xToFine = [&](double v) {
+    return static_cast<std::int64_t>(std::llround(xToSites(v) * Design::kFine));
+  };
+  auto yToFine = [&](double v) {
+    return static_cast<std::int64_t>(std::llround(yToRows(v) * Design::kFine));
+  };
+
+  std::unordered_map<std::string, CellId> cellByName;
+  std::unordered_map<std::string, FenceId> fenceByName;
+
+  while (!ts.done()) {
+    const std::string tok = ts.next();
+    if (tok == "VERSION" || tok == "DIVIDERCHAR" || tok == "BUSBITCHARS") {
+      ts.skipStatement();
+    } else if (tok == "DESIGN") {
+      design.name = ts.next();
+      ts.skipStatement();
+    } else if (tok == "UNITS") {
+      if (!ts.accept("DISTANCE") || !ts.accept("MICRONS") || !ts.number(&dbu)) {
+        err.set("bad UNITS");
+        return std::nullopt;
+      }
+      ts.skipStatement();
+    } else if (tok == "DIEAREA") {
+      double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+      if (!parsePoint(ts, &x1, &y1) || !parsePoint(ts, &x2, &y2)) {
+        err.set("bad DIEAREA");
+        return std::nullopt;
+      }
+      ts.skipStatement();
+      design.numSitesX =
+          static_cast<std::int64_t>(std::llround(xToSites(x2 - x1)));
+      design.numRows =
+          static_cast<std::int64_t>(std::llround(yToRows(y2 - y1)));
+    } else if (tok == "ROW") {
+      ts.skipStatement();  // row grid is implied by DIEAREA in this subset
+    } else if (tok == "REGIONS") {
+      ts.skipStatement();  // count
+      while (!ts.done() && ts.accept("-")) {
+        Fence fence;
+        fence.name = ts.next();
+        double x1, y1, x2, y2;
+        while (parsePoint(ts, &x1, &y1) && parsePoint(ts, &x2, &y2)) {
+          fence.rects.push_back(
+              {static_cast<std::int64_t>(std::llround(xToSites(x1))),
+               static_cast<std::int64_t>(std::llround(yToRows(y1))),
+               static_cast<std::int64_t>(std::llround(xToSites(x2))),
+               static_cast<std::int64_t>(std::llround(yToRows(y2)))});
+        }
+        ts.skipStatement();  // + TYPE FENCE ;
+        fenceByName[fence.name] = design.numFences();
+        design.fences.push_back(std::move(fence));
+      }
+      if (!ts.accept("END") || !ts.accept("REGIONS")) {
+        err.set("bad REGIONS end");
+        return std::nullopt;
+      }
+    } else if (tok == "COMPONENTS") {
+      ts.skipStatement();  // count
+      while (!ts.done() && ts.accept("-")) {
+        const std::string name = ts.next();
+        const std::string macro = ts.next();
+        const int typeId = lib.findType(macro);
+        if (typeId < 0) {
+          err.set("unknown macro " + macro);
+          return std::nullopt;
+        }
+        Cell cell;
+        cell.type = typeId;
+        while (!ts.done() && ts.accept("+")) {
+          const std::string attr = ts.next();
+          if (attr == "PLACED" || attr == "FIXED") {
+            double x = 0, y = 0;
+            if (!parsePoint(ts, &x, &y)) {
+              err.set("bad component placement");
+              return std::nullopt;
+            }
+            ts.next();  // orientation
+            cell.gpX = xToSites(x);
+            cell.gpY = yToRows(y);
+            if (attr == "FIXED") {
+              cell.fixed = true;
+              cell.placed = true;
+              cell.x = static_cast<std::int64_t>(std::llround(cell.gpX));
+              cell.y = static_cast<std::int64_t>(std::llround(cell.gpY));
+            }
+          } else if (attr == "UNPLACED") {
+            // GP-less component: leave at origin.
+          }
+        }
+        if (!ts.accept(";")) {
+          err.set("component missing ';'");
+          return std::nullopt;
+        }
+        cellByName[name] = design.numCells();
+        design.cells.push_back(cell);
+      }
+      if (!ts.accept("END") || !ts.accept("COMPONENTS")) {
+        err.set("bad COMPONENTS end");
+        return std::nullopt;
+      }
+    } else if (tok == "GROUPS") {
+      ts.skipStatement();  // count
+      while (!ts.done() && ts.accept("-")) {
+        ts.next();  // group name
+        std::vector<CellId> members;
+        while (!ts.done() && ts.peek() != "+" && ts.peek() != ";") {
+          const auto it = cellByName.find(ts.next());
+          if (it != cellByName.end()) members.push_back(it->second);
+        }
+        FenceId fence = kDefaultFence;
+        if (ts.accept("+") && ts.accept("REGION")) {
+          const auto it = fenceByName.find(ts.next());
+          if (it != fenceByName.end()) fence = it->second;
+        }
+        ts.skipStatement();
+        for (const CellId c : members) design.cells[c].fence = fence;
+      }
+      if (!ts.accept("END") || !ts.accept("GROUPS")) {
+        err.set("bad GROUPS end");
+        return std::nullopt;
+      }
+    } else if (tok == "PINS") {
+      ts.skipStatement();  // count
+      while (!ts.done() && ts.accept("-")) {
+        ts.next();  // pin name
+        int layer = 1;
+        double dx1 = 0, dy1 = 0, dx2 = 0, dy2 = 0;
+        double px = 0, py = 0;
+        bool placed = false;
+        while (!ts.done() && ts.accept("+")) {
+          const std::string attr = ts.next();
+          if (attr == "LAYER") {
+            layer = layerNumber(ts.next());
+            if (!parsePoint(ts, &dx1, &dy1) || !parsePoint(ts, &dx2, &dy2)) {
+              err.set("bad PIN LAYER geometry");
+              return std::nullopt;
+            }
+          } else if (attr == "PLACED" || attr == "FIXED") {
+            if (!parsePoint(ts, &px, &py)) {
+              err.set("bad PIN placement");
+              return std::nullopt;
+            }
+            ts.next();  // orientation
+            placed = true;
+          } else if (attr == "NET" || attr == "DIRECTION" || attr == "USE") {
+            ts.next();
+          }
+        }
+        if (!ts.accept(";")) {
+          err.set("pin missing ';'");
+          return std::nullopt;
+        }
+        if (placed) {
+          IoPin pin;
+          pin.layer = layer;
+          pin.rect = {xToFine(px + dx1), yToFine(py + dy1), xToFine(px + dx2),
+                      yToFine(py + dy2)};
+          design.ioPins.push_back(pin);
+        }
+      }
+      if (!ts.accept("END") || !ts.accept("PINS")) {
+        err.set("bad PINS end");
+        return std::nullopt;
+      }
+    } else if (tok == "NETS") {
+      ts.skipStatement();  // count
+      while (!ts.done() && ts.accept("-")) {
+        ts.next();  // net name
+        Net net;
+        double ignored = 0;
+        (void)ignored;
+        while (ts.accept("(")) {
+          const std::string comp = ts.next();
+          const std::string pinName = ts.next();
+          if (!ts.accept(")")) {
+            err.set("bad net pin");
+            return std::nullopt;
+          }
+          const auto it = cellByName.find(comp);
+          if (it == cellByName.end()) continue;  // PIN connections ignored
+          int pinIndex = 0;
+          if (pinName.size() > 1 && (pinName[0] == 'P' || pinName[0] == 'p')) {
+            pinIndex = std::atoi(pinName.c_str() + 1);
+          }
+          const int numPins = static_cast<int>(
+              design.typeOf(it->second).pins.size());
+          if (numPins == 0) continue;
+          net.conns.push_back({it->second, std::clamp(pinIndex, 0, numPins - 1)});
+        }
+        ts.skipStatement();
+        if (net.conns.size() >= 2) design.nets.push_back(std::move(net));
+      }
+      if (!ts.accept("END") || !ts.accept("NETS")) {
+        err.set("bad NETS end");
+        return std::nullopt;
+      }
+    } else if (tok == "END" && !ts.done() && ts.peek() == "DESIGN") {
+      break;
+    }
+  }
+
+  if (design.numSitesX <= 0 || design.numRows <= 0) {
+    err.set("DEF has no DIEAREA");
+    return std::nullopt;
+  }
+  std::sort(design.ioPins.begin(), design.ioPins.end(),
+            [](const IoPin& a, const IoPin& b) { return a.rect.xlo < b.rect.xlo; });
+  design.validate();
+  return design;
+}
+
+std::string writeDef(const Design& design, double siteWidthMicron) {
+  const double rowHeightMicron = siteWidthMicron / design.siteWidthFactor;
+  const double dbu = 2000.0;
+  const double sx = siteWidthMicron * dbu;   // dbu per site
+  const double sy = rowHeightMicron * dbu;   // dbu per row
+  const double fx = sx / Design::kFine;
+  const double fy = sy / Design::kFine;
+  auto dx = [&](double sites) { return std::llround(sites * sx); };
+  auto dy = [&](double rows) { return std::llround(rows * sy); };
+
+  std::ostringstream out;
+  out << "VERSION 5.8 ;\n";
+  out << "DESIGN " << design.name << " ;\n";
+  out << "UNITS DISTANCE MICRONS " << static_cast<long long>(dbu) << " ;\n";
+  out << "DIEAREA ( 0 0 ) ( " << dx(static_cast<double>(design.numSitesX))
+      << " " << dy(static_cast<double>(design.numRows)) << " ) ;\n";
+  for (std::int64_t r = 0; r < design.numRows; ++r) {
+    out << "ROW row_" << r << " core 0 " << dy(static_cast<double>(r))
+        << " N DO " << design.numSitesX << " BY 1 STEP "
+        << static_cast<long long>(sx) << " 0 ;\n";
+  }
+
+  if (design.numFences() > 1) {
+    out << "REGIONS " << design.numFences() - 1 << " ;\n";
+    for (int f = 1; f < design.numFences(); ++f) {
+      const auto& fence = design.fences[static_cast<std::size_t>(f)];
+      out << " - " << fence.name;
+      for (const auto& rect : fence.rects) {
+        out << " ( " << dx(static_cast<double>(rect.xlo)) << " "
+            << dy(static_cast<double>(rect.ylo)) << " ) ( "
+            << dx(static_cast<double>(rect.xhi)) << " "
+            << dy(static_cast<double>(rect.yhi)) << " )";
+      }
+      out << " + TYPE FENCE ;\n";
+    }
+    out << "END REGIONS\n";
+  }
+
+  out << "COMPONENTS " << design.numCells() << " ;\n";
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    out << " - c" << c << " " << design.typeOf(c).name;
+    if (cell.fixed) {
+      out << " + FIXED ( " << dx(static_cast<double>(cell.x)) << " "
+          << dy(static_cast<double>(cell.y)) << " ) N";
+    } else {
+      out << " + PLACED ( " << dx(cell.gpX) << " " << dy(cell.gpY) << " ) N";
+    }
+    out << " ;\n";
+  }
+  out << "END COMPONENTS\n";
+
+  // Fence membership via GROUPS.
+  std::vector<std::vector<CellId>> members(
+      static_cast<std::size_t>(design.numFences()));
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    if (!design.cells[c].fixed && design.cells[c].fence != kDefaultFence) {
+      members[static_cast<std::size_t>(design.cells[c].fence)].push_back(c);
+    }
+  }
+  int numGroups = 0;
+  for (int f = 1; f < design.numFences(); ++f) {
+    if (!members[static_cast<std::size_t>(f)].empty()) ++numGroups;
+  }
+  if (numGroups > 0) {
+    out << "GROUPS " << numGroups << " ;\n";
+    for (int f = 1; f < design.numFences(); ++f) {
+      if (members[static_cast<std::size_t>(f)].empty()) continue;
+      out << " - g_" << design.fences[static_cast<std::size_t>(f)].name;
+      for (const CellId c : members[static_cast<std::size_t>(f)]) {
+        out << " c" << c;
+      }
+      out << " + REGION " << design.fences[static_cast<std::size_t>(f)].name
+          << " ;\n";
+    }
+    out << "END GROUPS\n";
+  }
+
+  if (!design.ioPins.empty()) {
+    out << "PINS " << design.ioPins.size() << " ;\n";
+    for (std::size_t i = 0; i < design.ioPins.size(); ++i) {
+      const auto& pin = design.ioPins[i];
+      out << " - io" << i << " + NET io" << i << " + LAYER metal" << pin.layer
+          << " ( 0 0 ) ( "
+          << std::llround(static_cast<double>(pin.rect.width()) * fx) << " "
+          << std::llround(static_cast<double>(pin.rect.height()) * fy)
+          << " ) + PLACED ( "
+          << std::llround(static_cast<double>(pin.rect.xlo) * fx) << " "
+          << std::llround(static_cast<double>(pin.rect.ylo) * fy)
+          << " ) N ;\n";
+    }
+    out << "END PINS\n";
+  }
+
+  if (!design.nets.empty()) {
+    out << "NETS " << design.nets.size() << " ;\n";
+    for (std::size_t n = 0; n < design.nets.size(); ++n) {
+      out << " - n" << n;
+      for (const auto& conn : design.nets[n].conns) {
+        out << " ( c" << conn.cell << " P" << conn.pin << " )";
+      }
+      out << " ;\n";
+    }
+    out << "END NETS\n";
+  }
+  out << "END DESIGN\n";
+  return out.str();
+}
+
+}  // namespace mclg

@@ -1,0 +1,32 @@
+// DEF-lite reader/writer.
+//
+// Supports the DEF 5.8 subset a legalization flow consumes (and that our
+// writer emits): DESIGN/UNITS/DIEAREA, ROW statements (checked for
+// consistency with DIEAREA), REGIONS of TYPE FENCE, GROUPS binding
+// components to regions, COMPONENTS with PLACED/FIXED/UNPLACED state, PINS
+// (IO pins with LAYER geometry), and NETS. Component coordinates are
+// interpreted as the global-placement input: PLACED components become
+// unplaced movable cells with GP positions; FIXED components become
+// blockages.
+//
+// P/G rail geometry is not expressible in this subset (real flows read it
+// from SPECIALNETS); the native .mclg format and the generator carry rails.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "db/design.hpp"
+#include "parsers/lef_parser.hpp"
+
+namespace mclg {
+
+/// Parse a DEF-lite file against an already-loaded LEF library.
+std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
+                              std::string* error = nullptr);
+
+/// Emit the design as DEF-lite (round-trips through readDef with the
+/// library from writeLef). GP positions are written as PLACED coordinates.
+std::string writeDef(const Design& design, double siteWidthMicron = 0.2);
+
+}  // namespace mclg

@@ -1,0 +1,226 @@
+#include "parsers/lef_parser.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "parsers/token_stream.hpp"
+
+namespace mclg {
+namespace {
+
+using parse::layerNumber;
+using parse::TokenStream;
+using parse::tokenize;
+
+bool setError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+int LefLibrary::findType(const std::string& name) const {
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (types[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<LefLibrary> readLef(const std::string& text,
+                                  std::string* error) {
+  TokenStream ts(tokenize(text));
+  LefLibrary lib;
+  bool sawSite = false;
+
+  auto parseMacro = [&](const std::string& macroName) -> bool {
+    CellType type;
+    type.name = macroName;
+    double wMicron = 0.0, hMicron = 0.0;
+    while (!ts.done()) {
+      const std::string tok = ts.next();
+      if (tok == "END") {
+        if (ts.done()) return setError(error, "truncated MACRO");
+        ts.next();  // macro name
+        break;
+      } else if (tok == "CLASS") {
+        ts.skipStatement();
+      } else if (tok == "SIZE") {
+        if (!ts.number(&wMicron) || !ts.accept("BY") || !ts.number(&hMicron)) {
+          return setError(error, "bad MACRO SIZE");
+        }
+        ts.skipStatement();
+      } else if (tok == "PROPERTY") {
+        const std::string prop = ts.next();
+        if (prop == "mclgParity") {
+          double v = 0;
+          if (!ts.number(&v)) return setError(error, "bad mclgParity");
+          type.parity = static_cast<int>(v);
+        } else if (prop == "mclgEdges") {
+          double l = 0, r = 0;
+          if (!ts.number(&l) || !ts.number(&r)) {
+            return setError(error, "bad mclgEdges");
+          }
+          type.leftEdge = static_cast<int>(l);
+          type.rightEdge = static_cast<int>(r);
+        }
+        ts.skipStatement();
+      } else if (tok == "PIN") {
+        const std::string pinName = ts.next();
+        int layer = 1;
+        while (!ts.done()) {
+          const std::string ptok = ts.next();
+          if (ptok == "END") {
+            const std::string endName = ts.next();
+            if (endName != pinName) {
+              return setError(error, "mismatched PIN END");
+            }
+            break;
+          } else if (ptok == "LAYER") {
+            layer = layerNumber(ts.next());
+            ts.skipStatement();
+          } else if (ptok == "RECT") {
+            double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+            if (!ts.number(&x1) || !ts.number(&y1) || !ts.number(&x2) ||
+                !ts.number(&y2)) {
+              return setError(error, "bad PIN RECT");
+            }
+            ts.skipStatement();
+            PinShape pin;
+            pin.layer = layer;
+            const double fx = Design::kFine / lib.siteWidthMicron;
+            const double fy = Design::kFine / lib.rowHeightMicron;
+            pin.rect = {static_cast<std::int64_t>(std::llround(x1 * fx)),
+                        static_cast<std::int64_t>(std::llround(y1 * fy)),
+                        static_cast<std::int64_t>(std::llround(x2 * fx)),
+                        static_cast<std::int64_t>(std::llround(y2 * fy))};
+            type.pins.push_back(pin);
+          }
+          // PORT / USE / DIRECTION etc.: structural noise for our purposes.
+        }
+      }
+      // Other macro statements (FOREIGN, ORIGIN, SYMMETRY...) are skipped
+      // by falling through; they end at ';' naturally on the next loop.
+    }
+    if (!sawSite) return setError(error, "MACRO before SITE");
+    type.width = std::max(
+        1, static_cast<int>(std::llround(wMicron / lib.siteWidthMicron)));
+    type.height = std::max(
+        1, static_cast<int>(std::llround(hMicron / lib.rowHeightMicron)));
+    if (type.height % 2 == 0 && type.parity < 0) type.parity = 0;
+    lib.types.push_back(std::move(type));
+    return true;
+  };
+
+  while (!ts.done()) {
+    const std::string tok = ts.next();
+    if (tok == "UNITS") {
+      while (!ts.done() && !ts.accept("END")) ts.next();
+      if (!ts.done()) ts.next();  // "UNITS"
+    } else if (tok == "SITE") {
+      const std::string siteName = ts.next();
+      while (!ts.done()) {
+        const std::string stok = ts.next();
+        if (stok == "END") {
+          ts.next();  // site name
+          break;
+        } else if (stok == "SIZE") {
+          if (!ts.number(&lib.siteWidthMicron) || !ts.accept("BY") ||
+              !ts.number(&lib.rowHeightMicron)) {
+            setError(error, "bad SITE SIZE");
+            return std::nullopt;
+          }
+          ts.skipStatement();
+        } else if (stok == ";") {
+          continue;
+        }
+      }
+      sawSite = true;
+    } else if (tok == "MACRO") {
+      if (!parseMacro(ts.next())) return std::nullopt;
+    } else if (tok == "PROPERTY") {
+      const std::string prop = ts.done() ? "" : ts.next();
+      if (prop == "mclgEdgeClasses") {
+        double n = 1;
+        if (!ts.number(&n) || n < 1) {
+          setError(error, "bad mclgEdgeClasses");
+          return std::nullopt;
+        }
+        lib.numEdgeClasses = static_cast<int>(n);
+        lib.edgeSpacingTable.assign(
+            static_cast<std::size_t>(lib.numEdgeClasses) * lib.numEdgeClasses,
+            0);
+      } else if (prop == "mclgEdgeSpacing") {
+        double a = 0, b = 0, v = 0;
+        if (!ts.number(&a) || !ts.number(&b) || !ts.number(&v) ||
+            a < 0 || b < 0 || a >= lib.numEdgeClasses ||
+            b >= lib.numEdgeClasses) {
+          setError(error, "bad mclgEdgeSpacing");
+          return std::nullopt;
+        }
+        lib.edgeSpacingTable[static_cast<std::size_t>(a) *
+                                 lib.numEdgeClasses +
+                             static_cast<std::size_t>(b)] =
+            static_cast<int>(v);
+      }
+      ts.skipStatement();
+    } else if (tok == "END" && !ts.done() && ts.peek() == "LIBRARY") {
+      break;
+    }
+    // VERSION, BUSBITCHARS, DIVIDERCHAR... skipped implicitly.
+  }
+  if (!sawSite) {
+    setError(error, "LEF has no SITE definition");
+    return std::nullopt;
+  }
+  return lib;
+}
+
+std::string writeLef(const Design& design, double siteWidthMicron) {
+  const double rowHeightMicron = siteWidthMicron / design.siteWidthFactor;
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "VERSION 5.8 ;\n";
+  out << "UNITS\n  DATABASE MICRONS 2000 ;\nEND UNITS\n";
+  out << "SITE core\n  SIZE " << siteWidthMicron << " BY " << rowHeightMicron
+      << " ;\nEND core\n";
+  if (design.numEdgeClasses > 1) {
+    out << "PROPERTY mclgEdgeClasses " << design.numEdgeClasses << " ;\n";
+    for (int a = 0; a < design.numEdgeClasses; ++a) {
+      for (int b = 0; b < design.numEdgeClasses; ++b) {
+        if (design.edgeSpacing(a, b) != 0) {
+          out << "PROPERTY mclgEdgeSpacing " << a << " " << b << " "
+              << design.edgeSpacing(a, b) << " ;\n";
+        }
+      }
+    }
+  }
+  const double fx = siteWidthMicron / Design::kFine;
+  const double fy = rowHeightMicron / Design::kFine;
+  for (const auto& type : design.types) {
+    out << "MACRO " << type.name << "\n";
+    out << "  CLASS CORE ;\n";
+    out << "  SIZE " << type.width * siteWidthMicron << " BY "
+        << type.height * rowHeightMicron << " ;\n";
+    if (type.parity >= 0) {
+      out << "  PROPERTY mclgParity " << type.parity << " ;\n";
+    }
+    if (type.leftEdge != 0 || type.rightEdge != 0) {
+      out << "  PROPERTY mclgEdges " << type.leftEdge << " " << type.rightEdge
+          << " ;\n";
+    }
+    for (std::size_t p = 0; p < type.pins.size(); ++p) {
+      const auto& pin = type.pins[p];
+      out << "  PIN P" << p << "\n";
+      out << "    LAYER metal" << pin.layer << " ;\n";
+      out << "    RECT " << pin.rect.xlo * fx << " " << pin.rect.ylo * fy
+          << " " << pin.rect.xhi * fx << " " << pin.rect.yhi * fy << " ;\n";
+      out << "  END P" << p << "\n";
+    }
+    out << "END " << type.name << "\n";
+  }
+  out << "END LIBRARY\n";
+  return out.str();
+}
+
+}  // namespace mclg

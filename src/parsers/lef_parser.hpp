@@ -1,0 +1,42 @@
+// LEF-lite reader/writer.
+//
+// Supports the subset of LEF 5.8 a legalizer needs (and that our writer
+// emits): UNITS, one SITE definition, and MACRO blocks with CLASS, SIZE,
+// and PIN/PORT/LAYER/RECT geometry. Two PROPERTY extensions carry what
+// plain LEF cannot: `mclgParity <0|1>` (P/G bottom-row parity of
+// even-height macros) and `mclgEdges <left> <right>` (edge-spacing
+// classes). Geometry is converted to the library's site/row/fine units.
+//
+// Not supported (documented limitation, not needed by the flow):
+// OBS blocks, non-rect port geometry, multiple SITEs, VIA/LAYER sections.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace mclg {
+
+struct LefLibrary {
+  double siteWidthMicron = 0.2;
+  double rowHeightMicron = 0.4;
+  std::vector<CellType> types;
+  // Edge-spacing rules, carried via library-level PROPERTY extensions
+  // (plain LEF 5.8 has no portable encoding for contest edge types).
+  int numEdgeClasses = 1;
+  std::vector<int> edgeSpacingTable;  // flattened, may be empty
+
+  /// site width / row height (Design::siteWidthFactor).
+  double siteWidthFactor() const { return siteWidthMicron / rowHeightMicron; }
+  int findType(const std::string& name) const;
+};
+
+std::optional<LefLibrary> readLef(const std::string& text,
+                                  std::string* error = nullptr);
+
+/// Emit the library of `design` as LEF-lite (round-trips through readLef).
+std::string writeLef(const Design& design, double siteWidthMicron = 0.2);
+
+}  // namespace mclg

@@ -1,0 +1,266 @@
+#include "parsers/simple_format.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mclg {
+namespace {
+
+void fail(std::string* error, int line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + what;
+  }
+}
+
+}  // namespace
+
+std::string writeSimpleFormat(const Design& design) {
+  std::ostringstream out;
+  out.precision(17);  // max_digits10: doubles round-trip losslessly
+  out << "MCLG 1\n";
+  out << "DESIGN " << design.name << "\n";
+  out << "CORE " << design.numSitesX << " " << design.numRows << " "
+      << design.siteWidthFactor << "\n";
+  out << "EDGECLASSES " << design.numEdgeClasses << "\n";
+  for (int a = 0; a < design.numEdgeClasses; ++a) {
+    for (int b = 0; b < design.numEdgeClasses; ++b) {
+      const int s = design.edgeSpacing(a, b);
+      if (s != 0) out << "EDGESPACING " << a << " " << b << " " << s << "\n";
+    }
+  }
+  for (const auto& type : design.types) {
+    out << "TYPE " << type.name << " " << type.width << " " << type.height
+        << " " << type.parity << " " << type.leftEdge << " " << type.rightEdge
+        << " " << type.pins.size() << "\n";
+    for (const auto& pin : type.pins) {
+      out << "PIN " << pin.layer << " " << pin.rect.xlo << " " << pin.rect.ylo
+          << " " << pin.rect.xhi << " " << pin.rect.yhi << "\n";
+    }
+  }
+  for (std::size_t f = 1; f < design.fences.size(); ++f) {
+    const auto& fence = design.fences[f];
+    out << "FENCE " << fence.name << " " << fence.rects.size() << "\n";
+    for (const auto& rect : fence.rects) {
+      out << "RECT " << rect.xlo << " " << rect.ylo << " " << rect.xhi << " "
+          << rect.yhi << "\n";
+    }
+  }
+  for (const auto& rail : design.hRails) {
+    out << "HRAIL " << rail.layer << " " << rail.yFineLo << " " << rail.yFineHi
+        << "\n";
+  }
+  for (const auto& rail : design.vRails) {
+    out << "VRAIL " << rail.layer << " " << rail.xFineLo << " " << rail.xFineHi
+        << "\n";
+  }
+  for (const auto& pin : design.ioPins) {
+    out << "IOPIN " << pin.layer << " " << pin.rect.xlo << " " << pin.rect.ylo
+        << " " << pin.rect.xhi << " " << pin.rect.yhi << "\n";
+  }
+  for (const auto& cell : design.cells) {
+    out << "CELL " << cell.type << " " << cell.gpX << " " << cell.gpY << " "
+        << cell.fence << " " << (cell.fixed ? 1 : 0) << " "
+        << (cell.placed ? 1 : 0) << " " << cell.x << " " << cell.y << "\n";
+  }
+  for (const auto& net : design.nets) {
+    out << "NET " << net.conns.size();
+    for (const auto& conn : net.conns) {
+      out << " " << conn.cell << " " << conn.pin;
+    }
+    out << "\n";
+  }
+  out << "END\n";
+  return out.str();
+}
+
+std::optional<Design> readSimpleFormat(const std::string& text,
+                                       std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  Design design;
+  bool sawHeader = false;
+  bool sawEnd = false;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank
+
+    if (key == "MCLG") {
+      int version = 0;
+      if (!(ls >> version) || version != 1) {
+        fail(error, lineNo, "unsupported version");
+        return std::nullopt;
+      }
+      sawHeader = true;
+    } else if (!sawHeader) {
+      fail(error, lineNo, "missing MCLG header");
+      return std::nullopt;
+    } else if (key == "DESIGN") {
+      ls >> design.name;
+    } else if (key == "CORE") {
+      if (!(ls >> design.numSitesX >> design.numRows >>
+            design.siteWidthFactor)) {
+        fail(error, lineNo, "bad CORE");
+        return std::nullopt;
+      }
+    } else if (key == "EDGECLASSES") {
+      if (!(ls >> design.numEdgeClasses) || design.numEdgeClasses < 1) {
+        fail(error, lineNo, "bad EDGECLASSES");
+        return std::nullopt;
+      }
+      design.edgeSpacingTable.assign(
+          static_cast<std::size_t>(design.numEdgeClasses) *
+              design.numEdgeClasses,
+          0);
+    } else if (key == "EDGESPACING") {
+      int a = 0, b = 0, s = 0;
+      if (!(ls >> a >> b >> s) || a < 0 || b < 0 ||
+          a >= design.numEdgeClasses || b >= design.numEdgeClasses) {
+        fail(error, lineNo, "bad EDGESPACING");
+        return std::nullopt;
+      }
+      design.edgeSpacingTable[static_cast<std::size_t>(a) *
+                                  design.numEdgeClasses +
+                              b] = s;
+    } else if (key == "TYPE") {
+      CellType type;
+      std::size_t numPins = 0;
+      if (!(ls >> type.name >> type.width >> type.height >> type.parity >>
+            type.leftEdge >> type.rightEdge >> numPins)) {
+        fail(error, lineNo, "bad TYPE");
+        return std::nullopt;
+      }
+      for (std::size_t p = 0; p < numPins; ++p) {
+        if (!std::getline(in, line)) {
+          fail(error, lineNo, "truncated PIN list");
+          return std::nullopt;
+        }
+        ++lineNo;
+        std::istringstream ps(line);
+        std::string pkey;
+        PinShape pin;
+        if (!(ps >> pkey >> pin.layer >> pin.rect.xlo >> pin.rect.ylo >>
+              pin.rect.xhi >> pin.rect.yhi) ||
+            pkey != "PIN") {
+          fail(error, lineNo, "bad PIN");
+          return std::nullopt;
+        }
+        type.pins.push_back(pin);
+      }
+      design.types.push_back(std::move(type));
+    } else if (key == "FENCE") {
+      Fence fence;
+      std::size_t numRects = 0;
+      if (!(ls >> fence.name >> numRects)) {
+        fail(error, lineNo, "bad FENCE");
+        return std::nullopt;
+      }
+      for (std::size_t r = 0; r < numRects; ++r) {
+        if (!std::getline(in, line)) {
+          fail(error, lineNo, "truncated RECT list");
+          return std::nullopt;
+        }
+        ++lineNo;
+        std::istringstream rs(line);
+        std::string rkey;
+        Rect rect;
+        if (!(rs >> rkey >> rect.xlo >> rect.ylo >> rect.xhi >> rect.yhi) ||
+            rkey != "RECT") {
+          fail(error, lineNo, "bad RECT");
+          return std::nullopt;
+        }
+        fence.rects.push_back(rect);
+      }
+      design.fences.push_back(std::move(fence));
+    } else if (key == "HRAIL") {
+      HRail rail;
+      if (!(ls >> rail.layer >> rail.yFineLo >> rail.yFineHi)) {
+        fail(error, lineNo, "bad HRAIL");
+        return std::nullopt;
+      }
+      design.hRails.push_back(rail);
+    } else if (key == "VRAIL") {
+      VRail rail;
+      if (!(ls >> rail.layer >> rail.xFineLo >> rail.xFineHi)) {
+        fail(error, lineNo, "bad VRAIL");
+        return std::nullopt;
+      }
+      design.vRails.push_back(rail);
+    } else if (key == "IOPIN") {
+      IoPin pin;
+      if (!(ls >> pin.layer >> pin.rect.xlo >> pin.rect.ylo >> pin.rect.xhi >>
+            pin.rect.yhi)) {
+        fail(error, lineNo, "bad IOPIN");
+        return std::nullopt;
+      }
+      design.ioPins.push_back(pin);
+    } else if (key == "CELL") {
+      Cell cell;
+      int fixed = 0, placed = 0;
+      if (!(ls >> cell.type >> cell.gpX >> cell.gpY >> cell.fence >> fixed >>
+            placed >> cell.x >> cell.y)) {
+        fail(error, lineNo, "bad CELL");
+        return std::nullopt;
+      }
+      cell.fixed = fixed != 0;
+      cell.placed = placed != 0;
+      if (cell.type < 0 || cell.type >= design.numTypes()) {
+        fail(error, lineNo, "CELL type out of range");
+        return std::nullopt;
+      }
+      design.cells.push_back(cell);
+    } else if (key == "NET") {
+      std::size_t numConns = 0;
+      if (!(ls >> numConns)) {
+        fail(error, lineNo, "bad NET");
+        return std::nullopt;
+      }
+      Net net;
+      for (std::size_t i = 0; i < numConns; ++i) {
+        Net::Conn conn;
+        if (!(ls >> conn.cell >> conn.pin)) {
+          fail(error, lineNo, "truncated NET");
+          return std::nullopt;
+        }
+        net.conns.push_back(conn);
+      }
+      design.nets.push_back(std::move(net));
+    } else if (key == "END") {
+      sawEnd = true;
+      break;
+    } else {
+      fail(error, lineNo, "unknown keyword: " + key);
+      return std::nullopt;
+    }
+  }
+  if (!sawEnd) {
+    fail(error, lineNo, "missing END");
+    return std::nullopt;
+  }
+  return design;
+}
+
+bool saveDesign(const Design& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << writeSimpleFormat(design);
+  return static_cast<bool>(out);
+}
+
+std::optional<Design> loadDesign(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return readSimpleFormat(buffer.str(), error);
+}
+
+}  // namespace mclg

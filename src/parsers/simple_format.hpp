@@ -1,0 +1,44 @@
+// Native .mclg text format: a compact, lossless serialization of Design
+// (cell library, cells with GP and legal positions, fences, rails, IO pins,
+// nets, edge-spacing table). Used for test fixtures and for interchange
+// when LEF/DEF is overkill.
+//
+// Grammar (line oriented, '#' comments):
+//   MCLG 1
+//   DESIGN <name>
+//   CORE <numSitesX> <numRows> <siteWidthFactor>
+//   EDGECLASSES <n>
+//   EDGESPACING <a> <b> <sites>          (only non-zero entries)
+//   TYPE <name> <width> <height> <parity> <leftEdge> <rightEdge> <numPins>
+//   PIN <layer> <xlo> <ylo> <xhi> <yhi>  (numPins lines, fine units)
+//   FENCE <name> <numRects>
+//   RECT <xlo> <ylo> <xhi> <yhi>         (site x row units)
+//   HRAIL <layer> <yFineLo> <yFineHi>
+//   VRAIL <layer> <xFineLo> <xFineHi>
+//   IOPIN <layer> <xlo> <ylo> <xhi> <yhi>
+//   CELL <type> <gpX> <gpY> <fence> <fixed> <placed> <x> <y>
+//   NET <numConns> (<cell> <pin>)*
+//   END
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "db/design.hpp"
+
+namespace mclg {
+
+/// Serialize a design. Never fails (pure formatting).
+std::string writeSimpleFormat(const Design& design);
+
+/// Parse; returns nullopt and fills *error on malformed input.
+std::optional<Design> readSimpleFormat(const std::string& text,
+                                       std::string* error = nullptr);
+
+/// File helpers.
+bool saveDesign(const Design& design, const std::string& path);
+std::optional<Design> loadDesign(const std::string& path,
+                                 std::string* error = nullptr);
+
+}  // namespace mclg

@@ -1,0 +1,91 @@
+// Shared LEF/DEF-style tokenizer: whitespace-separated tokens, ';', '(' and
+// ')' as standalone tokens, '#' line comments.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mclg::parse {
+
+inline std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  bool inComment = false;
+  for (const char c : text) {
+    if (inComment) {
+      if (c == '\n') inComment = false;
+      continue;
+    }
+    if (c == '#') {
+      inComment = true;
+      flush();
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      flush();
+    } else if (c == ';' || c == '(' || c == ')') {
+      flush();
+      tokens.emplace_back(1, c);
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const { return tokens_[pos_]; }
+  std::string next() { return tokens_[pos_++]; }
+
+  bool accept(const std::string& tok) {
+    if (!done() && tokens_[pos_] == tok) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool number(double* out) {
+    if (done()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(tokens_[pos_].c_str(), &end);
+    if (end == tokens_[pos_].c_str() || *end != '\0') return false;
+    *out = v;
+    ++pos_;
+    return true;
+  }
+
+  /// Skip tokens until (and including) the next ';'.
+  void skipStatement() {
+    while (!done() && next() != ";") {
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// metal1 / M2 / met3 -> 1 / 2 / 3 (first digit run in the name).
+inline int layerNumber(const std::string& name) {
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+      return std::atoi(name.c_str() + i);
+    }
+  }
+  return 1;
+}
+
+}  // namespace mclg::parse

@@ -1,0 +1,15 @@
+// Library assertion macro: active in all build types (legalizers silently
+// producing illegal placements are much worse than an abort).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MCLG_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "[mclg ASSERT] %s:%d: %s — %s\n", __FILE__,      \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

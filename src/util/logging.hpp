@@ -1,0 +1,46 @@
+// Minimal leveled logging used across the library.
+//
+// Levels are filtered at runtime via setLogLevel(); output goes to stderr so
+// that benchmark tables on stdout stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mclg {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Set the global minimum level that is actually emitted.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void logEmit(LogLevel level, const std::string& msg);
+}
+
+/// Streaming log statement: collects the message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::logEmit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mclg
+
+#define MCLG_LOG_DEBUG() ::mclg::LogLine(::mclg::LogLevel::Debug)
+#define MCLG_LOG_INFO() ::mclg::LogLine(::mclg::LogLevel::Info)
+#define MCLG_LOG_WARN() ::mclg::LogLine(::mclg::LogLevel::Warn)
+#define MCLG_LOG_ERROR() ::mclg::LogLine(::mclg::LogLevel::Error)

@@ -1,0 +1,78 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  MCLG_ASSERT(lo <= hi, "uniformInt with empty range");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniformReal(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; u1 nudged away from 0 to keep log() finite.
+  const double u1 = uniform01() + 1e-18;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+int Rng::weightedIndex(const double* weights, int n) {
+  MCLG_ASSERT(n > 0, "weightedIndex with no entries");
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += weights[i];
+  double target = uniform01() * total;
+  for (int i = 0; i < n; ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace mclg

@@ -1,0 +1,42 @@
+// Deterministic RNG (splitmix64 + xoshiro256**).
+//
+// Benchmarks and the synthetic design generators must be reproducible across
+// platforms, so we avoid std::mt19937/std::uniform_* (whose outputs are
+// implementation-defined for real distributions) and ship our own.
+#pragma once
+
+#include <cstdint>
+
+namespace mclg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Pick an index in [0, n) with probability proportional to weights[i].
+  /// Returns n-1 on degenerate input (all-zero weights).
+  int weightedIndex(const double* weights, int n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mclg

@@ -1,0 +1,102 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mclg {
+namespace {
+
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  MCLG_ASSERT(row.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::toString() const {
+  const int cols = static_cast<int>(header_.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (int c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (int c = 0; c < cols; ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (int c = 0; c < cols; ++c) {
+      const auto pad = width[c] - row[c].size();
+      if (looksNumeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+      out << (c + 1 == cols ? "\n" : "  ");
+    }
+  };
+  emitRow(header_);
+  std::size_t total = 0;
+  for (int c = 0; c < cols; ++c) total += width[c] + (c + 1 == cols ? 0 : 2);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emitRow(row);
+  return out.str();
+}
+
+std::string Table::toCsv() const {
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << csvEscape(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  emitRow(header_);
+  for (const auto& row : rows_) emitRow(row);
+  return out.str();
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+std::string Table::pct(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace mclg

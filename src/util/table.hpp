@@ -1,0 +1,38 @@
+// Fixed-width ASCII table printer + CSV writer.
+//
+// The benchmark binaries reproduce the paper's tables; this keeps the
+// formatting logic out of every bench main().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mclg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void addRow(std::vector<std::string> row);
+
+  /// Number of data rows.
+  int numRows() const { return static_cast<int>(rows_.size()); }
+
+  /// Render with aligned columns (numbers right-aligned, text left-aligned).
+  std::string toString() const;
+
+  /// Render as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string toCsv() const;
+
+  /// Convenience formatting helpers for cells.
+  static std::string fmt(double value, int precision);
+  static std::string fmt(long long value);
+  static std::string pct(double ratio, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mclg

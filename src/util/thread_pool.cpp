@@ -1,0 +1,61 @@
+#include "util/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace mclg {
+
+ThreadPool::ThreadPool(int numThreads) : numThreads_(numThreads < 1 ? 1 : numThreads) {
+  if (numThreads_ > 1) {
+    workers_.reserve(numThreads_);
+    for (int i = 0; i < numThreads_; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wakeWorkers_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallelForBatch(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  MCLG_ASSERT(batchFn_ == nullptr, "nested parallelForBatch is not supported");
+  batchFn_ = &fn;
+  batchCount_ = count;
+  nextIndex_ = 0;
+  remaining_ = count;
+  wakeWorkers_.notify_all();
+  batchDone_.wait(lock, [this] { return remaining_ == 0; });
+  batchFn_ = nullptr;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wakeWorkers_.wait(lock, [this] {
+      return shutdown_ || (batchFn_ != nullptr && nextIndex_ < batchCount_);
+    });
+    if (shutdown_) return;
+    while (batchFn_ != nullptr && nextIndex_ < batchCount_) {
+      const int index = nextIndex_++;
+      const auto* fn = batchFn_;
+      lock.unlock();
+      (*fn)(index);
+      lock.lock();
+      if (--remaining_ == 0) batchDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace mclg

@@ -1,0 +1,47 @@
+// Small fixed-size thread pool with a parallel-for-batch primitive.
+//
+// The MGL scheduler (§3.5 of the paper) runs batches of non-overlapping
+// windows in parallel and synchronizes between batches; parallelForBatch()
+// is exactly that barrier-style primitive, so determinism is preserved as
+// long as the batch contents are deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mclg {
+
+class ThreadPool {
+ public:
+  /// numThreads <= 1 degenerates to inline execution (no worker threads).
+  explicit ThreadPool(int numThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int numThreads() const { return numThreads_; }
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for all of them.
+  void parallelForBatch(int count, const std::function<void(int)>& fn);
+
+ private:
+  void workerLoop();
+
+  int numThreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wakeWorkers_;
+  std::condition_variable batchDone_;
+  const std::function<void(int)>* batchFn_ = nullptr;
+  int batchCount_ = 0;
+  int nextIndex_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mclg

@@ -1,0 +1,43 @@
+# CLI integration script: generate -> legalize (with extensions) ->
+# evaluate -> convert across all three formats and re-import. Every step
+# must succeed; `violations` may exit 1 (soft violations can remain), so it
+# only checks that the command runs and produces output.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGV}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "mclg_cli ${ARGV} failed (${code}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_cli(generate --cells 800 --density 0.55 --seed 17 --gp quadratic
+        --out ${WORKDIR}/design.mclg)
+run_cli(legalize --in ${WORKDIR}/design.mclg --threads 2 --ripup
+        --recover-hpwl --out ${WORKDIR}/legal.mclg)
+run_cli(evaluate --in ${WORKDIR}/legal.mclg)
+run_cli(svg --in ${WORKDIR}/legal.mclg --out ${WORKDIR}/legal.svg)
+
+# violations: exit status reflects whether any exist; just require output.
+execute_process(COMMAND ${CLI} violations --in ${WORKDIR}/legal.mclg
+                --limit 5
+                WORKING_DIRECTORY ${WORKDIR}
+                RESULT_VARIABLE vcode OUTPUT_VARIABLE vout)
+if(vout STREQUAL "")
+  message(FATAL_ERROR "violations produced no output")
+endif()
+
+# LEF/DEF round trip.
+run_cli(convert --in ${WORKDIR}/legal.mclg --lef ${WORKDIR}/out.lef
+        --def ${WORKDIR}/out.def)
+run_cli(convert --in-lef ${WORKDIR}/out.lef --in-def ${WORKDIR}/out.def
+        --out ${WORKDIR}/from_lefdef.mclg)
+
+# Bookshelf round trip (re-imported design is a GP input; legalize it).
+run_cli(convert --in ${WORKDIR}/legal.mclg --bookshelf ${WORKDIR}/bk)
+run_cli(convert --in-aux ${WORKDIR}/bk.aux --out ${WORKDIR}/from_bk.mclg)
+run_cli(legalize --in ${WORKDIR}/from_bk.mclg --preset totaldisp)

@@ -1,0 +1,151 @@
+// Classic single-row Abacus tests: hand cases plus randomized
+// cross-validation against brute force (quadratic objective) — Abacus's
+// cluster collapse is exact for Σ w (x - desired)².
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "baselines/abacus_row.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+TEST(AbacusRow, NonOverlappingCellsStayPut) {
+  AbacusRow row(0, 40);
+  row.add(2.0, 3);
+  row.add(10.0, 4);
+  row.add(20.0, 2);
+  const auto xs = row.positions();
+  EXPECT_EQ(xs[0], 2);
+  EXPECT_EQ(xs[1], 10);
+  EXPECT_EQ(xs[2], 20);
+  EXPECT_DOUBLE_EQ(row.totalCost(), 0.0);
+}
+
+TEST(AbacusRow, OverlappingPairClusters) {
+  AbacusRow row(0, 40);
+  row.add(10.0, 4);
+  row.add(11.0, 4);  // overlaps the first: both want ~10-11
+  const auto xs = row.positions();
+  EXPECT_EQ(xs[1] - xs[0], 4);  // abutted
+  // Quadratic optimum centers the pair: cluster mean = (10 + (11-4))/2=8.5.
+  EXPECT_NEAR(static_cast<double>(xs[0]), 8.5, 0.51);
+}
+
+TEST(AbacusRow, LeftBoundClamps) {
+  AbacusRow row(0, 40);
+  row.add(-5.0, 4);
+  const auto xs = row.positions();
+  EXPECT_EQ(xs[0], 0);
+}
+
+TEST(AbacusRow, RightBoundClampsChain) {
+  AbacusRow row(0, 12);
+  row.add(6.0, 4);
+  row.add(9.0, 4);
+  row.add(10.0, 4);
+  const auto xs = row.positions();
+  EXPECT_EQ(xs[0], 0);
+  EXPECT_EQ(xs[1], 4);
+  EXPECT_EQ(xs[2], 8);
+}
+
+TEST(AbacusRow, WeightsBiasClusterPosition) {
+  // Heavy cell pinned at 10, light cell wants 10 too; the cluster mean
+  // leans toward the heavy cell's desired position.
+  AbacusRow heavyFirst(0, 100);
+  heavyFirst.add(10.0, 4, 100.0);
+  heavyFirst.add(10.0, 4, 1.0);
+  const auto xs = heavyFirst.positions();
+  EXPECT_EQ(xs[0], 10);  // essentially wins
+  EXPECT_EQ(xs[1], 14);
+}
+
+TEST(AbacusRow, CascadingCollapse) {
+  AbacusRow row(0, 100);
+  row.add(10.0, 4);
+  row.add(20.0, 4);
+  row.add(21.0, 4);
+  row.add(22.0, 4);  // merges 2,3,4; may reach back to cell 1
+  const auto xs = row.positions();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_GE(xs[i] - xs[i - 1], 4) << "order/overlap";
+  }
+}
+
+/// Brute-force reference (quadratic objective, integer positions).
+double bruteForceQuadratic(const std::vector<std::pair<double, int>>& cells,
+                           std::int64_t lo, std::int64_t hi,
+                           std::vector<std::int64_t>* bestXs) {
+  const int n = static_cast<int>(cells.size());
+  std::vector<std::int64_t> xs(static_cast<std::size_t>(n), 0);
+  double best = 1e100;
+  std::function<void(int, std::int64_t)> rec = [&](int i, std::int64_t minX) {
+    if (i == n) {
+      double total = 0;
+      for (int k = 0; k < n; ++k) {
+        const double d = static_cast<double>(xs[static_cast<std::size_t>(k)]) -
+                         cells[static_cast<std::size_t>(k)].first;
+        total += d * d;
+      }
+      if (total < best) {
+        best = total;
+        *bestXs = xs;
+      }
+      return;
+    }
+    std::int64_t tail = 0;
+    for (int k = i + 1; k < n; ++k) tail += cells[static_cast<std::size_t>(k)].second;
+    for (std::int64_t x = minX; x + cells[static_cast<std::size_t>(i)].second + tail <= hi; ++x) {
+      xs[static_cast<std::size_t>(i)] = x;
+      rec(i + 1, x + cells[static_cast<std::size_t>(i)].second);
+    }
+  };
+  rec(0, lo);
+  return best;
+}
+
+TEST(AbacusRow, MatchesBruteForceQuadratic) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 2));
+    const std::int64_t hi = 14;
+    std::vector<std::pair<double, int>> cells;
+    AbacusRow row(0, hi);
+    double lastDesired = -1e9;
+    for (int i = 0; i < n; ++i) {
+      // Desired positions nondecreasing (Abacus processes in x order).
+      lastDesired = std::max(lastDesired + 0.0, rng.uniformReal(-2, 12));
+      const int width = 2 + static_cast<int>(rng.uniformInt(0, 1));
+      cells.emplace_back(lastDesired, width);
+      row.add(lastDesired, width);
+    }
+    std::vector<std::int64_t> bruteXs;
+    const double bruteCost = bruteForceQuadratic(cells, 0, hi, &bruteXs);
+
+    const auto xs = row.positions();
+    double abacusCost = 0;
+    for (int i = 0; i < n; ++i) {
+      const double d = static_cast<double>(xs[static_cast<std::size_t>(i)]) -
+                       cells[static_cast<std::size_t>(i)].first;
+      abacusCost += d * d;
+    }
+    // Abacus is exact over the reals; on the integer lattice the rounded
+    // cluster start can cost at most the rounding slack vs the integer
+    // brute force.
+    EXPECT_LE(abacusCost, bruteCost + n * 1.0 + 0.26) << "trial " << trial;
+    // Order and bounds always hold.
+    std::int64_t prevEnd = 0;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_GE(xs[static_cast<std::size_t>(i)], prevEnd);
+      prevEnd = xs[static_cast<std::size_t>(i)] +
+                cells[static_cast<std::size_t>(i)].second;
+    }
+    EXPECT_LE(prevEnd, hi);
+  }
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,151 @@
+// Baseline legalizer tests: each produces a legal placement, and the
+// quality ordering matches the paper's Tables 1-2 shape (ours <= MLL,
+// ordered methods, Tetris on total displacement; champion proxy accrues
+// routability violations that ours avoids).
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/pipeline.hpp"
+
+namespace mclg {
+namespace {
+
+GenSpec table2Spec(std::uint64_t seed, double density = 0.6) {
+  GenSpec spec;
+  spec.cellsPerHeight = {900, 100, 0, 0};
+  spec.density = density;
+  spec.withRoutability = false;
+  spec.withNets = false;
+  spec.numEdgeClasses = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+double runBaseline(Design& design,
+                   BaselineStats (*fn)(PlacementState&, const SegmentMap&),
+                   bool* legal) {
+  SegmentMap segments(design);
+  PlacementState state(design);
+  const auto stats = fn(state, segments);
+  EXPECT_EQ(stats.failed, 0);
+  *legal = checkLegality(design, segments).legal();
+  return displacementStats(design).totalSites;
+}
+
+TEST(Baselines, TetrisLegal) {
+  Design design = generate(table2Spec(51));
+  bool legal = false;
+  runBaseline(design, legalizeTetris, &legal);
+  EXPECT_TRUE(legal);
+}
+
+TEST(Baselines, TetrisHandlesFencesAndParity) {
+  GenSpec spec = table2Spec(52);
+  spec.numFences = 2;
+  Design design = generate(spec);
+  bool legal = false;
+  runBaseline(design, legalizeTetris, &legal);
+  EXPECT_TRUE(legal);
+}
+
+TEST(Baselines, AbacusMultiLegal) {
+  Design design = generate(table2Spec(53));
+  bool legal = false;
+  runBaseline(design, legalizeAbacusMulti, &legal);
+  EXPECT_TRUE(legal);
+}
+
+TEST(Baselines, OrderedMcfLegalAndNotWorseThanAbacus) {
+  Design abacus = generate(table2Spec(54));
+  Design ordered = generate(table2Spec(54));
+  bool legalA = false, legalO = false;
+  const double dispAbacus = runBaseline(abacus, legalizeAbacusMulti, &legalA);
+  const double dispOrdered = runBaseline(ordered, legalizeOrderedMcf, &legalO);
+  EXPECT_TRUE(legalA);
+  EXPECT_TRUE(legalO);
+  EXPECT_LE(dispOrdered, dispAbacus + 1e-6);
+}
+
+TEST(Baselines, MllLegal) {
+  Design design = generate(table2Spec(55));
+  SegmentMap segments(design);
+  PlacementState state(design);
+  const auto stats = legalizeMll(state, segments, /*contestWeights=*/false);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+TEST(Baselines, OursBeatsBaselinesOnTotalDisplacement) {
+  // The Table 2 headline: MGL + fixed-row-order < MLL, ordered, Tetris.
+  const auto run = [](std::uint64_t seed, double density) {
+    struct Result {
+      double ours, mll, ordered, tetris;
+    } r{};
+    {
+      Design d = generate(table2Spec(seed, density));
+      SegmentMap segments(d);
+      PlacementState state(d);
+      legalize(state, segments, PipelineConfig::totalDisplacement());
+      r.ours = displacementStats(d).totalSites;
+    }
+    {
+      Design d = generate(table2Spec(seed, density));
+      SegmentMap segments(d);
+      PlacementState state(d);
+      legalizeMll(state, segments, false);
+      r.mll = displacementStats(d).totalSites;
+    }
+    {
+      Design d = generate(table2Spec(seed, density));
+      bool legal = false;
+      r.ordered = runBaseline(d, legalizeOrderedMcf, &legal);
+    }
+    {
+      Design d = generate(table2Spec(seed, density));
+      bool legal = false;
+      r.tetris = runBaseline(d, legalizeTetris, &legal);
+    }
+    return r;
+  };
+  const auto r = run(56, 0.75);
+  EXPECT_LT(r.ours, r.mll * 1.02);      // at least competitive with MLL
+  EXPECT_LT(r.ours, r.ordered * 1.02);  // and with the ordered proxy
+  EXPECT_LT(r.ours, r.tetris);          // and clearly better than Tetris
+}
+
+TEST(Baselines, ChampionProxyAccruesRoutabilityViolations) {
+  GenSpec spec;
+  spec.cellsPerHeight = {700, 80, 30, 0};
+  spec.density = 0.6;
+  spec.numFences = 1;
+  spec.seed = 57;
+  Design champ = generate(spec);
+  Design ours = generate(spec);
+  {
+    SegmentMap segments(champ);
+    PlacementState state(champ);
+    const auto stats = legalizeChampionProxy(state, segments);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_TRUE(checkLegality(champ, segments).legal());
+  }
+  {
+    SegmentMap segments(ours);
+    PlacementState state(ours);
+    legalize(state, segments, PipelineConfig::contest());
+  }
+  const int champEdges = countEdgeSpacingViolations(champ);
+  const int oursEdges = countEdgeSpacingViolations(ours);
+  const auto champPins = countPinViolations(champ);
+  const auto oursPins = countPinViolations(ours);
+  EXPECT_EQ(oursEdges, 0);          // the paper's zero-edge-violation claim
+  EXPECT_GT(champEdges, 0);         // proxy ignores the spacing table
+  EXPECT_LT(oursPins.total(), champPins.total());
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flow/bipartite_matching.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+TEST(Bipartite, SingleEdge) {
+  const auto match = solveAssignment(1, 1, {{0, 0, 7}});
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ((*match)[0], 0);
+}
+
+TEST(Bipartite, PicksCheaperAssignment) {
+  // 2x2: identity costs 1+1=2, swap costs 0+0=0.
+  const std::vector<AssignmentEdge> edges = {
+      {0, 0, 1}, {0, 1, 0}, {1, 0, 0}, {1, 1, 1}};
+  const auto match = solveAssignment(2, 2, edges);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ((*match)[0], 1);
+  EXPECT_EQ((*match)[1], 0);
+}
+
+TEST(Bipartite, InfeasibleWithoutEnoughEdges) {
+  // Both left vertices can only use right vertex 0.
+  const std::vector<AssignmentEdge> edges = {{0, 0, 1}, {1, 0, 1}};
+  EXPECT_FALSE(solveAssignment(2, 2, edges).has_value());
+}
+
+TEST(Bipartite, RectangularUsesCheapSubset) {
+  // 2 left, 3 right; optimal picks rights 1 and 2.
+  const std::vector<AssignmentEdge> edges = {
+      {0, 0, 9}, {0, 1, 1}, {0, 2, 5}, {1, 0, 9}, {1, 1, 5}, {1, 2, 1}};
+  const auto match = solveAssignment(2, 3, edges);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ((*match)[0], 1);
+  EXPECT_EQ((*match)[1], 2);
+}
+
+TEST(Bipartite, NegativeCostsAllowed) {
+  const std::vector<AssignmentEdge> edges = {
+      {0, 0, -5}, {0, 1, 0}, {1, 0, 0}, {1, 1, -5}};
+  const auto match = solveAssignment(2, 2, edges);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ((*match)[0], 0);
+  EXPECT_EQ((*match)[1], 1);
+}
+
+/// Property: on random square instances, matches brute-force enumeration.
+TEST(Bipartite, MatchesBruteForceOnSmallInstances) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 3));  // up to 5
+    std::vector<std::vector<CostValue>> cost(
+        static_cast<std::size_t>(n),
+        std::vector<CostValue>(static_cast<std::size_t>(n), 0));
+    std::vector<AssignmentEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            rng.uniformInt(0, 50);
+        edges.push_back(
+            {i, j,
+             cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]});
+      }
+    }
+    const auto match = solveAssignment(n, n, edges);
+    ASSERT_TRUE(match.has_value());
+    CostValue matchCost = 0;
+    for (int i = 0; i < n; ++i) {
+      matchCost += cost[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>((*match)[static_cast<std::size_t>(i)])];
+    }
+    // Brute force over permutations.
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    CostValue best = matchCost;
+    do {
+      CostValue total = 0;
+      for (int i = 0; i < n; ++i) {
+        total += cost[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+      }
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(matchCost, best) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mclg

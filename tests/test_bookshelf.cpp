@@ -1,0 +1,124 @@
+// Bookshelf reader/writer tests: round trips, geometry conversion, and the
+// legalize-a-parsed-bundle flow.
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/pipeline.hpp"
+#include "parsers/bookshelf.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+TEST(Bookshelf, RoundTripPreservesStructure) {
+  GenSpec spec;
+  spec.cellsPerHeight = {200, 30, 10, 5};
+  spec.density = 0.5;
+  spec.numBlockages = 1;
+  spec.withRoutability = false;  // rails have no Bookshelf encoding
+  spec.seed = 151;
+  const Design d = generate(spec);
+  std::string error;
+  const auto parsed = readBookshelf(writeBookshelf(d), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->numCells(), d.numCells());
+  EXPECT_EQ(parsed->numRows, d.numRows);
+  EXPECT_EQ(parsed->numSitesX, d.numSitesX);
+  EXPECT_NEAR(parsed->siteWidthFactor, d.siteWidthFactor, 1e-9);
+  EXPECT_EQ(parsed->nets.size(), d.nets.size());
+  int fixedBefore = 0, fixedAfter = 0;
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    if (d.cells[c].fixed) ++fixedBefore;
+    if (parsed->cells[c].fixed) ++fixedAfter;
+    EXPECT_EQ(parsed->widthOf(c), d.widthOf(c)) << "cell " << c;
+    EXPECT_EQ(parsed->heightOf(c), d.heightOf(c)) << "cell " << c;
+    if (!d.cells[c].fixed) {
+      EXPECT_NEAR(parsed->cells[c].gpX, d.cells[c].gpX, 1e-4) << "cell " << c;
+      EXPECT_NEAR(parsed->cells[c].gpY, d.cells[c].gpY, 1e-4) << "cell " << c;
+    }
+  }
+  EXPECT_EQ(fixedBefore, fixedAfter);
+}
+
+TEST(Bookshelf, ParsedDesignLegalizes) {
+  GenSpec spec;
+  spec.cellsPerHeight = {300, 30, 0, 0};
+  spec.density = 0.55;
+  spec.withRoutability = false;
+  spec.seed = 152;
+  const Design original = generate(spec);
+  std::string error;
+  auto parsed = readBookshelf(writeBookshelf(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  SegmentMap segments(*parsed);
+  PlacementState state(*parsed);
+  const auto stats =
+      legalize(state, segments, PipelineConfig::totalDisplacement());
+  EXPECT_EQ(stats.mgl.failed, 0);
+  EXPECT_TRUE(checkLegality(*parsed, segments).legal());
+}
+
+TEST(Bookshelf, RejectsMalformedScl) {
+  BookshelfBundle bundle;
+  bundle.nodes = "UCLA nodes 1.0\nNumNodes : 0\n";
+  bundle.scl = "UCLA scl 1.0\n";  // no rows
+  std::string error;
+  EXPECT_FALSE(readBookshelf(bundle, &error).has_value());
+  EXPECT_NE(error.find("scl"), std::string::npos);
+}
+
+TEST(Bookshelf, RejectsUnknownNodeInPl) {
+  BookshelfBundle bundle;
+  bundle.scl =
+      "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n  Coordinate : 0\n"
+      "  Height : 2\n  Sitewidth : 1\n"
+      "  SubrowOrigin : 0 NumSites : 10\nEnd\n";
+  bundle.nodes = "UCLA nodes 1.0\no0 2 2\n";
+  bundle.pl = "UCLA pl 1.0\nghost 0 0 : N\n";
+  std::string error;
+  EXPECT_FALSE(readBookshelf(bundle, &error).has_value());
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+}
+
+TEST(Bookshelf, FileBundleRoundTrip) {
+  GenSpec spec;
+  spec.cellsPerHeight = {120, 15, 0, 0};
+  spec.withRoutability = false;
+  spec.seed = 153;
+  const Design d = generate(spec);
+  const std::string base = ::testing::TempDir() + "/mclg_bookshelf";
+  ASSERT_TRUE(saveBookshelf(d, base));
+  std::string error;
+  const auto loaded = loadBookshelf(base + ".aux", &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->numCells(), d.numCells());
+  for (const char* ext : {".aux", ".nodes", ".nets", ".pl", ".scl"}) {
+    std::remove((base + ext).c_str());
+  }
+}
+
+TEST(Bookshelf, CommentsAndHeadersSkipped) {
+  BookshelfBundle bundle;
+  bundle.scl =
+      "UCLA scl 1.0\n# comment\nNumRows : 1\nCoreRow Horizontal\n"
+      "  Coordinate : 0\n  Height : 4\n  Sitewidth : 2\n"
+      "  SubrowOrigin : 0 NumSites : 16\nEnd\n";
+  bundle.nodes = "UCLA nodes 1.0\n# a node\no0 4 4\n";
+  bundle.pl = "UCLA pl 1.0\no0 6 0 : N\n";
+  std::string error;
+  const auto parsed = readBookshelf(bundle, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->numCells(), 1);
+  EXPECT_EQ(parsed->numSitesX, 16);
+  EXPECT_EQ(parsed->numRows, 1);
+  EXPECT_EQ(parsed->widthOf(0), 2);   // 4 units / sitewidth 2
+  EXPECT_EQ(parsed->heightOf(0), 1);  // 4 units / row height 4
+  EXPECT_NEAR(parsed->cells[0].gpX, 3.0, 1e-9);
+  EXPECT_NEAR(parsed->siteWidthFactor, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "eval/checkers.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+Design placedPair() {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 0, 5, 5);
+  const CellId b = addCell(d, 1, 10, 2);
+  d.cells[a].placed = true;
+  d.cells[a].x = 5;
+  d.cells[a].y = 5;
+  d.cells[b].placed = true;
+  d.cells[b].x = 10;
+  d.cells[b].y = 2;
+  return d;
+}
+
+TEST(Legality, CleanPlacementPasses) {
+  Design d = placedPair();
+  const SegmentMap map(d);
+  const auto report = checkLegality(d, map);
+  EXPECT_TRUE(report.legal());
+}
+
+TEST(Legality, DetectsUnplaced) {
+  Design d = placedPair();
+  addCell(d, 0, 1, 1);  // never placed
+  const SegmentMap map(d);
+  EXPECT_EQ(checkLegality(d, map).unplacedCells, 1);
+}
+
+TEST(Legality, DetectsOverlap) {
+  Design d = placedPair();
+  const CellId c = addCell(d, 0, 0, 0);
+  d.cells[c].placed = true;
+  d.cells[c].x = 6;  // overlaps cell a at (5,5) width 2
+  d.cells[c].y = 5;
+  const SegmentMap map(d);
+  EXPECT_EQ(checkLegality(d, map).overlaps, 1);
+}
+
+TEST(Legality, MultiRowOverlapCountedOnce) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 1, 0, 0);  // 3x2
+  const CellId b = addCell(d, 1, 0, 0);  // 3x2 overlapping in both rows
+  d.cells[a].placed = true;
+  d.cells[a].x = 5;
+  d.cells[a].y = 2;
+  d.cells[b].placed = true;
+  d.cells[b].x = 7;
+  d.cells[b].y = 2;
+  const SegmentMap map(d);
+  EXPECT_EQ(checkLegality(d, map).overlaps, 1);
+}
+
+TEST(Legality, DetectsParityViolation) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 1, 5, 3);  // parity 0 type
+  d.cells[c].placed = true;
+  d.cells[c].x = 5;
+  d.cells[c].y = 3;  // odd row
+  const SegmentMap map(d);
+  EXPECT_EQ(checkLegality(d, map).parityViolations, 1);
+}
+
+TEST(Legality, DetectsFenceViolation) {
+  Design d = smallDesign();
+  d.fences.push_back({"f1", {{10, 2, 20, 6}}});
+  const CellId inside = addCell(d, 0, 12, 3, 1);
+  const CellId outside = addCell(d, 0, 30, 3, 1);  // assigned but placed out
+  d.cells[inside].placed = true;
+  d.cells[inside].x = 12;
+  d.cells[inside].y = 3;
+  d.cells[outside].placed = true;
+  d.cells[outside].x = 30;
+  d.cells[outside].y = 3;
+  const SegmentMap map(d);
+  EXPECT_EQ(checkLegality(d, map).fenceViolations, 1);
+}
+
+TEST(Legality, DetectsOutOfCore) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 39, 5);
+  d.cells[c].placed = true;
+  d.cells[c].x = 39;  // width 2 -> hangs past site 40
+  d.cells[c].y = 5;
+  const SegmentMap map(d);
+  EXPECT_EQ(checkLegality(d, map).outOfCore, 1);
+}
+
+TEST(EdgeSpacing, CountsViolatingPairsOnce) {
+  Design d = smallDesign();
+  d.numEdgeClasses = 2;
+  d.edgeSpacingTable = {0, 0, 0, 2};
+  d.types[1].leftEdge = 1;
+  d.types[1].rightEdge = 1;
+  const CellId a = addCell(d, 1, 0, 0);
+  const CellId b = addCell(d, 1, 0, 0);
+  d.cells[a].placed = true;
+  d.cells[a].x = 5;
+  d.cells[a].y = 2;
+  d.cells[b].placed = true;
+  d.cells[b].x = 9;  // gap = 1 < required 2, in both rows
+  d.cells[b].y = 2;
+  EXPECT_EQ(countEdgeSpacingViolations(d), 1);
+  // Widen the gap: compliant.
+  d.cells[b].x = 10;
+  EXPECT_EQ(countEdgeSpacingViolations(d), 0);
+}
+
+// --- pin short / access ---
+
+Design pinDesign() {
+  Design d = smallDesign();
+  // A type with one M1 pin near its bottom and one M2 pin mid-cell.
+  CellType t{"P", 2, 1, -1, 0, 0, {}};
+  t.pins.push_back({1, {2, 0, 4, 3}});   // M1, touches cell bottom
+  t.pins.push_back({2, {8, 3, 11, 5}});  // M2
+  d.types.push_back(t);
+  return d;
+}
+
+TEST(PinChecks, HorizontalRailShortAndAccess) {
+  Design d = pinDesign();
+  const TypeId type = d.numTypes() - 1;
+  // M2 rail covering the bottom of row 4 (fine y 32..34).
+  d.hRails.push_back({2, 4 * Design::kFine, 4 * Design::kFine + 2});
+  // Cell at row 4: M1 pin spans fine y 32..35 -> overlaps rail on layer 2 =
+  // access violation; M2 pin spans 35..37 -> no overlap.
+  const auto report = pinViolationsAt(d, type, 10, 4);
+  EXPECT_EQ(report.access, 1);
+  EXPECT_EQ(report.shorts, 0);
+  EXPECT_TRUE(hasHorizontalRailConflict(d, type, 4));
+  EXPECT_FALSE(hasHorizontalRailConflict(d, type, 2));
+}
+
+TEST(PinChecks, HorizontalRailShortOnSameLayer) {
+  Design d = pinDesign();
+  const TypeId type = d.numTypes() - 1;
+  // M2 rail overlapping the M2 pin's y span (pin at rows*8 + [3,5)).
+  d.hRails.push_back({2, 4 * Design::kFine + 3, 4 * Design::kFine + 4});
+  const auto report = pinViolationsAt(d, type, 10, 4);
+  EXPECT_EQ(report.shorts, 1);  // M2 pin vs M2 rail
+  EXPECT_EQ(report.access, 0);  // M1 pin (y 32..35) vs rail (35..36): no
+}
+
+TEST(PinChecks, VerticalRailForbiddenIntervals) {
+  Design d = pinDesign();
+  const TypeId type = d.numTypes() - 1;
+  // M3 stripe at fine x 80..82 conflicts with the M2 pin (access).
+  d.vRails.push_back({3, 80, 82});
+  const auto forbidden = verticalRailForbiddenX(d, type, 4);
+  ASSERT_FALSE(forbidden.empty());
+  // Check every x: forbidden iff the pin [x*8+8, x*8+11) overlaps [80,82).
+  for (std::int64_t x = 0; x < 20; ++x) {
+    const bool overlap = x * 8 + 8 < 82 && 80 < x * 8 + 11;
+    bool inForbidden = false;
+    for (const auto& iv : forbidden) inForbidden |= iv.contains(x);
+    EXPECT_EQ(inForbidden, overlap) << "x=" << x;
+  }
+  // And pinViolationsAt agrees at a conflicting x.
+  EXPECT_GT(pinViolationsAt(d, type, 9, 4).access, 0);
+}
+
+TEST(PinChecks, IoPinOverlapCounts) {
+  Design d = pinDesign();
+  const TypeId type = d.numTypes() - 1;
+  // IO pin on M1 exactly where the M1 pin lands for x=5, y=4 (even row ->
+  // N orientation; pin offset is unmirrored).
+  d.ioPins.push_back({1, {5 * 8 + 2, 4 * 8 + 0, 5 * 8 + 4, 4 * 8 + 2}});
+  EXPECT_EQ(countIoOverlaps(d, type, 5, 4), 1);
+  EXPECT_EQ(countIoOverlaps(d, type, 15, 4), 0);
+  const auto report = pinViolationsAt(d, type, 5, 4);
+  EXPECT_EQ(report.shorts, 1);
+  // At y=5 the cell flips (FS): the M1 pin mirrors to the cell top and no
+  // longer reaches this IO pin's y band even if x matches.
+  EXPECT_EQ(countIoOverlaps(d, type, 5, 5), 0);
+  // The §3.4 forbidden interval matches the overlap condition.
+  const auto forbidden = ioPinForbiddenX(d, type, 4);
+  ASSERT_EQ(forbidden.size(), 1u);
+  for (std::int64_t x = 0; x < 12; ++x) {
+    EXPECT_EQ(forbidden[0].contains(x), countIoOverlaps(d, type, x, 4) > 0)
+        << "x=" << x;
+  }
+}
+
+TEST(PinChecks, CountAggregatesOverCells) {
+  Design d = pinDesign();
+  const TypeId type = d.numTypes() - 1;
+  d.hRails.push_back({2, 4 * Design::kFine, 4 * Design::kFine + 2});
+  const CellId a = addCell(d, type, 5, 4);
+  const CellId b = addCell(d, type, 20, 2);
+  d.cells[a].placed = true;
+  d.cells[a].x = 5;
+  d.cells[a].y = 4;  // conflicting row
+  d.cells[b].placed = true;
+  d.cells[b].x = 20;
+  d.cells[b].y = 2;  // clean row
+  const auto report = countPinViolations(d);
+  EXPECT_EQ(report.access, 1);
+  EXPECT_EQ(report.shorts, 0);
+}
+
+}  // namespace
+}  // namespace mclg

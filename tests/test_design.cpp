@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(Design, DefaultFenceExists) {
+  Design d;
+  EXPECT_EQ(d.numFences(), 1);
+  EXPECT_TRUE(d.fences[0].rects.empty());
+}
+
+TEST(Design, HeightAndWidthAccessors) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 1, 0, 0);
+  EXPECT_EQ(d.widthOf(c), 3);
+  EXPECT_EQ(d.heightOf(c), 2);
+  EXPECT_EQ(d.typeOf(c).name, "T1");
+}
+
+TEST(Design, MaxCellHeightIgnoresFixed) {
+  Design d = smallDesign();
+  addCell(d, 0, 0, 0);
+  testing::addFixed(d, 2, 10, 0);  // fixed triple-height
+  EXPECT_EQ(d.maxCellHeight(), 1);
+}
+
+TEST(Design, CellsPerHeightCounts) {
+  Design d = smallDesign();
+  addCell(d, 0, 0, 0);
+  addCell(d, 0, 5, 0);
+  addCell(d, 1, 10, 0);
+  addCell(d, 2, 15, 0);
+  const auto counts = d.cellsPerHeight();
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(Design, MetricWeightIsEq2) {
+  Design d = smallDesign();
+  addCell(d, 0, 0, 0);
+  addCell(d, 0, 5, 0);
+  addCell(d, 1, 10, 0);
+  // H = 2... wait, heights present are 1, 1, 2 -> H = 2.
+  // weight(single) = 1/(2*2), weight(double) = 1/(2*1).
+  EXPECT_DOUBLE_EQ(d.metricWeight(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.metricWeight(2), 0.5);
+}
+
+TEST(Design, DisplacementInRowHeights) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 10.0, 3.0);
+  d.cells[c].placed = true;
+  d.cells[c].x = 14;  // 4 sites right = 2 row heights at factor 0.5
+  d.cells[c].y = 5;   // 2 rows up
+  EXPECT_DOUBLE_EQ(d.displacement(c), 4.0);
+}
+
+TEST(Design, ParityRules) {
+  Design d = smallDesign();
+  EXPECT_TRUE(d.parityOk(0, 3));   // odd height: any row
+  EXPECT_TRUE(d.parityOk(1, 0));   // parity 0 on even row
+  EXPECT_FALSE(d.parityOk(1, 3));  // parity 0 on odd row
+  EXPECT_TRUE(d.parityOk(2, 1));   // odd height
+}
+
+TEST(Design, EdgeSpacingLookup) {
+  Design d = smallDesign();
+  d.numEdgeClasses = 2;
+  d.edgeSpacingTable = {0, 1, 1, 2};
+  EXPECT_EQ(d.edgeSpacing(0, 0), 0);
+  EXPECT_EQ(d.edgeSpacing(0, 1), 1);
+  EXPECT_EQ(d.edgeSpacing(1, 1), 2);
+}
+
+TEST(Design, SpacingBetweenUsesEdgeClasses) {
+  Design d = smallDesign();
+  d.numEdgeClasses = 2;
+  d.edgeSpacingTable = {0, 0, 0, 3};
+  d.types[0].rightEdge = 1;
+  d.types[1].leftEdge = 1;
+  const CellId a = addCell(d, 0, 0, 0);
+  const CellId b = addCell(d, 1, 5, 0);
+  EXPECT_EQ(d.spacingBetween(a, b), 3);
+  EXPECT_EQ(d.spacingBetween(b, a), 0);
+}
+
+TEST(Design, MaxCellWidthCached) {
+  Design d = smallDesign();
+  EXPECT_EQ(d.maxCellWidth(), 4);
+}
+
+TEST(Design, ValidatePassesOnWellFormed) {
+  Design d = smallDesign();
+  addCell(d, 0, 1, 1);
+  d.validate();  // must not abort
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/design_stats.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::addFixed;
+using testing::smallDesign;
+
+TEST(DesignStats, CountsAndAreas) {
+  Design d = smallDesign();
+  addCell(d, 0, 1, 1);    // 2x1 = 2 sites
+  addCell(d, 1, 5, 1);    // 3x2 = 6 sites
+  addFixed(d, 2, 20, 3);  // 4x3 blockage
+  SegmentMap segments(d);
+  PlacementState state(d);
+  const auto stats = computeDesignStats(state, segments);
+  EXPECT_EQ(stats.movableCells, 2);
+  EXPECT_EQ(stats.fixedCells, 1);
+  EXPECT_EQ(stats.coreSites, 400);
+  EXPECT_EQ(stats.freeSites, 400 - 12);  // blockage carved out
+  EXPECT_EQ(stats.cellSites, 8);
+  EXPECT_EQ(stats.cellsPerHeight[1], 1);
+  EXPECT_EQ(stats.cellsPerHeight[2], 1);
+  EXPECT_NEAR(stats.utilization, 8.0 / 388.0, 1e-12);
+  // Unplaced: no bins/gaps.
+  EXPECT_DOUBLE_EQ(stats.peakBinUtilization, 0.0);
+  EXPECT_EQ(stats.freeGaps, 0);
+}
+
+TEST(DesignStats, FenceBreakdown) {
+  Design d = smallDesign();
+  d.fences.push_back({"island", {{10, 2, 20, 6}}});
+  addCell(d, 0, 12, 3, 1);
+  addCell(d, 0, 30, 8, 0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  const auto stats = computeDesignStats(state, segments);
+  ASSERT_EQ(stats.fences.size(), 2u);
+  EXPECT_EQ(stats.fences[1].freeSites, 40);  // 10x4 rect
+  EXPECT_EQ(stats.fences[1].cells, 1);
+  EXPECT_EQ(stats.fences[1].usedSites, 2);
+  EXPECT_EQ(stats.fences[0].freeSites, 400 - 40);
+}
+
+TEST(DesignStats, PlacedDesignReportsBinsAndGaps) {
+  GenSpec spec;
+  spec.cellsPerHeight = {300, 30, 0, 0};
+  spec.density = 0.6;
+  spec.seed = 181;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+  const auto stats = computeDesignStats(state, segments);
+  EXPECT_GT(stats.peakBinUtilization, 0.3);
+  // Cells attribute their whole area to the bin of their corner, so a legal
+  // placement can nominally exceed 1.0 slightly — but never by much.
+  EXPECT_LE(stats.peakBinUtilization, 1.5);
+  EXPECT_GT(stats.freeGaps, 0);
+  EXPECT_GT(stats.largestGap, 0);
+  const std::string text = stats.toString();
+  EXPECT_NE(text.find("util"), std::string::npos);
+  EXPECT_NE(text.find("height mix"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mclg

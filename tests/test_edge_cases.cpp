@@ -1,0 +1,165 @@
+// Edge-case coverage across small modules: logging, timers, curve
+// accessors, design caches, pin-interval helpers, and parser error paths.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "db/design.hpp"
+#include "eval/checkers.hpp"
+#include "geometry/disp_curve.hpp"
+#include "parsers/lef_parser.hpp"
+#include "parsers/simple_format.hpp"
+#include "test_helpers.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(Logging, LevelFilteringRoundTrip) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  // Emitting below the level must be a no-op (nothing to assert beyond
+  // not crashing; the sink is stderr).
+  MCLG_LOG_DEBUG() << "suppressed " << 42;
+  MCLG_LOG_INFO() << "suppressed too";
+  setLogLevel(LogLevel::Silent);
+  MCLG_LOG_ERROR() << "also suppressed";
+  setLogLevel(before);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double t1 = timer.seconds();
+  EXPECT_GE(t1, 0.010);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), t1);
+}
+
+TEST(DispCurve, SegmentSlopeAccessor) {
+  const auto curve = DispCurve::rightPush(20.0, 26.0, 4.0);  // type C
+  ASSERT_EQ(curve.numBreakpoints(), 2);
+  EXPECT_DOUBLE_EQ(curve.segmentSlope(0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.segmentSlope(1), -1.0);
+  EXPECT_DOUBLE_EQ(curve.segmentSlope(2), 1.0);
+  const auto scaled = curve.scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled.segmentSlope(1), -0.5);
+}
+
+TEST(DispCurve, ZeroScaleCollapsesToZero) {
+  const auto curve = DispCurve::targetV(10.0).scaled(0.0);
+  EXPECT_DOUBLE_EQ(curve.value(-100.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.value(100.0), 0.0);
+}
+
+TEST(CurveSum, SingleSiteInterval) {
+  CurveSum sum;
+  sum.add(DispCurve::targetV(10.0));
+  const auto result = sum.minimizeOnSites(7, 7);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.x, 7);
+  EXPECT_DOUBLE_EQ(result.value, 3.0);
+}
+
+TEST(Design, InvalidateCachesRefreshesStatistics) {
+  Design d = smallDesign();
+  addCell(d, 0, 1, 1);
+  EXPECT_EQ(d.maxCellHeight(), 1);
+  addCell(d, 2, 5, 5);  // triple height, but caches are stale
+  EXPECT_EQ(d.maxCellHeight(), 1);
+  d.invalidateCaches();
+  EXPECT_EQ(d.maxCellHeight(), 3);
+  EXPECT_EQ(d.cellsPerHeight()[3], 1);
+}
+
+TEST(Design, OrientationAccessorsOnEmptyPins) {
+  Design d = smallDesign();
+  // Types without pins never conflict with rails.
+  d.hRails.push_back({2, 0, 1000});
+  EXPECT_FALSE(hasHorizontalRailConflict(d, 0, 3));
+  EXPECT_TRUE(verticalRailForbiddenX(d, 0, 3).empty());
+  EXPECT_TRUE(ioPinForbiddenX(d, 0, 3).empty());
+  EXPECT_EQ(pinViolationsAt(d, 0, 5, 3).total(), 0);
+}
+
+TEST(Checkers, MergedForbiddenIntervals) {
+  // Two overlapping vertical stripes must merge into one interval.
+  Design d = smallDesign();
+  CellType t{"P", 2, 1, -1, 0, 0, {}};
+  t.pins.push_back({2, {0, 2, 16, 4}});  // wide M2 pin (2 sites)
+  d.types.push_back(t);
+  const TypeId type = d.numTypes() - 1;
+  d.vRails.push_back({3, 78, 82});
+  d.vRails.push_back({3, 81, 85});  // overlaps the first
+  const auto forbidden = verticalRailForbiddenX(d, type, 0);
+  ASSERT_EQ(forbidden.size(), 1u);
+  // Overlap iff 8x < 85 && 78 < 8x+16 -> x in [8, 10].
+  EXPECT_EQ(forbidden[0], Interval(8, 11));
+}
+
+TEST(SimpleFormat, SaveLoadFileHelpers) {
+  Design d = smallDesign();
+  addCell(d, 0, 3.5, 2.0);
+  const std::string path = ::testing::TempDir() + "/mclg_fmt_test.mclg";
+  ASSERT_TRUE(saveDesign(d, path));
+  std::string error;
+  const auto loaded = loadDesign(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->numCells(), 1);
+  EXPECT_DOUBLE_EQ(loaded->cells[0].gpX, 3.5);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loadDesign("/no/such/file.mclg", &error).has_value());
+  EXPECT_FALSE(saveDesign(d, "/no/such/dir/file.mclg"));
+}
+
+TEST(Lef, LayerNumberParsing) {
+  // Accessible via a round trip: layer survives naming variants.
+  const std::string lef =
+      "SITE core SIZE 0.2 BY 0.4 ; END core\n"
+      "MACRO A\n SIZE 0.4 BY 0.4 ;\n"
+      " PIN P0\n  LAYER M2 ;\n  RECT 0.0 0.0 0.1 0.1 ;\n END P0\n"
+      "END A\nEND LIBRARY\n";
+  std::string error;
+  const auto lib = readLef(lef, &error);
+  ASSERT_TRUE(lib.has_value()) << error;
+  ASSERT_EQ(lib->types.size(), 1u);
+  ASSERT_EQ(lib->types[0].pins.size(), 1u);
+  EXPECT_EQ(lib->types[0].pins[0].layer, 2);
+}
+
+TEST(Checkers, WideIoPinLookback) {
+  // The IO list is sorted by xlo and scanned backward with a bounded
+  // look-back of the *widest* IO pin; a wide pin followed by many narrow
+  // ones must still be found when only its far end overlaps.
+  Design d = smallDesign();
+  CellType t{"P", 2, 1, -1, 0, 0, {}};
+  t.pins.push_back({1, {0, 2, 2, 4}});  // M1 pin at the cell's left edge
+  d.types.push_back(t);
+  const TypeId type = d.numTypes() - 1;
+  d.ioPins.push_back({1, {0, 2, 100, 4}});  // very wide M1 pin
+  for (int i = 0; i < 5; ++i) {
+    // Narrow pins after it in xlo order, on a non-conflicting layer.
+    d.ioPins.push_back({3, {40 + i * 4, 2, 41 + i * 4, 4}});
+  }
+  // Cell at x=12 (fine x 96..98): only the wide pin's tail overlaps.
+  EXPECT_EQ(countIoOverlaps(d, type, 12, 0), 1);
+  EXPECT_GT(pinViolationsAt(d, type, 12, 0).shorts, 0);
+  // Past the wide pin's end: clean.
+  EXPECT_EQ(countIoOverlaps(d, type, 13, 0), 0);
+}
+
+TEST(Lef, TruncatedMacroRejected) {
+  std::string error;
+  EXPECT_FALSE(
+      readLef("SITE core SIZE 0.2 BY 0.4 ; END core\nMACRO A\nSIZE 1 BY",
+              &error)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,430 @@
+// Fixed-row-&-order MCF tests (paper §3.3): hand instances vs brute force,
+// order/boundary preservation, and the max-displacement extension (§3.3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/mcfopt/fixed_row_order.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "legal/refine/feasible_range.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+FixedRowOrderConfig totalDispConfig() {
+  FixedRowOrderConfig config;
+  config.contestWeights = false;
+  config.routability = false;
+  config.maxDispWeight = 0.0;
+  return config;
+}
+
+TEST(FixedRowOrder, SingleCellMovesToGp) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 20.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(c, 5, 4);
+  const auto stats = optimizeFixedRowOrder(state, segments, totalDispConfig());
+  EXPECT_EQ(stats.cellsMoved, 1);
+  EXPECT_EQ(d.cells[c].x, 20);
+}
+
+TEST(FixedRowOrder, TwoCellsShareOptimalSpot) {
+  Design d = smallDesign();
+  // Both want x = 20; widths 2 -> optimal packs them around 20.
+  const CellId a = addCell(d, 0, 20.0, 4.0);
+  const CellId b = addCell(d, 0, 20.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(a, 5, 4);
+  state.place(b, 9, 4);
+  optimizeFixedRowOrder(state, segments, totalDispConfig());
+  // Order preserved (a left of b), contiguous around 20: any packing with
+  // a.x in [18, 20] and b.x = a.x + 2 achieves total 2 sites.
+  EXPECT_LT(d.cells[a].x, d.cells[b].x);
+  EXPECT_EQ(d.cells[b].x - d.cells[a].x, 2);
+  const double total = std::abs(d.cells[a].x - 20.0) +
+                       std::abs(d.cells[b].x - 20.0);
+  EXPECT_DOUBLE_EQ(total, 2.0);
+  EXPECT_TRUE(checkLegality(d, segments).legal());
+}
+
+TEST(FixedRowOrder, RespectsSegmentBoundaries) {
+  Design d = smallDesign();
+  testing::addFixed(d, 2, 20, 3);  // blockage at x 20-24, rows 3-5
+  const CellId c = addCell(d, 0, 30.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(c, 5, 4);  // left of the blockage; GP on the right side
+  optimizeFixedRowOrder(state, segments, totalDispConfig());
+  // Cannot jump the blockage (fixed row, same segment): clamps at x = 18.
+  EXPECT_EQ(d.cells[c].x, 18);
+  EXPECT_TRUE(checkLegality(d, segments).legal());
+}
+
+TEST(FixedRowOrder, MultiRowNeighborConstraintHolds) {
+  Design d = smallDesign();
+  const CellId dbl = addCell(d, 1, 20.0, 4.0);   // 3x2 rows 4-5
+  const CellId top = addCell(d, 0, 18.0, 5.0);   // 2x1 row 5, left of dbl
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(top, 10, 5);
+  state.place(dbl, 13, 4);
+  optimizeFixedRowOrder(state, segments, totalDispConfig());
+  EXPECT_TRUE(checkLegality(d, segments).legal());
+  // Order in row 5 preserved.
+  EXPECT_LE(d.cells[top].x + 2, d.cells[dbl].x);
+  // Both should reach their GPs exactly (no conflict: 18+2 <= 20).
+  EXPECT_EQ(d.cells[top].x, 18);
+  EXPECT_EQ(d.cells[dbl].x, 20);
+}
+
+TEST(FixedRowOrder, EdgeSpacingKeptBetweenNeighbors) {
+  Design d = smallDesign();
+  d.numEdgeClasses = 2;
+  d.edgeSpacingTable = {0, 0, 0, 3};
+  d.types[0].leftEdge = 1;
+  d.types[0].rightEdge = 1;
+  const CellId a = addCell(d, 0, 20.0, 4.0);
+  const CellId b = addCell(d, 0, 20.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(a, 2, 4);
+  state.place(b, 10, 4);
+  optimizeFixedRowOrder(state, segments, totalDispConfig());
+  EXPECT_GE(d.cells[b].x - (d.cells[a].x + 2), 3);
+  EXPECT_EQ(countEdgeSpacingViolations(d), 0);
+}
+
+/// Brute-force reference for small chains in one row: enumerate all integer
+/// placements preserving order and bounds; compare the optimal total
+/// x-displacement with the MCF result.
+TEST(FixedRowOrder, MatchesBruteForceOnRandomChains) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    Design d = smallDesign();
+    d.numSitesX = 16;
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 1));
+    std::vector<CellId> ids;
+    std::vector<std::int64_t> placedX;
+    std::int64_t cursor = 0;
+    for (int i = 0; i < n; ++i) {
+      const CellId c = addCell(d, 0, rng.uniformReal(0, 14), 4.0);
+      ids.push_back(c);
+      cursor += rng.uniformInt(0, 3);
+      if (cursor > 16 - 2 * (n - i)) cursor = 16 - 2 * (n - i);
+      placedX.push_back(cursor);
+      cursor += 2;
+    }
+    SegmentMap segments(d);
+    PlacementState state(d);
+    for (int i = 0; i < n; ++i) {
+      state.place(ids[static_cast<std::size_t>(i)],
+                  placedX[static_cast<std::size_t>(i)], 4);
+    }
+    const auto stats =
+        optimizeFixedRowOrder(state, segments, totalDispConfig());
+
+    // Brute force (n <= 3, width 2, sites 16).
+    double best = 1e18;
+    std::vector<std::int64_t> xs(static_cast<std::size_t>(n), 0);
+    std::function<void(int, std::int64_t)> rec = [&](int i, std::int64_t lo) {
+      if (i == n) {
+        double total = 0;
+        for (int k = 0; k < n; ++k) {
+          // Round GP as the optimizer does, for an apples-to-apples bound.
+          total += std::abs(
+              static_cast<double>(xs[static_cast<std::size_t>(k)]) -
+              std::llround(d.cells[ids[static_cast<std::size_t>(k)]].gpX));
+        }
+        best = std::min(best, total);
+        return;
+      }
+      for (std::int64_t x = lo; x + 2 * (n - i) <= 16; ++x) {
+        xs[static_cast<std::size_t>(i)] = x;
+        rec(i + 1, x + 2);
+      }
+    };
+    rec(0, 0);
+
+    double got = 0;
+    for (int k = 0; k < n; ++k) {
+      got += std::abs(
+          static_cast<double>(d.cells[ids[static_cast<std::size_t>(k)]].x) -
+          std::llround(d.cells[ids[static_cast<std::size_t>(k)]].gpX));
+    }
+    EXPECT_NEAR(got, best, 1e-9) << "trial " << trial;
+    (void)stats;
+  }
+}
+
+TEST(FixedRowOrder, ObjectiveNeverIncreases) {
+  GenSpec spec;
+  spec.cellsPerHeight = {400, 60, 20, 0};
+  spec.density = 0.7;
+  spec.seed = 32;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  MglLegalizer legalizer(state, segments, {});
+  ASSERT_EQ(legalizer.run().failed, 0);
+  const auto stats = optimizeFixedRowOrder(state, segments, totalDispConfig());
+  EXPECT_LE(stats.objectiveAfter, stats.objectiveBefore + 1e-6);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+TEST(FixedRowOrder, MaxDispExtensionTradesAvgForMax) {
+  GenSpec spec;
+  spec.cellsPerHeight = {400, 40, 0, 0};
+  spec.density = 0.8;
+  spec.seed = 33;
+  Design a = generate(spec);
+  Design b = generate(spec);
+  for (Design* design : {&a, &b}) {
+    SegmentMap segments(*design);
+    PlacementState state(*design);
+    MglLegalizer legalizer(state, segments, {});
+    ASSERT_EQ(legalizer.run().failed, 0);
+    FixedRowOrderConfig config = totalDispConfig();
+    if (design == &b) config.maxDispWeight = 50.0;
+    optimizeFixedRowOrder(state, segments, config);
+    EXPECT_TRUE(checkLegality(*design, segments).legal());
+  }
+  const auto statsA = displacementStats(a);
+  const auto statsB = displacementStats(b);
+  // With a heavy n0, the max-displacement term cannot be worse.
+  EXPECT_LE(statsB.maximum, statsA.maximum + 1e-9);
+}
+
+// §3.3.1: the n0 term pulls the maximum-displaced cell home even when the
+// plain weighted objective refuses. Setup: double-height A (Eq. 2 weight
+// 0.25 here) displaced 20 sites left of its GP, blocked by two singles
+// (weight 0.25 each, sitting at their GPs) — moving the chain right *costs*
+// 0.25/site in the plain objective, so with n0 = 0 A stays put. A far
+// right-displaced double Z, clamped between blockages, pins δ+ so the
+// extension gains a full n0 per site and overrules the plain term.
+TEST(FixedRowOrder, MaxDispExtensionPullsMaxCellHome) {
+  auto build = [](Design& d, SegmentMap*& segments, PlacementState*& state,
+                  CellId ids[4]) {
+    d = smallDesign();
+    d.numSitesX = 60;
+    ids[0] = addCell(d, 1, 20.0, 0.0);  // A: double 3x2, GP x=20
+    ids[1] = addCell(d, 0, 3.0, 0.0);   // b: single at its GP, row 0
+    ids[2] = addCell(d, 0, 3.0, 1.0);   // c: single at its GP, row 1
+    ids[3] = addCell(d, 1, 0.0, 4.0);   // Z: double, right-displaced ~40
+    testing::addFixed(d, 0, 38, 4);     // clamp Z between blockages
+    testing::addFixed(d, 0, 38, 5);
+    testing::addFixed(d, 0, 44, 4);
+    testing::addFixed(d, 0, 44, 5);
+    segments = new SegmentMap(d);
+    state = new PlacementState(d);
+    state->place(ids[0], 0, 0);
+    state->place(ids[1], 3, 0);
+    state->place(ids[2], 3, 1);
+    state->place(ids[3], 41, 4);
+  };
+
+  for (const double n0 : {0.0, 50.0}) {
+    Design d;
+    SegmentMap* segments = nullptr;
+    PlacementState* state = nullptr;
+    CellId ids[4];
+    build(d, segments, state, ids);
+    FixedRowOrderConfig config;
+    config.contestWeights = true;
+    config.routability = false;
+    config.maxDispWeight = n0;
+    optimizeFixedRowOrder(*state, *segments, config);
+    EXPECT_TRUE(checkLegality(d, *segments).legal());
+    if (n0 == 0.0) {
+      EXPECT_EQ(d.cells[ids[0]].x, 0) << "plain objective must not move A";
+    } else {
+      EXPECT_EQ(d.cells[ids[0]].x, 20) << "extension must pull A to its GP";
+      EXPECT_GE(d.cells[ids[1]].x, 23);  // pushed chain keeps order+width
+    }
+    delete state;
+    delete segments;
+  }
+}
+
+TEST(FixedRowOrder, RoutabilityRangesRespected) {
+  GenSpec spec;
+  spec.cellsPerHeight = {300, 30, 0, 0};
+  spec.density = 0.6;
+  spec.seed = 34;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  MglConfig mglConfig;
+  mglConfig.insertion.routability = true;
+  MglLegalizer legalizer(state, segments, mglConfig);
+  ASSERT_EQ(legalizer.run().failed, 0);
+  const auto pinsBefore = countPinViolations(design);
+  FixedRowOrderConfig config;
+  config.contestWeights = true;
+  config.routability = true;
+  optimizeFixedRowOrder(state, segments, config);
+  const auto pinsAfter = countPinViolations(design);
+  // §3.4: the feasible ranges prevent new pin violations.
+  EXPECT_LE(pinsAfter.total(), pinsBefore.total());
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+// §3.3 point (1): the compact m+1-node network and the MrDP-style 3m+2-node
+// network are the same LP — identical optimal objective on random designs.
+TEST(FixedRowOrder, MrdpStyleNetworkSameOptimum) {
+  for (const std::uint64_t seed : {81, 82, 83}) {
+    GenSpec spec;
+    spec.cellsPerHeight = {300, 40, 10, 0};
+    spec.density = 0.65;
+    spec.seed = seed;
+    Design a = generate(spec);
+    Design b = generate(spec);
+    double objA = 0.0, objB = 0.0;
+    int nodesA = 0, nodesB = 0, arcsA = 0, arcsB = 0;
+    for (Design* design : {&a, &b}) {
+      SegmentMap segments(*design);
+      PlacementState state(*design);
+      MglLegalizer legalizer(state, segments, {});
+      ASSERT_EQ(legalizer.run().failed, 0);
+      FixedRowOrderConfig config;
+      config.contestWeights = true;
+      config.routability = true;
+      config.mrdpStyleNetwork = (design == &b);
+      const auto net = buildFixedRowOrderNetwork(state, segments, config);
+      (design == &a ? nodesA : nodesB) = net.problem.numNodes();
+      (design == &a ? arcsA : arcsB) = net.problem.numArcs();
+      const auto stats = optimizeFixedRowOrder(state, segments, config);
+      (design == &a ? objA : objB) = stats.objectiveAfter;
+      EXPECT_TRUE(checkLegality(*design, segments).legal());
+    }
+    EXPECT_NEAR(objA, objB, 1e-6) << "seed " << seed;
+    // The paper's node/arc counts: m+1 (+2 for the n0 extension) vs 3m+2.
+    EXPECT_GT(nodesB, 2 * nodesA);
+    EXPECT_GT(arcsB, arcsA);
+  }
+}
+
+// The paper's Fig. 5 toy: two single-row cells and one double-row cell.
+// Check the network has exactly the advertised size — m+1 nodes and
+// 2m + |C_L| + |C_R| + |E| arcs (C_L = C_R = C in routability mode), plus
+// v_p/v_n and their arcs when the §3.3.1 extension is on.
+TEST(FixedRowOrder, Fig5ToyNetworkStructure) {
+  Design d = smallDesign();
+  const CellId c1 = addCell(d, 0, 2.0, 0.0);   // single, row 0
+  const CellId c2 = addCell(d, 0, 2.0, 1.0);   // single, row 1
+  const CellId c3 = addCell(d, 1, 8.0, 0.0);   // double, rows 0-1
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(c1, 2, 0);
+  state.place(c2, 2, 1);
+  state.place(c3, 8, 0);
+  // E: c1 left of c3 (row 0), c2 left of c3 (row 1) -> |E| = 2.
+  FixedRowOrderConfig config;
+  config.contestWeights = false;
+  config.routability = false;  // no rails in this design anyway
+  config.maxDispWeight = 0.0;
+  {
+    const auto net = buildFixedRowOrderNetwork(state, segments, config);
+    EXPECT_EQ(net.problem.numNodes(), 3 + 1);          // m + v_z
+    EXPECT_EQ(net.problem.numArcs(), 4 * 3 + 2);       // 2m + 2m(l,r) + |E|
+  }
+  {
+    FixedRowOrderConfig ext = config;
+    ext.maxDispWeight = 4.0;
+    const auto net = buildFixedRowOrderNetwork(state, segments, ext);
+    EXPECT_EQ(net.problem.numNodes(), 3 + 1 + 2);      // + v_p, v_n
+    EXPECT_EQ(net.problem.numArcs(), 4 * 3 + 2 + 2 * 3 + 2);
+  }
+  // And solving the toy moves every cell to its GP (no conflicts).
+  optimizeFixedRowOrder(state, segments, config);
+  EXPECT_EQ(d.cells[c1].x, 2);
+  EXPECT_EQ(d.cells[c2].x, 2);
+  EXPECT_EQ(d.cells[c3].x, 8);
+}
+
+// The constraint graph separates over connected components, so the
+// parallel component solver must reproduce the sequential result exactly.
+TEST(FixedRowOrder, ParallelComponentsMatchSequential) {
+  for (const std::uint64_t seed : {161, 162}) {
+    GenSpec spec;
+    spec.cellsPerHeight = {400, 50, 15, 0};
+    spec.density = 0.6;
+    spec.numFences = 2;
+    spec.seed = seed;
+    Design a = generate(spec);
+    Design b = generate(spec);
+    for (Design* design : {&a, &b}) {
+      SegmentMap segments(*design);
+      PlacementState state(*design);
+      MglLegalizer legalizer(state, segments, {});
+      ASSERT_EQ(legalizer.run().failed, 0);
+      FixedRowOrderConfig config;
+      config.contestWeights = true;
+      config.routability = true;
+      config.maxDispWeight = 0.0;  // component decomposition requires n0=0
+      config.numThreads = design == &b ? 4 : 1;
+      optimizeFixedRowOrder(state, segments, config);
+    }
+    for (CellId c = 0; c < a.numCells(); ++c) {
+      // Same optimum; positions may differ only within exact-tie regions,
+      // so compare the objective rather than coordinates cell by cell.
+      ASSERT_EQ(a.cells[c].placed, b.cells[c].placed);
+    }
+    // Compare the *exact* objective the MCF optimizes (scaled integer
+    // weights, GP rounded to sites): ties in it are broken arbitrarily, so
+    // the float metric may differ in the last decimals, but this integer
+    // objective must agree exactly.
+    auto roundedObjective = [](const Design& d) {
+      long long total = 0;
+      for (CellId c = 0; c < d.numCells(); ++c) {
+        if (d.cells[c].fixed || !d.cells[c].placed) continue;
+        const long long w = std::max<long long>(
+            1, std::llround(d.metricWeight(c) * 1e6));
+        total += w * std::llabs(d.cells[c].x - std::llround(d.cells[c].gpX));
+      }
+      return total;
+    };
+    EXPECT_EQ(roundedObjective(a), roundedObjective(b)) << "seed " << seed;
+  }
+}
+
+TEST(FeasibleRange, SegmentOnly) {
+  Design d = smallDesign();
+  testing::addFixed(d, 2, 20, 3);
+  const CellId c = addCell(d, 0, 5.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(c, 5, 4);
+  const Interval range = feasibleRange(d, segments, c, /*routability=*/false);
+  EXPECT_EQ(range.lo, 0);
+  EXPECT_EQ(range.hi, 19);  // left edge max = 18, half-open 19
+}
+
+TEST(FeasibleRange, VerticalRailClipsRange) {
+  Design d = smallDesign();
+  d.types[0].pins.push_back({2, {0, 2, 2, 4}});  // M2 pin at cell left
+  d.vRails.push_back({3, 20 * 8, 20 * 8 + 2});   // M3 stripe at site 20
+  const CellId c = addCell(d, 0, 5.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(c, 5, 4);
+  const Interval range = feasibleRange(d, segments, c, /*routability=*/true);
+  // The stripe forbids x where [8x, 8x+2) overlaps [160, 162): x = 20.
+  EXPECT_LE(range.hi - 1, 19);
+  EXPECT_TRUE(range.contains(5));
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/benchmark_gen.hpp"
+#include "gen/iccad17_suite.hpp"
+#include "gen/ispd15_suite.hpp"
+
+namespace mclg {
+namespace {
+
+GenSpec tinySpec() {
+  GenSpec spec;
+  spec.name = "tiny";
+  spec.cellsPerHeight = {300, 40, 10, 5};
+  spec.density = 0.5;
+  spec.numFences = 2;
+  spec.numBlockages = 1;
+  spec.seed = 3;
+  return spec;
+}
+
+TEST(Generator, ProducesRequestedCellCounts) {
+  const Design d = generate(tinySpec());
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const auto& cell : d.cells) {
+    if (!cell.fixed) ++counts[d.types[cell.type].height];
+  }
+  EXPECT_EQ(counts[1], 300);
+  EXPECT_EQ(counts[2], 40);
+  EXPECT_EQ(counts[3], 10);
+  EXPECT_EQ(counts[4], 5);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Design a = generate(tinySpec());
+  const Design b = generate(tinySpec());
+  ASSERT_EQ(a.numCells(), b.numCells());
+  for (CellId c = 0; c < a.numCells(); ++c) {
+    EXPECT_DOUBLE_EQ(a.cells[c].gpX, b.cells[c].gpX);
+    EXPECT_DOUBLE_EQ(a.cells[c].gpY, b.cells[c].gpY);
+    EXPECT_EQ(a.cells[c].type, b.cells[c].type);
+    EXPECT_EQ(a.cells[c].fence, b.cells[c].fence);
+  }
+  EXPECT_EQ(a.numSitesX, b.numSitesX);
+  EXPECT_EQ(a.numRows, b.numRows);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GenSpec spec = tinySpec();
+  const Design a = generate(spec);
+  spec.seed = 4;
+  const Design b = generate(spec);
+  int differing = 0;
+  const int n = std::min(a.numCells(), b.numCells());
+  for (CellId c = 0; c < n; ++c) {
+    if (a.cells[c].gpX != b.cells[c].gpX) ++differing;
+  }
+  EXPECT_GT(differing, n / 2);
+}
+
+TEST(Generator, DensityRoughlyRespected) {
+  const Design d = generate(tinySpec());
+  std::int64_t cellArea = 0;
+  for (const auto& cell : d.cells) {
+    if (!cell.fixed) {
+      cellArea += static_cast<std::int64_t>(d.widthOf(0)) * 0;  // placate lint
+      cellArea += static_cast<std::int64_t>(d.types[cell.type].width) *
+                  d.types[cell.type].height;
+    }
+  }
+  const double utilization =
+      static_cast<double>(cellArea) /
+      static_cast<double>(d.numSitesX * d.numRows);
+  EXPECT_GT(utilization, 0.30);
+  EXPECT_LT(utilization, 0.70);
+}
+
+TEST(Generator, GpPositionsInsideCore) {
+  const Design d = generate(tinySpec());
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    const auto& cell = d.cells[c];
+    if (cell.fixed) continue;
+    EXPECT_GE(cell.gpX, 0.0);
+    EXPECT_LE(cell.gpX, static_cast<double>(d.numSitesX - d.widthOf(c)));
+    EXPECT_GE(cell.gpY, 0.0);
+    EXPECT_LE(cell.gpY, static_cast<double>(d.numRows - d.heightOf(c)));
+  }
+}
+
+TEST(Generator, FenceCellsHaveGpInsideFence) {
+  const Design d = generate(tinySpec());
+  int fenceCells = 0;
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    const auto& cell = d.cells[c];
+    if (cell.fixed || cell.fence == kDefaultFence) continue;
+    ++fenceCells;
+    bool inside = false;
+    for (const auto& rect : d.fences[cell.fence].rects) {
+      if (cell.gpX >= rect.xlo && cell.gpX < rect.xhi && cell.gpY >= rect.ylo &&
+          cell.gpY < rect.yhi) {
+        inside = true;
+      }
+    }
+    EXPECT_TRUE(inside) << "cell " << c;
+  }
+  EXPECT_GT(fenceCells, 0);
+}
+
+TEST(Generator, EvenHeightTypesHaveParity) {
+  const Design d = generate(tinySpec());
+  for (const auto& type : d.types) {
+    if (type.height % 2 == 0) {
+      EXPECT_TRUE(type.parity == 0 || type.parity == 1) << type.name;
+    }
+  }
+}
+
+TEST(Generator, RoutabilityStructuresPresent) {
+  const Design d = generate(tinySpec());
+  EXPECT_FALSE(d.hRails.empty());
+  EXPECT_FALSE(d.vRails.empty());
+  EXPECT_FALSE(d.ioPins.empty());
+  EXPECT_FALSE(d.nets.empty());
+}
+
+TEST(Generator, ScaledReducesCounts) {
+  const GenSpec spec = scaled(tinySpec(), 0.1);
+  EXPECT_EQ(spec.cellsPerHeight[0], 30);
+  EXPECT_EQ(spec.cellsPerHeight[1], 4);
+}
+
+TEST(Suites, Iccad17Has16Entries) {
+  const auto suite = iccad17Suite(0.01);
+  ASSERT_EQ(suite.size(), 16u);
+  for (const auto& entry : suite) {
+    EXPECT_FALSE(entry.spec.name.empty());
+    EXPECT_GT(entry.spec.cellsPerHeight[0], 0);
+    EXPECT_GT(entry.paperAvgDispAfter, 0.0);
+  }
+  EXPECT_EQ(suite[0].spec.name, "des_perf_1");
+}
+
+TEST(Suites, Ispd15Has20EntriesWithTenPercentDoubles) {
+  const auto suite = ispd15Suite(1.0);
+  ASSERT_EQ(suite.size(), 20u);
+  for (const auto& entry : suite) {
+    const int total =
+        entry.spec.cellsPerHeight[0] + entry.spec.cellsPerHeight[1];
+    EXPECT_NEAR(static_cast<double>(entry.spec.cellsPerHeight[1]) / total, 0.1,
+                0.01);
+    EXPECT_FALSE(entry.spec.withRoutability);
+    EXPECT_GT(entry.paperOurs, 0.0);
+  }
+}
+
+TEST(Suites, GeneratedSuiteDesignValidates) {
+  const auto suite = iccad17Suite(0.02);
+  const Design d = generate(suite[0].spec);
+  d.validate();
+  EXPECT_GT(d.numCells(), 1000);
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "geometry/interval.hpp"
+#include "geometry/rect.hpp"
+
+namespace mclg {
+namespace {
+
+TEST(Interval, BasicProperties) {
+  const Interval iv{2, 7};
+  EXPECT_EQ(iv.length(), 5);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(6));
+  EXPECT_FALSE(iv.contains(7));
+  EXPECT_FALSE(iv.contains(1));
+}
+
+TEST(Interval, EmptyWhenDegenerate) {
+  EXPECT_TRUE(Interval(3, 3).empty());
+  EXPECT_TRUE(Interval(5, 2).empty());
+  EXPECT_EQ(Interval().length(), 0);
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval outer{0, 10};
+  EXPECT_TRUE(outer.containsInterval({0, 10}));
+  EXPECT_TRUE(outer.containsInterval({3, 7}));
+  EXPECT_FALSE(outer.containsInterval({-1, 5}));
+  EXPECT_FALSE(outer.containsInterval({5, 11}));
+}
+
+TEST(Interval, Overlaps) {
+  EXPECT_TRUE(Interval(0, 5).overlaps({4, 8}));
+  EXPECT_FALSE(Interval(0, 5).overlaps({5, 8}));  // half-open: touching is ok
+  EXPECT_TRUE(Interval(2, 3).overlaps({0, 10}));
+  EXPECT_FALSE(Interval(0, 2).overlaps({3, 4}));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(Interval(0, 5).intersect({3, 8}), Interval(3, 5));
+  EXPECT_TRUE(Interval(0, 2).intersect({3, 5}).empty());
+  EXPECT_EQ(Interval(1, 9).intersect({2, 4}), Interval(2, 4));
+}
+
+TEST(Rect, BasicProperties) {
+  const Rect r{1, 2, 4, 7};
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 15);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(Rect(1, 1, 1, 5).empty());
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r{0, 0, 10, 4};
+  EXPECT_TRUE(r.contains(0, 0));
+  EXPECT_TRUE(r.contains(9, 3));
+  EXPECT_FALSE(r.contains(10, 3));
+  EXPECT_FALSE(r.contains(9, 4));
+  EXPECT_FALSE(r.contains(-1, 0));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.containsRect({0, 0, 10, 10}));
+  EXPECT_TRUE(outer.containsRect({2, 2, 8, 8}));
+  EXPECT_FALSE(outer.containsRect({2, 2, 11, 8}));
+}
+
+TEST(Rect, OverlapsAndIntersect) {
+  const Rect a{0, 0, 5, 5};
+  EXPECT_TRUE(a.overlaps({4, 4, 8, 8}));
+  EXPECT_FALSE(a.overlaps({5, 0, 8, 5}));  // edge-touching
+  const Rect i = a.intersect({3, 1, 9, 4});
+  EXPECT_EQ(i, Rect(3, 1, 5, 4));
+  EXPECT_TRUE(a.intersect({6, 6, 8, 8}).empty());
+}
+
+TEST(Rect, Shifted) {
+  EXPECT_EQ(Rect(1, 2, 3, 4).shifted(10, -2), Rect(11, 0, 13, 2));
+}
+
+TEST(Rect, Spans) {
+  const Rect r{1, 2, 4, 7};
+  EXPECT_EQ(r.xSpan(), Interval(1, 4));
+  EXPECT_EQ(r.ySpan(), Interval(2, 7));
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,120 @@
+// GP-lite tests: wirelength relaxation, spreading, fence clamping,
+// determinism, and the full GP -> legalization handoff.
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "gen/global_placer.hpp"
+#include "legal/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+GenSpec nettedSpec(std::uint64_t seed) {
+  GenSpec spec;
+  spec.cellsPerHeight = {600, 60, 0, 0};
+  spec.density = 0.5;
+  spec.numFences = 1;
+  spec.withNets = true;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(GlobalPlacer, ReducesHpwl) {
+  Design design = generate(nettedSpec(71));
+  const auto stats = globalPlace(design, {});
+  EXPECT_LT(stats.hpwlAfter, stats.hpwlBefore * 0.8)
+      << "quadratic relaxation should cut HPWL substantially";
+}
+
+TEST(GlobalPlacer, KeepsCellsInCore) {
+  Design design = generate(nettedSpec(72));
+  globalPlace(design, {});
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed) continue;
+    EXPECT_GE(cell.gpX, 0.0);
+    EXPECT_LE(cell.gpX, static_cast<double>(design.numSitesX - design.widthOf(c)));
+    EXPECT_GE(cell.gpY, 0.0);
+    EXPECT_LE(cell.gpY, static_cast<double>(design.numRows - design.heightOf(c)));
+  }
+}
+
+TEST(GlobalPlacer, FenceCellsStayInFence) {
+  Design design = generate(nettedSpec(73));
+  globalPlace(design, {});
+  int fenceCells = 0;
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed || cell.fence == kDefaultFence) continue;
+    ++fenceCells;
+    bool inside = false;
+    for (const auto& rect : design.fences[cell.fence].rects) {
+      if (cell.gpX >= rect.xlo &&
+          cell.gpX <= rect.xhi - design.widthOf(c) && cell.gpY >= rect.ylo &&
+          cell.gpY <= rect.yhi - design.heightOf(c)) {
+        inside = true;
+      }
+    }
+    EXPECT_TRUE(inside) << "cell " << c;
+  }
+  EXPECT_GT(fenceCells, 0);
+}
+
+TEST(GlobalPlacer, Deterministic) {
+  Design a = generate(nettedSpec(74));
+  Design b = generate(nettedSpec(74));
+  globalPlace(a, {});
+  globalPlace(b, {});
+  for (CellId c = 0; c < a.numCells(); ++c) {
+    EXPECT_DOUBLE_EQ(a.cells[c].gpX, b.cells[c].gpX);
+    EXPECT_DOUBLE_EQ(a.cells[c].gpY, b.cells[c].gpY);
+  }
+}
+
+TEST(GlobalPlacer, SpreadingLimitsPeakDensity) {
+  // Collapse everything into one hotspot, then let the placer spread it.
+  Design design = generate(nettedSpec(75));
+  for (auto& cell : design.cells) {
+    if (!cell.fixed) {
+      cell.gpX = design.numSitesX / 2.0;
+      cell.gpY = design.numRows / 2.0;
+    }
+  }
+  GlobalPlaceConfig config;
+  config.iterations = 120;
+  config.wirelengthStep = 0.2;  // weak pull so spreading dominates
+  const auto stats = globalPlace(design, config);
+  EXPECT_LT(stats.maxBinUtilAfter, stats.maxBinUtilBefore / 4.0);
+}
+
+TEST(GlobalPlacer, NoNetsIsStableUnderLowDensity) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 10.0, 5.0);
+  globalPlace(d, {});
+  // No nets, no overflow: the cell must not move.
+  EXPECT_DOUBLE_EQ(d.cells[c].gpX, 10.0);
+  EXPECT_DOUBLE_EQ(d.cells[c].gpY, 5.0);
+}
+
+TEST(GlobalPlacer, HandoffToLegalizerStaysLegal) {
+  Design design = generate(nettedSpec(76));
+  globalPlace(design, {});
+  SegmentMap segments(design);
+  PlacementState state(design);
+  const auto stats = legalize(state, segments, PipelineConfig::contest());
+  EXPECT_EQ(stats.mgl.failed, 0);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  // A spread GP should legalize with small displacement.
+  EXPECT_LT(displacementStats(design).average, 3.0);
+}
+
+}  // namespace
+}  // namespace mclg

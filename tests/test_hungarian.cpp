@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flow/bipartite_matching.hpp"
+#include "flow/hungarian.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+TEST(Hungarian, Trivial1x1) {
+  const auto match = solveAssignmentDense(1, 1, {7});
+  ASSERT_EQ(match.size(), 1u);
+  EXPECT_EQ(match[0], 0);
+}
+
+TEST(Hungarian, PrefersCheapPermutation) {
+  // Identity costs 2, swap costs 0.
+  const std::vector<CostValue> cost = {1, 0,  //
+                                       0, 1};
+  const auto match = solveAssignmentDense(2, 2, cost);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(Hungarian, RectangularSkipsExpensiveColumn) {
+  const std::vector<CostValue> cost = {9, 1, 5,  //
+                                       9, 5, 1};
+  const auto match = solveAssignmentDense(2, 3, cost);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 2);
+}
+
+TEST(Hungarian, HandlesNegativeCosts) {
+  const std::vector<CostValue> cost = {-5, 0,  //
+                                       0, -5};
+  const auto match = solveAssignmentDense(2, 2, cost);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(Hungarian, MatchesMcfReductionOnRandomInstances) {
+  Rng rng(515151);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 10));
+    const int right = n + static_cast<int>(rng.uniformInt(0, 3));
+    std::vector<CostValue> cost(static_cast<std::size_t>(n) * right);
+    std::vector<AssignmentEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < right; ++j) {
+        cost[static_cast<std::size_t>(i) * right + j] =
+            rng.uniformInt(0, 1000);
+        edges.push_back({i, j, cost[static_cast<std::size_t>(i) * right + j]});
+      }
+    }
+    const auto dense = solveAssignmentDense(n, right, cost);
+    const auto sparse = solveAssignment(n, right, edges);
+    ASSERT_TRUE(sparse.has_value());
+    CostValue denseTotal = 0, sparseTotal = 0;
+    std::vector<char> used(static_cast<std::size_t>(right), 0);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_GE(dense[static_cast<std::size_t>(i)], 0);
+      ASSERT_LT(dense[static_cast<std::size_t>(i)], right);
+      EXPECT_FALSE(used[static_cast<std::size_t>(dense[static_cast<std::size_t>(i)])])
+          << "duplicate column";
+      used[static_cast<std::size_t>(dense[static_cast<std::size_t>(i)])] = 1;
+      denseTotal +=
+          cost[static_cast<std::size_t>(i) * right + dense[static_cast<std::size_t>(i)]];
+      sparseTotal +=
+          cost[static_cast<std::size_t>(i) * right +
+               (*sparse)[static_cast<std::size_t>(i)]];
+    }
+    EXPECT_EQ(denseTotal, sparseTotal) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,226 @@
+// Min-cost-flow solver tests: hand-checked instances, duality/optimality
+// verification, and a randomized cross-validation of the network simplex
+// against the independent SSP solver.
+#include <gtest/gtest.h>
+
+#include "flow/mcf.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+// All three solvers agree on the basic feasible instances.
+constexpr auto kAllSolvers = {NetworkSimplex::solve, SspSolver::solve,
+                              CostScalingSolver::solve};
+
+TEST(Mcf, TrivialTwoNodePath) {
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addSupply(a, 5);
+  p.addSupply(b, -5);
+  p.addArc(a, b, 10, 3);
+  for (const auto solve : kAllSolvers) {
+    const auto sol = solve(p);
+    ASSERT_EQ(sol.status, McfStatus::Optimal);
+    EXPECT_EQ(sol.flow[0], 5);
+    EXPECT_DOUBLE_EQ(static_cast<double>(sol.totalCost), 15.0);
+    EXPECT_TRUE(verifyMcfOptimality(p, sol));
+  }
+}
+
+TEST(Mcf, PrefersCheaperParallelPath) {
+  McfProblem p;
+  const int s = p.addNode();
+  const int t = p.addNode();
+  p.addSupply(s, 4);
+  p.addSupply(t, -4);
+  p.addArc(s, t, 3, 1);   // cheap but capacity 3
+  p.addArc(s, t, 10, 5);  // expensive overflow
+  for (const auto solve : kAllSolvers) {
+    const auto sol = solve(p);
+    ASSERT_EQ(sol.status, McfStatus::Optimal);
+    EXPECT_EQ(sol.flow[0], 3);
+    EXPECT_EQ(sol.flow[1], 1);
+    EXPECT_DOUBLE_EQ(static_cast<double>(sol.totalCost), 8.0);
+  }
+}
+
+TEST(Mcf, DiamondWithIntermediateNodes) {
+  McfProblem p;
+  const int s = p.addNode();
+  const int u = p.addNode();
+  const int v = p.addNode();
+  const int t = p.addNode();
+  p.addSupply(s, 6);
+  p.addSupply(t, -6);
+  p.addArc(s, u, 4, 1);
+  p.addArc(s, v, 4, 2);
+  p.addArc(u, t, 4, 1);
+  p.addArc(v, t, 4, 1);
+  for (const auto solve : kAllSolvers) {
+    const auto sol = solve(p);
+    ASSERT_EQ(sol.status, McfStatus::Optimal);
+    // 4 units via u (cost 2 each), 2 via v (cost 3 each) = 14.
+    EXPECT_DOUBLE_EQ(static_cast<double>(sol.totalCost), 14.0);
+    EXPECT_TRUE(verifyMcfOptimality(p, sol));
+  }
+}
+
+TEST(Mcf, InfeasibleWhenDisconnected) {
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addSupply(a, 1);
+  p.addSupply(b, -1);
+  // no arcs
+  EXPECT_EQ(NetworkSimplex::solve(p).status, McfStatus::Infeasible);
+  EXPECT_EQ(SspSolver::solve(p).status, McfStatus::Infeasible);
+  EXPECT_EQ(CostScalingSolver::solve(p).status, McfStatus::Infeasible);
+}
+
+TEST(Mcf, InfeasibleWhenSupplyUnbalanced) {
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addSupply(a, 2);
+  p.addSupply(b, -1);
+  p.addArc(a, b, 10, 1);
+  EXPECT_EQ(NetworkSimplex::solve(p).status, McfStatus::Infeasible);
+  EXPECT_EQ(SspSolver::solve(p).status, McfStatus::Infeasible);
+}
+
+TEST(Mcf, InfeasibleWhenCapacityTooSmall) {
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addSupply(a, 5);
+  p.addSupply(b, -5);
+  p.addArc(a, b, 3, 1);
+  EXPECT_EQ(NetworkSimplex::solve(p).status, McfStatus::Infeasible);
+  EXPECT_EQ(SspSolver::solve(p).status, McfStatus::Infeasible);
+  EXPECT_EQ(CostScalingSolver::solve(p).status, McfStatus::Infeasible);
+}
+
+TEST(Mcf, NegativeCostCirculationSaturates) {
+  // Zero supplies; a negative cycle with finite capacities must saturate.
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addArc(a, b, 5, -3);
+  p.addArc(b, a, 5, 1);
+  for (const auto solve : kAllSolvers) {
+    const auto sol = solve(p);
+    ASSERT_EQ(sol.status, McfStatus::Optimal);
+    EXPECT_EQ(sol.flow[0], 5);
+    EXPECT_EQ(sol.flow[1], 5);
+    EXPECT_DOUBLE_EQ(static_cast<double>(sol.totalCost), -10.0);
+    EXPECT_TRUE(verifyMcfOptimality(p, sol));
+  }
+}
+
+TEST(Mcf, NegativeArcNotWorthTaking) {
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addArc(a, b, 5, -3);
+  p.addArc(b, a, 5, 4);  // return path too expensive
+  for (const auto solve : kAllSolvers) {
+    const auto sol = solve(p);
+    ASSERT_EQ(sol.status, McfStatus::Optimal);
+    EXPECT_DOUBLE_EQ(static_cast<double>(sol.totalCost), 0.0);
+  }
+}
+
+TEST(Mcf, UnboundedNegativeCycleDetected) {
+  McfProblem p;
+  const int a = p.addNode();
+  const int b = p.addNode();
+  p.addArc(a, b, kInfiniteCap, -3);
+  p.addArc(b, a, kInfiniteCap, 1);
+  EXPECT_EQ(NetworkSimplex::solve(p).status, McfStatus::Unbounded);
+}
+
+TEST(Mcf, ZeroSupplyEmptyProblemIsOptimal) {
+  McfProblem p;
+  p.addNodes(3);
+  p.addArc(0, 1, 5, 2);
+  const auto sol = NetworkSimplex::solve(p);
+  ASSERT_EQ(sol.status, McfStatus::Optimal);
+  EXPECT_DOUBLE_EQ(static_cast<double>(sol.totalCost), 0.0);
+}
+
+/// Random transportation-style instances; simplex and SSP must agree on the
+/// optimal cost and both must pass the optimality verifier.
+TEST(Mcf, RandomCrossValidation) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    McfProblem p;
+    const int n = 3 + static_cast<int>(rng.uniformInt(0, 9));
+    p.addNodes(n);
+    // Random balanced supplies.
+    std::vector<FlowValue> supply(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v + 1 < n; ++v) {
+      const FlowValue s = rng.uniformInt(-8, 8);
+      supply[static_cast<std::size_t>(v)] = s;
+      supply[static_cast<std::size_t>(n - 1)] -= s;
+    }
+    for (int v = 0; v < n; ++v) p.addSupply(v, supply[static_cast<std::size_t>(v)]);
+    const int numArcs = n + static_cast<int>(rng.uniformInt(0, 3 * n));
+    for (int a = 0; a < numArcs; ++a) {
+      const int u = static_cast<int>(rng.uniformInt(0, n - 1));
+      int w = static_cast<int>(rng.uniformInt(0, n - 1));
+      if (u == w) w = (w + 1) % n;
+      p.addArc(u, w, rng.uniformInt(0, 20), rng.uniformInt(-10, 25));
+    }
+    const auto simplex = NetworkSimplex::solve(p);
+    const auto ssp = SspSolver::solve(p);
+    const auto scaling = CostScalingSolver::solve(p);
+    ASSERT_EQ(simplex.status == McfStatus::Optimal,
+              ssp.status == McfStatus::Optimal)
+        << "solvers disagree on feasibility at trial " << trial;
+    ASSERT_EQ(simplex.status == McfStatus::Optimal,
+              scaling.status == McfStatus::Optimal)
+        << "cost scaling disagrees on feasibility at trial " << trial;
+    if (simplex.status != McfStatus::Optimal) continue;
+    EXPECT_NEAR(static_cast<double>(simplex.totalCost),
+                static_cast<double>(ssp.totalCost), 1e-6)
+        << "trial " << trial;
+    EXPECT_NEAR(static_cast<double>(simplex.totalCost),
+                static_cast<double>(scaling.totalCost), 1e-6)
+        << "trial " << trial;
+    EXPECT_TRUE(verifyMcfOptimality(p, simplex)) << "trial " << trial;
+    EXPECT_TRUE(verifyMcfOptimality(p, ssp)) << "trial " << trial;
+    EXPECT_TRUE(verifyMcfOptimality(p, scaling)) << "trial " << trial;
+  }
+}
+
+/// Degenerate instances (many zero-capacity and zero-cost arcs) exercise
+/// the anti-cycling pivot rule.
+TEST(Mcf, DegenerateInstancesTerminate) {
+  Rng rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    McfProblem p;
+    const int n = 4 + static_cast<int>(rng.uniformInt(0, 5));
+    p.addNodes(n);
+    p.addSupply(0, 3);
+    p.addSupply(n - 1, -3);
+    for (int a = 0; a < 4 * n; ++a) {
+      const int u = static_cast<int>(rng.uniformInt(0, n - 1));
+      int w = static_cast<int>(rng.uniformInt(0, n - 1));
+      if (u == w) w = (w + 1) % n;
+      p.addArc(u, w, rng.uniformInt(0, 3), rng.chance(0.5) ? 0 : 1);
+    }
+    const auto simplex = NetworkSimplex::solve(p);
+    const auto ssp = SspSolver::solve(p);
+    ASSERT_EQ(simplex.status == McfStatus::Optimal,
+              ssp.status == McfStatus::Optimal);
+    if (simplex.status == McfStatus::Optimal) {
+      EXPECT_NEAR(static_cast<double>(simplex.totalCost),
+                  static_cast<double>(ssp.totalCost), 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mclg

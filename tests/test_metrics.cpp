@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/score.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(Metrics, DisplacementStatsWeightedAverage) {
+  Design d = smallDesign();
+  // Two singles displaced 1 and 3 rows; one double displaced 2 rows.
+  const CellId s1 = addCell(d, 0, 5, 5);
+  const CellId s2 = addCell(d, 0, 10, 5);
+  const CellId m1 = addCell(d, 1, 20, 4);
+  d.cells[s1].placed = true;
+  d.cells[s1].x = 5;
+  d.cells[s1].y = 6;  // dy = 1
+  d.cells[s2].placed = true;
+  d.cells[s2].x = 10;
+  d.cells[s2].y = 8;  // dy = 3
+  d.cells[m1].placed = true;
+  d.cells[m1].x = 24;  // dx = 4 sites = 2 row heights
+  d.cells[m1].y = 4;
+  const auto stats = displacementStats(d);
+  // Eq. 2: H = 2; avg = 1/2 * ((1+3)/2 + 2/1) = 2.
+  EXPECT_DOUBLE_EQ(stats.average, 2.0);
+  EXPECT_DOUBLE_EQ(stats.maximum, 3.0);
+  // Total in sites: (1 + 3 + 2) row heights / 0.5 = 12 sites.
+  EXPECT_DOUBLE_EQ(stats.totalSites, 12.0);
+}
+
+TEST(Metrics, UnplacedCellsDoNotCount) {
+  Design d = smallDesign();
+  addCell(d, 0, 5, 5);
+  const auto stats = displacementStats(d);
+  EXPECT_DOUBLE_EQ(stats.average, 0.0);
+  EXPECT_DOUBLE_EQ(stats.maximum, 0.0);
+}
+
+TEST(Metrics, HpwlUsesPinOffsets) {
+  Design d = smallDesign();
+  // Give type 0 a center pin.
+  d.types[0].pins.push_back({1, {8, 4, 8, 4}});  // point at (1, 0.5)
+  const CellId a = addCell(d, 0, 0, 0);
+  const CellId b = addCell(d, 0, 10, 0);
+  d.cells[a].placed = true;
+  d.cells[a].x = 0;
+  d.cells[a].y = 0;
+  d.cells[b].placed = true;
+  d.cells[b].x = 10;
+  d.cells[b].y = 4;
+  Net net;
+  net.conns = {{a, 0}, {b, 0}};
+  d.nets.push_back(net);
+  // Legal HPWL: dx = 10 sites, dy = 4 rows = 8 site units -> 18.
+  EXPECT_DOUBLE_EQ(hpwl(d, /*useGp=*/false), 18.0);
+  // GP HPWL: dx = 10, dy = 0 -> 10.
+  EXPECT_DOUBLE_EQ(hpwl(d, /*useGp=*/true), 10.0);
+  EXPECT_DOUBLE_EQ(hpwlIncreaseRatio(d), 0.8);
+}
+
+TEST(Metrics, SingleSinkNetsIgnored) {
+  Design d = smallDesign();
+  d.types[0].pins.push_back({1, {0, 0, 1, 1}});
+  const CellId a = addCell(d, 0, 0, 0);
+  d.cells[a].placed = true;
+  d.cells[a].x = 3;
+  d.cells[a].y = 3;
+  Net net;
+  net.conns = {{a, 0}};
+  d.nets.push_back(net);
+  EXPECT_DOUBLE_EQ(hpwl(d, false), 0.0);
+  EXPECT_DOUBLE_EQ(hpwlIncreaseRatio(d), 0.0);
+}
+
+TEST(Score, CombineFormulaMatchesEq10) {
+  // S = (1 + hpwl + (Np+Ne)/m) (1 + max/100) avg
+  const double s = combineScore(/*avg=*/0.8, /*max=*/50.0, /*hpwl=*/0.1,
+                                /*pins=*/20, /*edges=*/30, /*cells=*/100);
+  EXPECT_DOUBLE_EQ(s, (1.0 + 0.1 + 0.5) * 1.5 * 0.8);
+}
+
+TEST(Score, ZeroViolationsReducesToDisplacementTerms) {
+  const double s = combineScore(1.0, 0.0, 0.0, 0, 0, 10);
+  EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Score, EvaluateScoreEndToEnd) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 0, 5, 5);
+  d.cells[a].placed = true;
+  d.cells[a].x = 5;
+  d.cells[a].y = 5;
+  const SegmentMap map(d);
+  const auto score = evaluateScore(d, map);
+  EXPECT_TRUE(score.legality.legal());
+  EXPECT_DOUBLE_EQ(score.displacement.average, 0.0);
+  EXPECT_DOUBLE_EQ(score.score, 0.0);  // zero displacement -> zero score
+}
+
+}  // namespace
+}  // namespace mclg

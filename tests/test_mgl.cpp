@@ -1,0 +1,165 @@
+// MGL end-to-end tests on generated designs: legality, determinism,
+// thread-count invariance (§3.5), and window behavior.
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "legal/mgl/window.hpp"
+
+namespace mclg {
+namespace {
+
+GenSpec testSpec(double density, std::uint64_t seed = 5) {
+  GenSpec spec;
+  spec.cellsPerHeight = {400, 60, 20, 10};
+  spec.density = density;
+  spec.numFences = 2;
+  spec.numBlockages = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+MglStats runMgl(Design& design, const MglConfig& config) {
+  SegmentMap segments(design);
+  PlacementState state(design);
+  MglLegalizer legalizer(state, segments, config);
+  return legalizer.run();
+}
+
+TEST(Window, GrowsAndClamps) {
+  Design d;
+  d.numSitesX = 100;
+  d.numRows = 50;
+  CellType t{"T", 2, 1, -1, 0, 0, {}};
+  WindowParams params;
+  const Rect w0 = makeWindow(d, 50, 25, t, params, 0);
+  const Rect w2 = makeWindow(d, 50, 25, t, params, 2);
+  EXPECT_GT(w2.width(), w0.width());
+  EXPECT_GT(w2.height(), w0.height());
+  const Rect wMax = makeWindow(d, 50, 25, t, params, params.maxExpansions);
+  EXPECT_EQ(wMax, Rect(0, 0, 100, 50));
+  // Clipped at the core boundary.
+  const Rect corner = makeWindow(d, 0, 0, t, params, 0);
+  EXPECT_EQ(corner.xlo, 0);
+  EXPECT_EQ(corner.ylo, 0);
+}
+
+TEST(Mgl, LegalizesModerateDensity) {
+  Design design = generate(testSpec(0.5));
+  const auto stats = runMgl(design, {});
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.placed, 490);
+  const SegmentMap segments(design);
+  const auto report = checkLegality(design, segments);
+  EXPECT_TRUE(report.legal())
+      << "overlaps=" << report.overlaps << " fence=" << report.fenceViolations
+      << " parity=" << report.parityViolations;
+  EXPECT_EQ(countEdgeSpacingViolations(design), 0);
+}
+
+TEST(Mgl, LegalizesHighDensity) {
+  Design design = generate(testSpec(0.85, 6));
+  const auto stats = runMgl(design, {});
+  EXPECT_EQ(stats.failed, 0);
+  const SegmentMap segments(design);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+TEST(Mgl, DisplacementStaysSmallAtLowDensity) {
+  Design design = generate(testSpec(0.3, 7));
+  runMgl(design, {});
+  const auto stats = displacementStats(design);
+  // Plenty of room: the height-weighted average should be ~1 row height.
+  EXPECT_LT(stats.average, 2.0);
+}
+
+TEST(Mgl, DeterministicAcrossRuns) {
+  Design a = generate(testSpec(0.6, 8));
+  Design b = generate(testSpec(0.6, 8));
+  runMgl(a, {});
+  runMgl(b, {});
+  for (CellId c = 0; c < a.numCells(); ++c) {
+    EXPECT_EQ(a.cells[c].x, b.cells[c].x) << "cell " << c;
+    EXPECT_EQ(a.cells[c].y, b.cells[c].y) << "cell " << c;
+  }
+}
+
+TEST(Mgl, ThreadCountDoesNotChangeResult) {
+  // §3.5: the scheduler is deterministic for a fixed batch capacity, and
+  // row-disjoint windows commute — so 1, 2, 4 threads agree when the batch
+  // capacity is pinned.
+  Design ref = generate(testSpec(0.6, 9));
+  MglConfig config1;
+  config1.numThreads = 2;  // scheduler path, one worker... batchCap fixed
+  config1.batchCap = 4;
+  Design d2 = generate(testSpec(0.6, 9));
+  Design d4 = generate(testSpec(0.6, 9));
+  MglConfig config2 = config1;
+  config2.numThreads = 2;
+  MglConfig config4 = config1;
+  config4.numThreads = 4;
+  runMgl(ref, config1);
+  runMgl(d2, config2);
+  runMgl(d4, config4);
+  for (CellId c = 0; c < ref.numCells(); ++c) {
+    EXPECT_EQ(ref.cells[c].x, d2.cells[c].x) << "cell " << c;
+    EXPECT_EQ(ref.cells[c].x, d4.cells[c].x) << "cell " << c;
+    EXPECT_EQ(ref.cells[c].y, d4.cells[c].y) << "cell " << c;
+  }
+  const SegmentMap segments(d4);
+  EXPECT_TRUE(checkLegality(d4, segments).legal());
+}
+
+TEST(Mgl, ParallelMatchesLegality) {
+  Design design = generate(testSpec(0.7, 10));
+  MglConfig config;
+  config.numThreads = 4;
+  const auto stats = runMgl(design, config);
+  EXPECT_EQ(stats.failed, 0);
+  const SegmentMap segments(design);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+TEST(Mgl, FenceCellsEndUpInFences) {
+  Design design = generate(testSpec(0.5, 11));
+  runMgl(design, {});
+  const SegmentMap segments(design);
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const auto& cell = design.cells[c];
+    if (cell.fixed || cell.fence == kDefaultFence) continue;
+    EXPECT_TRUE(segments.spanInFence(cell.y, design.heightOf(c), cell.x,
+                                     design.widthOf(c), cell.fence))
+        << "cell " << c;
+  }
+}
+
+TEST(Mgl, RoutabilityReducesPinViolations) {
+  Design with = generate(testSpec(0.5, 12));
+  Design without = generate(testSpec(0.5, 12));
+  MglConfig configOn;
+  configOn.insertion.routability = true;
+  MglConfig configOff;
+  configOff.insertion.routability = false;
+  runMgl(with, configOn);
+  runMgl(without, configOff);
+  const auto vOn = countPinViolations(with);
+  const auto vOff = countPinViolations(without);
+  EXPECT_LT(vOn.total(), vOff.total());
+}
+
+TEST(Mgl, MllObjectiveAlsoLegal) {
+  Design design = generate(testSpec(0.6, 13));
+  MglConfig config;
+  config.insertion.gpObjective = false;
+  const auto stats = runMgl(design, config);
+  EXPECT_EQ(stats.failed, 0);
+  const SegmentMap segments(design);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,140 @@
+// Histogram, report/SVG, and summarize coverage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/histogram.hpp"
+#include "eval/report.hpp"
+#include "eval/score.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(Histogram, BucketsAndMaximum) {
+  Design d = smallDesign();
+  auto put = [&](double gpY, std::int64_t y) {
+    const CellId c = addCell(d, 0, 5, gpY);
+    d.cells[c].placed = true;
+    d.cells[c].x = 5 + 4 * c;  // avoid overlaps (not checked here anyway)
+    d.cells[c].x = 5 + 3 * (c % 10);
+    d.cells[c].x = 2 * c;
+    d.cells[c].y = y;
+    d.cells[c].gpX = static_cast<double>(d.cells[c].x);
+    return c;
+  };
+  put(5, 5);    // disp 0  -> <=1
+  put(3, 5);    // disp 2  -> <=2
+  put(0, 4);    // disp 4  -> <=5
+  put(0, 8);    // disp 8  -> <=10
+  const auto hist = displacementHistogram(d);
+  EXPECT_EQ(hist.total, 4);
+  EXPECT_DOUBLE_EQ(hist.maximum, 8.0);
+  EXPECT_EQ(hist.counts[0], 1);
+  EXPECT_EQ(hist.counts[1], 1);
+  EXPECT_EQ(hist.counts[2], 1);
+  EXPECT_EQ(hist.counts[3], 1);
+  const std::string text = hist.toString();
+  EXPECT_NE(text.find("<=1"), std::string::npos);
+  EXPECT_NE(text.find(">50"), std::string::npos);
+}
+
+TEST(Histogram, TypeFilter) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 0, 5, 5);
+  const CellId b = addCell(d, 1, 10, 4);
+  d.cells[a].placed = true;
+  d.cells[a].x = 5;
+  d.cells[a].y = 5;
+  d.cells[b].placed = true;
+  d.cells[b].x = 10;
+  d.cells[b].y = 4;
+  EXPECT_EQ(displacementHistogram(d, 0).total, 1);
+  EXPECT_EQ(displacementHistogram(d, 1).total, 1);
+  EXPECT_EQ(displacementHistogram(d, -1).total, 2);
+}
+
+TEST(Report, SummarizeMentionsLegalityAndMetrics) {
+  GenSpec spec;
+  spec.cellsPerHeight = {150, 15, 0, 0};
+  spec.seed = 97;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+  const auto score = evaluateScore(design, segments);
+  const std::string text = summarize(design, score);
+  EXPECT_NE(text.find("LEGAL"), std::string::npos);
+  EXPECT_NE(text.find("avgDisp"), std::string::npos);
+  EXPECT_NE(text.find("score"), std::string::npos);
+}
+
+TEST(Report, SvgContainsCellsAndVectors) {
+  GenSpec spec;
+  spec.cellsPerHeight = {80, 8, 0, 0};
+  spec.seed = 98;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+
+  const std::string path = ::testing::TempDir() + "/mclg_test.svg";
+  ASSERT_TRUE(writeDisplacementSvg(design, -1, path));
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string svg = buffer.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per placed cell (plus the background), one line per selected
+  // cell.
+  std::size_t rects = 0, lines = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1)) {
+    ++lines;
+  }
+  int placed = 0;
+  for (const auto& cell : design.cells) {
+    if (!cell.fixed && cell.placed) ++placed;
+  }
+  EXPECT_EQ(rects, static_cast<std::size_t>(placed) + 1);
+  EXPECT_EQ(lines, static_cast<std::size_t>(placed));
+  std::remove(path.c_str());
+}
+
+TEST(Report, DensityMapSvg) {
+  GenSpec spec;
+  spec.cellsPerHeight = {200, 20, 0, 0};
+  spec.seed = 99;
+  Design design = generate(spec);
+  const std::string path = ::testing::TempDir() + "/mclg_density.svg";
+  // Works on unplaced designs (uses GP positions).
+  ASSERT_TRUE(writeDensityMapSvg(design, path));
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("rgb("), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(writeDensityMapSvg(design, "/nonexistent-dir/x.svg"));
+}
+
+TEST(Report, SvgFailsOnBadPath) {
+  Design d = smallDesign();
+  EXPECT_FALSE(writeDisplacementSvg(d, -1, "/nonexistent-dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,81 @@
+// Cell orientation / vertical flipping (paper §2: odd-height cells flip to
+// align with the P/G rails, which is why only even heights carry a parity
+// constraint). Pin geometry must mirror with the cell.
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+#include "eval/checkers.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::smallDesign;
+
+TEST(Orientation, OddHeightsFlipInOddRows) {
+  Design d = smallDesign();
+  EXPECT_EQ(d.orientationAt(0, 0), Orient::N);   // single height
+  EXPECT_EQ(d.orientationAt(0, 1), Orient::FS);
+  EXPECT_EQ(d.orientationAt(0, 4), Orient::N);
+  EXPECT_EQ(d.orientationAt(2, 3), Orient::FS);  // triple height
+  EXPECT_EQ(d.orientationAt(1, 0), Orient::N);   // even height: never flips
+  EXPECT_EQ(d.orientationAt(1, 2), Orient::N);
+}
+
+TEST(Orientation, PinRectMirrorsVertically) {
+  PinShape pin;
+  pin.layer = 1;
+  pin.rect = {2, 1, 5, 3};  // in a 1-row cell: fine height 8
+  EXPECT_EQ(pin.rectInOrient(Orient::N, 1), Rect(2, 1, 5, 3));
+  EXPECT_EQ(pin.rectInOrient(Orient::FS, 1), Rect(2, 5, 5, 7));
+  // Double flip is identity.
+  PinShape flipped;
+  flipped.rect = pin.rectInOrient(Orient::FS, 1);
+  EXPECT_EQ(flipped.rectInOrient(Orient::FS, 1), pin.rect);
+  // Taller cell mirrors about its own mid-height.
+  EXPECT_EQ(pin.rectInOrient(Orient::FS, 3), Rect(2, 21, 5, 23));
+}
+
+TEST(Orientation, XExtentInvariantUnderFlip) {
+  PinShape pin;
+  pin.rect = {3, 0, 6, 8};
+  const Rect fs = pin.rectInOrient(Orient::FS, 2);
+  EXPECT_EQ(fs.xlo, 3);
+  EXPECT_EQ(fs.xhi, 6);
+}
+
+// A pin near the cell *bottom* conflicts with a bottom-row strap only in N
+// rows; in FS rows the pin mirrors to the top and the conflict moves with
+// it. This is exactly the row alternation MGL's row filter must see.
+TEST(Orientation, RailConflictFollowsTheFlip) {
+  Design d = smallDesign();
+  CellType t{"P", 2, 1, -1, 0, 0, {}};
+  t.pins.push_back({2, {2, 0, 4, 2}});  // M2 pin hugging the cell bottom
+  d.types.push_back(t);
+  const TypeId type = d.numTypes() - 1;
+  // M2 strap along the bottom edge of row 4 and of row 5.
+  d.hRails.push_back({2, 4 * Design::kFine, 4 * Design::kFine + 1});
+  d.hRails.push_back({2, 5 * Design::kFine, 5 * Design::kFine + 1});
+  // Row 4 (even, N): pin spans fine y [32,34) -> short with the row-4 strap.
+  EXPECT_TRUE(hasHorizontalRailConflict(d, type, 4));
+  EXPECT_GT(pinViolationsAt(d, type, 10, 4).shorts, 0);
+  // Row 5 (odd, FS): pin mirrors to [46,48); straps at [40,41) and [41...
+  // the row-5 strap covers [40,41) -> no overlap. Clean.
+  EXPECT_FALSE(hasHorizontalRailConflict(d, type, 5));
+  EXPECT_EQ(pinViolationsAt(d, type, 10, 5).total(), 0);
+}
+
+TEST(Orientation, EvenHeightNeverMirrors) {
+  Design d = smallDesign();
+  CellType t{"D", 3, 2, 0, 0, 0, {}};
+  t.pins.push_back({2, {2, 0, 4, 2}});  // bottom-hugging M2 pin
+  d.types.push_back(t);
+  const TypeId type = d.numTypes() - 1;
+  d.hRails.push_back({2, 4 * Design::kFine, 4 * Design::kFine + 1});
+  // Parity-0 type at row 4: conflicts; there is no FS escape for it.
+  EXPECT_TRUE(hasHorizontalRailConflict(d, type, 4));
+  EXPECT_EQ(d.orientationAt(type, 4), Orient::N);
+}
+
+}  // namespace
+}  // namespace mclg

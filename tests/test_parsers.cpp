@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "gen/benchmark_gen.hpp"
+#include "parsers/def_parser.hpp"
+#include "parsers/lef_parser.hpp"
+#include "parsers/simple_format.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+Design richDesign() {
+  Design d = smallDesign();
+  d.name = "rich";
+  d.numEdgeClasses = 2;
+  d.edgeSpacingTable = {0, 1, 1, 2};
+  d.types[0].pins.push_back({1, {2, 1, 4, 3}});
+  d.types[0].pins.push_back({2, {8, 2, 10, 4}});
+  d.fences.push_back({"f1", {{10, 2, 20, 6}}});
+  d.hRails.push_back({2, 30, 34});
+  d.vRails.push_back({3, 79, 81});
+  d.ioPins.push_back({1, {40, 8, 44, 12}});
+  const CellId a = addCell(d, 0, 3.25, 4.5);
+  const CellId b = addCell(d, 1, 12.0, 3.0, 1);
+  d.cells[b].placed = true;
+  d.cells[b].x = 12;
+  d.cells[b].y = 2;
+  Net net;
+  net.conns = {{a, 0}, {b, 0}};
+  // b is type 1 with no pins; use cell a twice instead for a valid net.
+  net.conns = {{a, 0}, {a, 1}};
+  d.nets.push_back(net);
+  return d;
+}
+
+TEST(SimpleFormat, RoundTripPreservesEverything) {
+  const Design d = richDesign();
+  const std::string text = writeSimpleFormat(d);
+  std::string error;
+  const auto parsed = readSimpleFormat(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, d.name);
+  EXPECT_EQ(parsed->numSitesX, d.numSitesX);
+  EXPECT_EQ(parsed->numRows, d.numRows);
+  EXPECT_DOUBLE_EQ(parsed->siteWidthFactor, d.siteWidthFactor);
+  EXPECT_EQ(parsed->numEdgeClasses, d.numEdgeClasses);
+  EXPECT_EQ(parsed->edgeSpacingTable, d.edgeSpacingTable);
+  ASSERT_EQ(parsed->numTypes(), d.numTypes());
+  for (int t = 0; t < d.numTypes(); ++t) {
+    EXPECT_EQ(parsed->types[t].name, d.types[t].name);
+    EXPECT_EQ(parsed->types[t].width, d.types[t].width);
+    EXPECT_EQ(parsed->types[t].height, d.types[t].height);
+    EXPECT_EQ(parsed->types[t].parity, d.types[t].parity);
+    ASSERT_EQ(parsed->types[t].pins.size(), d.types[t].pins.size());
+    for (std::size_t p = 0; p < d.types[t].pins.size(); ++p) {
+      EXPECT_EQ(parsed->types[t].pins[p].layer, d.types[t].pins[p].layer);
+      EXPECT_EQ(parsed->types[t].pins[p].rect, d.types[t].pins[p].rect);
+    }
+  }
+  ASSERT_EQ(parsed->numFences(), d.numFences());
+  EXPECT_EQ(parsed->fences[1].rects, d.fences[1].rects);
+  ASSERT_EQ(parsed->hRails.size(), d.hRails.size());
+  EXPECT_EQ(parsed->hRails[0].yFineLo, d.hRails[0].yFineLo);
+  ASSERT_EQ(parsed->vRails.size(), d.vRails.size());
+  ASSERT_EQ(parsed->ioPins.size(), d.ioPins.size());
+  EXPECT_EQ(parsed->ioPins[0].rect, d.ioPins[0].rect);
+  ASSERT_EQ(parsed->numCells(), d.numCells());
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    EXPECT_EQ(parsed->cells[c].type, d.cells[c].type);
+    EXPECT_DOUBLE_EQ(parsed->cells[c].gpX, d.cells[c].gpX);
+    EXPECT_DOUBLE_EQ(parsed->cells[c].gpY, d.cells[c].gpY);
+    EXPECT_EQ(parsed->cells[c].fence, d.cells[c].fence);
+    EXPECT_EQ(parsed->cells[c].placed, d.cells[c].placed);
+    EXPECT_EQ(parsed->cells[c].x, d.cells[c].x);
+  }
+  ASSERT_EQ(parsed->nets.size(), d.nets.size());
+  EXPECT_EQ(parsed->nets[0].conns.size(), d.nets[0].conns.size());
+}
+
+TEST(SimpleFormat, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(readSimpleFormat("", &error).has_value());
+  EXPECT_FALSE(readSimpleFormat("MCLG 2\nEND\n", &error).has_value());
+  EXPECT_FALSE(readSimpleFormat("MCLG 1\nBOGUS x\nEND\n", &error).has_value());
+  EXPECT_FALSE(
+      readSimpleFormat("MCLG 1\nCELL 0 0 0 0 0 0 0 0\nEND\n", &error)
+          .has_value());  // cell before any TYPE
+  EXPECT_FALSE(readSimpleFormat("MCLG 1\nCORE 10 10 0.5\n", &error)
+                   .has_value());  // missing END
+}
+
+TEST(SimpleFormat, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "MCLG 1\n# a comment\n\nDESIGN x\nCORE 10 10 0.5\nEND\n";
+  const auto parsed = readSimpleFormat(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "x");
+}
+
+TEST(Lef, RoundTripLibrary) {
+  const Design d = richDesign();
+  const std::string lef = writeLef(d, 0.2);
+  std::string error;
+  const auto lib = readLef(lef, &error);
+  ASSERT_TRUE(lib.has_value()) << error;
+  EXPECT_NEAR(lib->siteWidthFactor(), d.siteWidthFactor, 1e-9);
+  ASSERT_EQ(lib->types.size(), d.types.size());
+  for (std::size_t t = 0; t < d.types.size(); ++t) {
+    EXPECT_EQ(lib->types[t].name, d.types[t].name);
+    EXPECT_EQ(lib->types[t].width, d.types[t].width);
+    EXPECT_EQ(lib->types[t].height, d.types[t].height);
+    ASSERT_EQ(lib->types[t].pins.size(), d.types[t].pins.size());
+    for (std::size_t p = 0; p < d.types[t].pins.size(); ++p) {
+      EXPECT_EQ(lib->types[t].pins[p].layer, d.types[t].pins[p].layer);
+      EXPECT_EQ(lib->types[t].pins[p].rect, d.types[t].pins[p].rect)
+          << "type " << t << " pin " << p;
+    }
+  }
+  // Parity survives via the PROPERTY extension.
+  EXPECT_EQ(lib->types[1].parity, d.types[1].parity);
+}
+
+TEST(Lef, RejectsMissingSite) {
+  std::string error;
+  EXPECT_FALSE(readLef("MACRO X\nSIZE 1 BY 1 ;\nEND X\nEND LIBRARY\n", &error)
+                   .has_value());
+}
+
+TEST(Def, RoundTripDesign) {
+  const Design d = richDesign();
+  const std::string lefText = writeLef(d, 0.2);
+  const std::string defText = writeDef(d, 0.2);
+  std::string error;
+  const auto lib = readLef(lefText, &error);
+  ASSERT_TRUE(lib.has_value()) << error;
+  const auto parsed = readDef(defText, *lib, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, d.name);
+  EXPECT_EQ(parsed->numSitesX, d.numSitesX);
+  EXPECT_EQ(parsed->numRows, d.numRows);
+  ASSERT_EQ(parsed->numCells(), d.numCells());
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    EXPECT_EQ(parsed->cells[c].type, d.cells[c].type);
+    EXPECT_NEAR(parsed->cells[c].gpX, d.cells[c].gpX, 0.01) << "cell " << c;
+    EXPECT_NEAR(parsed->cells[c].gpY, d.cells[c].gpY, 0.01);
+    EXPECT_EQ(parsed->cells[c].fence, d.cells[c].fence);
+  }
+  ASSERT_EQ(parsed->numFences(), d.numFences());
+  EXPECT_EQ(parsed->fences[1].rects, d.fences[1].rects);
+  EXPECT_EQ(parsed->ioPins.size(), d.ioPins.size());
+  EXPECT_EQ(parsed->nets.size(), d.nets.size());
+}
+
+TEST(Def, GeneratedDesignSurvivesLefDefRoundTrip) {
+  GenSpec spec;
+  spec.cellsPerHeight = {200, 20, 0, 0};
+  spec.numFences = 1;
+  spec.seed = 9;
+  const Design d = generate(spec);
+  std::string error;
+  const auto lib = readLef(writeLef(d, 0.2), &error);
+  ASSERT_TRUE(lib.has_value()) << error;
+  const auto parsed = readDef(writeDef(d, 0.2), *lib, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->numCells(), d.numCells());
+  EXPECT_EQ(parsed->numFences(), d.numFences());
+  int fenceCells = 0, fenceCellsParsed = 0;
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    if (d.cells[c].fence != kDefaultFence) ++fenceCells;
+    if (parsed->cells[c].fence != kDefaultFence) ++fenceCellsParsed;
+  }
+  EXPECT_EQ(fenceCells, fenceCellsParsed);
+}
+
+TEST(Def, RejectsUnknownMacro) {
+  const std::string lef =
+      "SITE core SIZE 0.2 BY 0.4 ; END core\n"
+      "MACRO A SIZE 0.4 BY 0.4 ; END A\nEND LIBRARY\n";
+  std::string error;
+  const auto lib = readLef(lef, &error);
+  ASSERT_TRUE(lib.has_value()) << error;
+  const std::string def =
+      "DESIGN t ;\nUNITS DISTANCE MICRONS 2000 ;\n"
+      "DIEAREA ( 0 0 ) ( 8000 8000 ) ;\n"
+      "COMPONENTS 1 ;\n - c0 NOPE + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n"
+      "END DESIGN\n";
+  EXPECT_FALSE(readDef(def, *lib, &error).has_value());
+  EXPECT_NE(error.find("NOPE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(PlacementState, PlaceAndQuery) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 1, 5, 2);  // 3x2
+  PlacementState state(d);
+  state.place(c, 5, 2);
+  EXPECT_TRUE(d.cells[c].placed);
+  EXPECT_EQ(d.cells[c].x, 5);
+  EXPECT_EQ(d.cells[c].y, 2);
+  EXPECT_EQ(state.cellAt(2, 5), c);
+  EXPECT_EQ(state.cellAt(3, 7), c);
+  EXPECT_EQ(state.cellAt(2, 8), kInvalidCell);
+  EXPECT_EQ(state.cellAt(4, 5), kInvalidCell);
+  EXPECT_EQ(state.numPlaced(), 1);
+}
+
+TEST(PlacementState, RemoveClearsAllRows) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 2, 5, 2);  // 4x3
+  PlacementState state(d);
+  state.place(c, 5, 2);
+  state.remove(c);
+  EXPECT_FALSE(d.cells[c].placed);
+  for (std::int64_t y = 2; y < 5; ++y) {
+    EXPECT_EQ(state.cellAt(y, 6), kInvalidCell);
+  }
+  EXPECT_EQ(state.numPlaced(), 0);
+}
+
+TEST(PlacementState, ShiftXKeepsRows) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 1, 5, 2);
+  PlacementState state(d);
+  state.place(c, 5, 2);
+  state.shiftX(c, 12);
+  EXPECT_EQ(d.cells[c].x, 12);
+  EXPECT_EQ(state.cellAt(2, 12), c);
+  EXPECT_EQ(state.cellAt(3, 14), c);
+  EXPECT_EQ(state.cellAt(2, 5), kInvalidCell);
+}
+
+TEST(PlacementState, SpanEmptyDetectsOverlap) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 1, 5, 2);  // 3x2 at (5,2)
+  PlacementState state(d);
+  state.place(c, 5, 2);
+  EXPECT_FALSE(state.spanEmpty(2, 1, 4, 3));   // overlaps horizontally
+  EXPECT_FALSE(state.spanEmpty(3, 1, 7, 2));   // overlaps top row
+  EXPECT_TRUE(state.spanEmpty(2, 1, 8, 3));    // clear to the right
+  EXPECT_TRUE(state.spanEmpty(4, 1, 5, 3));    // clear above
+  EXPECT_TRUE(state.spanEmpty(2, 2, 4, 3, c)); // ignoring c itself
+  EXPECT_FALSE(state.spanEmpty(-1, 1, 0, 2));  // outside the core
+}
+
+TEST(PlacementState, CollectInRectReportsEachCellOnce) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 1, 0, 0);   // 3x2
+  const CellId b = addCell(d, 0, 10, 0);  // 2x1
+  const CellId c = addCell(d, 2, 20, 0);  // 4x3
+  PlacementState state(d);
+  state.place(a, 0, 0);
+  state.place(b, 10, 1);
+  state.place(c, 20, 0);
+  std::vector<CellId> found;
+  state.collectInRect({0, 0, 40, 10}, found);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0], a);
+  // b is in row 1, a spans rows 0-1, c rows 0-2; each reported once.
+  EXPECT_NE(std::find(found.begin(), found.end(), b), found.end());
+  EXPECT_NE(std::find(found.begin(), found.end(), c), found.end());
+}
+
+TEST(PlacementState, CollectInRectIncludesStraddlers) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 1, 0, 0);  // 3x2 at (4, 1)
+  PlacementState state(d);
+  state.place(a, 4, 1);
+  std::vector<CellId> found;
+  // Window starts above a's bottom row and right of its left edge.
+  state.collectInRect({5, 2, 10, 5}, found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], a);
+}
+
+TEST(PlacementState, ReindexesPreplacedDesign) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 5, 5);
+  d.cells[c].placed = true;
+  d.cells[c].x = 5;
+  d.cells[c].y = 5;
+  PlacementState state(d);
+  EXPECT_EQ(state.numPlaced(), 1);
+  EXPECT_EQ(state.cellAt(5, 6), c);
+}
+
+TEST(PlacementStateDeath, PlaceOverlapAsserts) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 0, 5, 5);
+  const CellId b = addCell(d, 0, 5, 5);
+  PlacementState state(d);
+  state.place(a, 5, 5);
+  EXPECT_DEATH(state.place(b, 6, 5), "overlaps");
+}
+
+TEST(PlacementStateDeath, PlaceOutsideCoreAsserts) {
+  Design d = smallDesign();
+  const CellId a = addCell(d, 2, 5, 8);  // triple height at row 8: off top
+  PlacementState state(d);
+  EXPECT_DEATH(state.place(a, 5, 8), "outside core");
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,283 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// invariants of the full pipeline, the insertion cost model, the MCF
+// solvers, and the parsers across seeds, densities, and modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "flow/mcf.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/mgl/insertion.hpp"
+#include "legal/pipeline.hpp"
+#include "parsers/def_parser.hpp"
+#include "parsers/lef_parser.hpp"
+#include "parsers/simple_format.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pipeline legality across the (density × seed) grid.
+// ---------------------------------------------------------------------------
+
+struct PipelineCase {
+  double density;
+  std::uint64_t seed;
+  bool routability;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, LegalizesAndRespectsHardConstraints) {
+  const PipelineCase param = GetParam();
+  GenSpec spec;
+  spec.cellsPerHeight = {350, 50, 15, 8};
+  spec.density = param.density;
+  spec.numFences = 2;
+  spec.numBlockages = 1;
+  spec.withRoutability = param.routability;
+  spec.seed = param.seed;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  PipelineConfig config = PipelineConfig::contest();
+  config.mgl.insertion.routability = param.routability;
+  const auto stats = legalize(state, segments, config);
+  EXPECT_EQ(stats.mgl.failed, 0);
+  const auto report = checkLegality(design, segments);
+  EXPECT_TRUE(report.legal())
+      << "density=" << param.density << " seed=" << param.seed
+      << " overlaps=" << report.overlaps
+      << " fence=" << report.fenceViolations
+      << " parity=" << report.parityViolations;
+  EXPECT_EQ(countEdgeSpacingViolations(design), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityBySeed, PipelineSweep,
+    ::testing::Values(PipelineCase{0.25, 201, true},
+                      PipelineCase{0.45, 202, true},
+                      PipelineCase{0.65, 203, true},
+                      PipelineCase{0.80, 204, true},
+                      PipelineCase{0.88, 205, true},
+                      PipelineCase{0.45, 206, false},
+                      PipelineCase{0.80, 207, false},
+                      PipelineCase{0.65, 208, true},
+                      PipelineCase{0.65, 209, true}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return "d" +
+             std::to_string(static_cast<int>(info.param.density * 100)) +
+             "_s" + std::to_string(info.param.seed) +
+             (info.param.routability ? "_r1" : "_r0");
+    });
+
+// ---------------------------------------------------------------------------
+// Insertion cost model: on single-height designs (no cross-row chain
+// interaction, routability off) the estimated cost of the committed
+// candidate must equal the measured change in weighted displacement.
+// ---------------------------------------------------------------------------
+
+class InsertionCostModelSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(InsertionCostModelSweep, EstimateMatchesMeasuredDelta) {
+  GenSpec spec;
+  spec.cellsPerHeight = {120, 0, 0, 0};
+  spec.density = 0.7;
+  spec.withRoutability = false;
+  spec.withNets = false;
+  spec.numEdgeClasses = 1;
+  spec.seed = GetParam();
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+
+  InsertionConfig config;
+  config.gpObjective = true;
+  config.contestWeights = false;
+  config.routability = false;
+  InsertionSearcher searcher(state, segments, config);
+  const Rect fullCore{0, 0, design.numSitesX, design.numRows};
+
+  auto totalDisp = [&] {
+    double total = 0.0;
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      if (!design.cells[c].fixed && design.cells[c].placed) {
+        total += design.displacement(c);
+      }
+    }
+    return total;
+  };
+
+  // Insert cells one by one; after each commit the measured delta must
+  // match the estimate (single-height chains are exact).
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    if (design.cells[c].fixed) continue;
+    const double before = totalDisp();
+    ASSERT_TRUE(searcher.tryInsert(c, fullCore)) << "cell " << c;
+    const double after = totalDisp();
+    EXPECT_NEAR(after - before, searcher.lastCommit().estimatedCost, 1e-6)
+        << "cell " << c;
+    EXPECT_NEAR(searcher.lastCommit().measuredCost,
+                searcher.lastCommit().estimatedCost, 1e-6)
+        << "cell " << c;
+  }
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InsertionCostModelSweep,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+// ---------------------------------------------------------------------------
+// MCF solver agreement across random graph families.
+// ---------------------------------------------------------------------------
+
+struct McfCase {
+  int nodes;
+  int arcsPerNode;
+  int maxCost;
+  std::uint64_t seed;
+};
+
+class McfAgreementSweep : public ::testing::TestWithParam<McfCase> {};
+
+TEST_P(McfAgreementSweep, SimplexAgreesWithSsp) {
+  const McfCase param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    McfProblem p;
+    p.addNodes(param.nodes);
+    std::vector<FlowValue> supply(static_cast<std::size_t>(param.nodes), 0);
+    for (int v = 0; v + 1 < param.nodes; ++v) {
+      const FlowValue s = rng.uniformInt(-6, 6);
+      supply[static_cast<std::size_t>(v)] = s;
+      supply[static_cast<std::size_t>(param.nodes - 1)] -= s;
+    }
+    for (int v = 0; v < param.nodes; ++v) {
+      p.addSupply(v, supply[static_cast<std::size_t>(v)]);
+    }
+    for (int a = 0; a < param.nodes * param.arcsPerNode; ++a) {
+      const int u = static_cast<int>(rng.uniformInt(0, param.nodes - 1));
+      int w = static_cast<int>(rng.uniformInt(0, param.nodes - 1));
+      if (u == w) w = (w + 1) % param.nodes;
+      p.addArc(u, w, rng.uniformInt(0, 15),
+               rng.uniformInt(-param.maxCost / 4, param.maxCost));
+    }
+    const auto simplex = NetworkSimplex::solve(p);
+    const auto ssp = SspSolver::solve(p);
+    ASSERT_EQ(simplex.status == McfStatus::Optimal,
+              ssp.status == McfStatus::Optimal);
+    if (simplex.status == McfStatus::Optimal) {
+      EXPECT_NEAR(static_cast<double>(simplex.totalCost),
+                  static_cast<double>(ssp.totalCost), 1e-6);
+      EXPECT_TRUE(verifyMcfOptimality(p, simplex));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphFamilies, McfAgreementSweep,
+    ::testing::Values(McfCase{6, 2, 10, 401}, McfCase{12, 3, 50, 402},
+                      McfCase{20, 4, 100, 403}, McfCase{30, 2, 20, 404},
+                      McfCase{8, 6, 5, 405}),
+    [](const ::testing::TestParamInfo<McfCase>& info) {
+      return "n" + std::to_string(info.param.nodes) + "_a" +
+             std::to_string(info.param.arcsPerNode) + "_c" +
+             std::to_string(info.param.maxCost);
+    });
+
+// ---------------------------------------------------------------------------
+// Parser round-trips across generated designs.
+// ---------------------------------------------------------------------------
+
+class ParserRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRoundTripSweep, NativeFormatIsLossless) {
+  GenSpec spec;
+  spec.cellsPerHeight = {150, 25, 8, 4};
+  spec.density = 0.5;
+  spec.numFences = 2;
+  spec.numBlockages = 1;
+  spec.seed = GetParam();
+  const Design d = generate(spec);
+  std::string error;
+  const auto parsed = readSimpleFormat(writeSimpleFormat(d), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->numCells(), d.numCells());
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    EXPECT_EQ(parsed->cells[c].type, d.cells[c].type);
+    EXPECT_DOUBLE_EQ(parsed->cells[c].gpX, d.cells[c].gpX);
+    EXPECT_EQ(parsed->cells[c].fence, d.cells[c].fence);
+  }
+  EXPECT_EQ(parsed->hRails.size(), d.hRails.size());
+  EXPECT_EQ(parsed->vRails.size(), d.vRails.size());
+  EXPECT_EQ(parsed->nets.size(), d.nets.size());
+  parsed->validate();
+}
+
+TEST_P(ParserRoundTripSweep, LefDefPreservesStructure) {
+  GenSpec spec;
+  spec.cellsPerHeight = {150, 25, 8, 4};
+  spec.density = 0.5;
+  spec.numFences = 2;
+  spec.seed = GetParam();
+  const Design d = generate(spec);
+  std::string error;
+  const auto lib = readLef(writeLef(d), &error);
+  ASSERT_TRUE(lib.has_value()) << error;
+  const auto parsed = readDef(writeDef(d), *lib, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->numCells(), d.numCells());
+  EXPECT_EQ(parsed->numFences(), d.numFences());
+  EXPECT_EQ(parsed->numEdgeClasses, d.numEdgeClasses);
+  EXPECT_EQ(parsed->edgeSpacingTable, d.edgeSpacingTable);
+  EXPECT_EQ(parsed->ioPins.size(), d.ioPins.size());
+  for (CellId c = 0; c < d.numCells(); ++c) {
+    EXPECT_NEAR(parsed->cells[c].gpX, d.cells[c].gpX, 0.01);
+    EXPECT_NEAR(parsed->cells[c].gpY, d.cells[c].gpY, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripSweep,
+                         ::testing::Values(501, 502, 503, 504));
+
+// ---------------------------------------------------------------------------
+// Matching stage: never degrades legality, never increases total phi.
+// ---------------------------------------------------------------------------
+
+class MatchingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MatchingSweep, LegalityAndMaxAcrossDelta0) {
+  GenSpec spec;
+  spec.cellsPerHeight = {400, 40, 0, 0};
+  spec.density = 0.7;
+  spec.typesPerHeight = 2;
+  spec.seed = 601;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  MglLegalizer legalizer(state, segments, {});
+  ASSERT_EQ(legalizer.run().failed, 0);
+  const auto before = displacementStats(design);
+
+  MaxDispConfig config;
+  config.delta0 = GetParam();
+  optimizeMaxDisplacement(state, config);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  const auto after = displacementStats(design);
+  // Aggressive thresholds must not blow up the average; at any threshold
+  // the matching minimizes total phi, which upper-bounds the max increase.
+  EXPECT_LE(after.average, before.average * 1.10 + 0.05);
+  EXPECT_LE(after.maximum, before.maximum * 1.10 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delta0, MatchingSweep,
+                         ::testing::Values(1.0, 3.0, 10.0, 30.0, 100.0));
+
+}  // namespace
+}  // namespace mclg

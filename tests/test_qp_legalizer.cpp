@@ -1,0 +1,150 @@
+// Quadratic fixed-row-&-order (KKT/LCP projected Gauss-Seidel) tests:
+// single-row optima cross-checked against the classic Abacus cluster
+// collapse (an exact quadratic oracle), plus legality invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/abacus_row.hpp"
+#include "baselines/baselines.hpp"
+#include "baselines/qp_legalizer.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+QpLegalizerConfig unitConfig() {
+  QpLegalizerConfig config;
+  config.contestWeights = false;
+  return config;
+}
+
+TEST(QpLegalizer, SingleCellReturnsToGp) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 20.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(c, 3, 4);
+  const auto stats = optimizeQuadraticFixedRowOrder(state, segments, unitConfig());
+  EXPECT_EQ(d.cells[c].x, 20);
+  EXPECT_LT(stats.objectiveAfter, stats.objectiveBefore);
+}
+
+TEST(QpLegalizer, PairSplitsQuadratically) {
+  // Both want x = 20 (width 2): the quadratic optimum centers the pair at
+  // 19/21; the linear optimum would accept any packing touching 20.
+  Design d = smallDesign();
+  const CellId a = addCell(d, 0, 20.0, 4.0);
+  const CellId b = addCell(d, 0, 20.0, 4.0);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(a, 2, 4);
+  state.place(b, 8, 4);
+  optimizeQuadraticFixedRowOrder(state, segments, unitConfig());
+  EXPECT_EQ(d.cells[a].x, 19);
+  EXPECT_EQ(d.cells[b].x, 21);
+}
+
+TEST(QpLegalizer, MatchesAbacusRowOnSingleRows) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    Design d = smallDesign();
+    d.numSitesX = 64;
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 4));
+    std::vector<CellId> ids;
+    AbacusRow oracle(0, 64);
+    std::int64_t cursor = 0;
+    double lastDesired = 0.0;
+    for (int i = 0; i < n; ++i) {
+      lastDesired =
+          std::max(lastDesired, rng.uniformReal(0, 58));  // nondecreasing
+      const CellId c = addCell(d, 0, lastDesired, 4.0);
+      ids.push_back(c);
+      oracle.add(lastDesired, 2);
+      cursor += rng.uniformInt(0, 3);
+      if (cursor > 64 - 2 * (n - i)) cursor = 64 - 2 * (n - i);
+      // Initial placement must share the desired-x order for a fair
+      // comparison (Abacus assumes it).
+      d.cells[c].placed = true;
+      d.cells[c].x = cursor;
+      d.cells[c].y = 4;
+      cursor += 2;
+    }
+    SegmentMap segments(d);
+    PlacementState state(d);
+    optimizeQuadraticFixedRowOrder(state, segments, unitConfig());
+
+    double qpCost = 0.0;
+    for (const CellId c : ids) {
+      const double dx = static_cast<double>(d.cells[c].x) - d.cells[c].gpX;
+      qpCost += dx * dx;
+    }
+    // Abacus is the exact real-valued optimum; integer rounding on both
+    // sides allows a small slack.
+    const auto oracleXs = oracle.positions();
+    double oracleCost = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(oracleXs[static_cast<std::size_t>(i)]) -
+                        d.cells[ids[static_cast<std::size_t>(i)]].gpX;
+      oracleCost += dx * dx;
+    }
+    EXPECT_LE(qpCost, oracleCost + n * 1.0 + 0.3) << "trial " << trial;
+  }
+}
+
+TEST(QpLegalizer, PreservesLegalityOnGeneratedDesigns) {
+  GenSpec spec;
+  spec.cellsPerHeight = {500, 60, 20, 0};
+  spec.density = 0.7;
+  spec.seed = 141;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalizeTetris(state, segments);
+  const auto before = displacementStats(design);
+  const auto stats =
+      optimizeQuadraticFixedRowOrder(state, segments, unitConfig());
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  EXPECT_LE(stats.objectiveAfter, stats.objectiveBefore + 1e-6);
+  EXPECT_LE(displacementStats(design).totalSites, before.totalSites + 1e-6);
+}
+
+TEST(QpLegalizer, OrderedQpBaselineLegalAndCompetitive) {
+  GenSpec spec;
+  spec.cellsPerHeight = {900, 100, 0, 0};
+  spec.density = 0.6;
+  spec.withRoutability = false;
+  spec.withNets = false;
+  spec.numEdgeClasses = 1;
+  spec.seed = 142;
+  Design qp = generate(spec);
+  Design plain = generate(spec);
+  double qpDisp = 0.0, plainDisp = 0.0;
+  {
+    SegmentMap segments(qp);
+    PlacementState state(qp);
+    EXPECT_EQ(legalizeOrderedQp(state, segments).failed, 0);
+    EXPECT_TRUE(checkLegality(qp, segments).legal());
+    qpDisp = displacementStats(qp).totalSites;
+  }
+  {
+    SegmentMap segments(plain);
+    PlacementState state(plain);
+    EXPECT_EQ(legalizeAbacusMulti(state, segments).failed, 0);
+    plainDisp = displacementStats(plain).totalSites;
+  }
+  // The QP refinement must improve on the raw ordered packing.
+  EXPECT_LT(qpDisp, plainDisp);
+}
+
+}  // namespace
+}  // namespace mclg

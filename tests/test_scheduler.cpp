@@ -1,0 +1,148 @@
+// Scheduler-specific tests (§3.5): batch-capacity invariants, the L_w
+// requeue behavior, footprint-grouped matching, and cross-config legality.
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/maxdisp/matching_opt.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+GenSpec spec(std::uint64_t seed, double density = 0.6) {
+  GenSpec s;
+  s.cellsPerHeight = {350, 45, 15, 8};
+  s.density = density;
+  s.numFences = 2;
+  s.seed = seed;
+  return s;
+}
+
+MglStats run(Design& design, int threads, int batchCap) {
+  SegmentMap segments(design);
+  PlacementState state(design);
+  MglConfig config;
+  config.numThreads = threads;
+  config.batchCap = batchCap;
+  MglLegalizer legalizer(state, segments, config);
+  return legalizer.run();
+}
+
+TEST(Scheduler, EveryBatchCapIsLegal) {
+  for (const int batchCap : {1, 2, 8, 64}) {
+    Design design = generate(spec(171));
+    const auto stats = run(design, 2, batchCap);
+    EXPECT_EQ(stats.failed, 0) << "batchCap " << batchCap;
+    SegmentMap segments(design);
+    EXPECT_TRUE(checkLegality(design, segments).legal())
+        << "batchCap " << batchCap;
+  }
+}
+
+TEST(Scheduler, ResultsDependOnlyOnBatchCap) {
+  // §3.5: "deterministic once the capacity of the list L_p is determined".
+  for (const int batchCap : {2, 8}) {
+    Design first = generate(spec(172));
+    Design second = generate(spec(172));
+    run(first, 2, batchCap);
+    run(second, 8, batchCap);  // different thread count, same capacity
+    for (CellId c = 0; c < first.numCells(); ++c) {
+      ASSERT_EQ(first.cells[c].x, second.cells[c].x)
+          << "batchCap " << batchCap << " cell " << c;
+      ASSERT_EQ(first.cells[c].y, second.cells[c].y);
+    }
+  }
+}
+
+TEST(Scheduler, BatchCapOneStillMakesProgressUnderExpansion) {
+  // Dense design forces window expansions; the requeue path (L_w) must not
+  // starve or loop.
+  Design design = generate(spec(173, 0.85));
+  const auto stats = run(design, 2, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GT(stats.windowExpansions, 0);  // expansions actually happened
+}
+
+TEST(Scheduler, SequentialAndSchedulerBothLegalOnFences) {
+  Design seq = generate(spec(174));
+  Design par = generate(spec(174));
+  run(seq, 1, 0);
+  run(par, 4, 8);
+  for (Design* d : {&seq, &par}) {
+    SegmentMap segments(*d);
+    const auto report = checkLegality(*d, segments);
+    EXPECT_TRUE(report.legal()) << report.fenceViolations;
+  }
+}
+
+TEST(FootprintMatching, SwapsAcrossTypesWithSameFootprint) {
+  // Two types with identical footprints; cells placed at each other's GP.
+  Design d = smallDesign();
+  CellType clone = d.types[0];
+  clone.name = "T0b";
+  d.types.push_back(clone);
+  const TypeId other = d.numTypes() - 1;
+  const CellId a = addCell(d, 0, 5.0, 2.0);
+  const CellId b = addCell(d, other, 30.0, 7.0);
+  PlacementState state(d);
+  state.place(a, 30, 7);
+  state.place(b, 5, 2);
+
+  MaxDispConfig typeGrouped;
+  typeGrouped.delta0 = 1.0;
+  EXPECT_EQ(optimizeMaxDisplacement(state, typeGrouped).cellsMoved, 0)
+      << "different types must not swap in type-grouped mode";
+
+  MaxDispConfig footprintGrouped = typeGrouped;
+  footprintGrouped.groupByFootprint = true;
+  EXPECT_EQ(optimizeMaxDisplacement(state, footprintGrouped).cellsMoved, 2);
+  EXPECT_EQ(d.cells[a].x, 5);
+  EXPECT_EQ(d.cells[b].x, 30);
+}
+
+TEST(FootprintMatching, DifferentFootprintsNeverMerge) {
+  Design d = smallDesign();  // T0 is 2x1, T2 is 4x3
+  const CellId a = addCell(d, 0, 5.0, 2.0);
+  const CellId b = addCell(d, 2, 30.0, 5.0);
+  PlacementState state(d);
+  state.place(a, 30, 2);
+  state.place(b, 5, 5);
+  MaxDispConfig config;
+  config.groupByFootprint = true;
+  EXPECT_EQ(optimizeMaxDisplacement(state, config).cellsMoved, 0);
+}
+
+TEST(FootprintMatching, ParallelMatchesSerial) {
+  GenSpec s;
+  s.cellsPerHeight = {600, 60, 0, 0};
+  s.density = 0.7;
+  s.typesPerHeight = 3;
+  s.seed = 175;
+  Design serial = generate(s);
+  Design parallel = generate(s);
+  for (Design* d : {&serial, &parallel}) {
+    SegmentMap segments(*d);
+    PlacementState state(*d);
+    MglLegalizer legalizer(state, segments, {});
+    ASSERT_EQ(legalizer.run().failed, 0);
+    MaxDispConfig config;
+    config.groupByFootprint = true;
+    config.numThreads = d == &parallel ? 4 : 1;
+    optimizeMaxDisplacement(state, config);
+  }
+  for (CellId c = 0; c < serial.numCells(); ++c) {
+    ASSERT_EQ(serial.cells[c].x, parallel.cells[c].x) << "cell " << c;
+    ASSERT_EQ(serial.cells[c].y, parallel.cells[c].y) << "cell " << c;
+  }
+}
+
+}  // namespace
+}  // namespace mclg

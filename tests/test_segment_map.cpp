@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "db/segment_map.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addFixed;
+using testing::smallDesign;
+
+TEST(SegmentMap, WholeRowIsDefaultFence) {
+  Design d = smallDesign();
+  const SegmentMap map(d);
+  ASSERT_EQ(map.row(0).size(), 1u);
+  EXPECT_EQ(map.row(0)[0].x, Interval(0, 40));
+  EXPECT_EQ(map.row(0)[0].fence, kDefaultFence);
+}
+
+TEST(SegmentMap, FenceSplitsRow) {
+  Design d = smallDesign();
+  d.fences.push_back({"f1", {{10, 2, 20, 6}}});
+  const SegmentMap map(d);
+  // Rows outside the fence untouched.
+  EXPECT_EQ(map.row(0).size(), 1u);
+  EXPECT_EQ(map.row(7).size(), 1u);
+  // Rows 2..5 split into default | fence | default.
+  const auto& segs = map.row(3);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].x, Interval(0, 10));
+  EXPECT_EQ(segs[0].fence, kDefaultFence);
+  EXPECT_EQ(segs[1].x, Interval(10, 20));
+  EXPECT_EQ(segs[1].fence, 1);
+  EXPECT_EQ(segs[2].x, Interval(20, 40));
+  EXPECT_EQ(segs[2].fence, kDefaultFence);
+}
+
+TEST(SegmentMap, BlockageRemovesSpan) {
+  Design d = smallDesign();
+  addFixed(d, 2, 15, 4);  // 4 wide, 3 tall at (15, 4)
+  const SegmentMap map(d);
+  const auto& segs = map.row(5);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].x, Interval(0, 15));
+  EXPECT_EQ(segs[1].x, Interval(19, 40));
+  EXPECT_EQ(map.row(3).size(), 1u);  // below the blockage
+  EXPECT_EQ(map.row(7).size(), 1u);  // above
+}
+
+TEST(SegmentMap, BlockageInsideFence) {
+  Design d = smallDesign();
+  d.fences.push_back({"f1", {{10, 0, 30, 10}}});
+  addFixed(d, 0, 18, 5);  // 2 wide, 1 tall
+  const SegmentMap map(d);
+  const auto& segs = map.row(5);
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[1].x, Interval(10, 18));
+  EXPECT_EQ(segs[1].fence, 1);
+  EXPECT_EQ(segs[2].x, Interval(20, 30));
+  EXPECT_EQ(segs[2].fence, 1);
+}
+
+TEST(SegmentMap, FindLocatesSegment) {
+  Design d = smallDesign();
+  d.fences.push_back({"f1", {{10, 2, 20, 6}}});
+  const SegmentMap map(d);
+  const Segment* seg = map.find(3, 15);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->fence, 1);
+  EXPECT_EQ(map.find(3, 45), nullptr);
+  EXPECT_EQ(map.find(-1, 5), nullptr);
+  EXPECT_EQ(map.find(12, 5), nullptr);  // row out of range
+}
+
+TEST(SegmentMap, SpanInFenceChecksAllRows) {
+  Design d = smallDesign();
+  d.fences.push_back({"f1", {{10, 2, 20, 6}}});
+  const SegmentMap map(d);
+  // Double-height at rows 2-3 inside the fence.
+  EXPECT_TRUE(map.spanInFence(2, 2, 12, 3, 1));
+  // Wrong fence id.
+  EXPECT_FALSE(map.spanInFence(2, 2, 12, 3, kDefaultFence));
+  // Straddles the fence top (row 6 is default).
+  EXPECT_FALSE(map.spanInFence(5, 2, 12, 3, 1));
+  // Sticks out of the fence horizontally.
+  EXPECT_FALSE(map.spanInFence(2, 2, 18, 3, 1));
+}
+
+TEST(SegmentMap, SlideRangeIntersectsRows) {
+  Design d = smallDesign();
+  addFixed(d, 0, 20, 3);  // 2x1 blockage in row 3 only
+  const SegmentMap map(d);
+  // Double-height cell at rows 2-3, left of the blockage: row 2 allows
+  // [0,40), row 3 allows [0,20) -> slide range [0,20).
+  const Interval range = map.slideRange(2, 2, 5, 3, kDefaultFence);
+  EXPECT_EQ(range, Interval(0, 20));
+}
+
+TEST(SegmentMap, SlideRangeEmptyWhenIllegal) {
+  Design d = smallDesign();
+  const SegmentMap map(d);
+  EXPECT_TRUE(map.slideRange(9, 2, 5, 3, kDefaultFence).empty());  // off top
+  EXPECT_TRUE(map.slideRange(0, 1, 5, 3, 1).empty());  // no such fence
+}
+
+}  // namespace
+}  // namespace mclg

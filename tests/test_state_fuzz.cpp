@@ -1,0 +1,161 @@
+// Randomized operation fuzz of PlacementState against a naive reference
+// occupancy model (a plain site grid).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "db/free_span.hpp"
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+/// Naive reference: a full site×row grid of cell ids.
+class GridModel {
+ public:
+  GridModel(std::int64_t sitesX, std::int64_t rows)
+      : sitesX_(sitesX), grid_(static_cast<std::size_t>(sitesX * rows),
+                               kInvalidCell) {}
+
+  bool free(std::int64_t x, std::int64_t y, int w, int h) const {
+    for (std::int64_t r = y; r < y + h; ++r) {
+      for (std::int64_t s = x; s < x + w; ++s) {
+        if (at(s, r) != kInvalidCell) return false;
+      }
+    }
+    return true;
+  }
+  void set(std::int64_t x, std::int64_t y, int w, int h, CellId c) {
+    for (std::int64_t r = y; r < y + h; ++r) {
+      for (std::int64_t s = x; s < x + w; ++s) at(s, r) = c;
+    }
+  }
+  CellId at(std::int64_t x, std::int64_t y) const {
+    return grid_[static_cast<std::size_t>(y * sitesX_ + x)];
+  }
+  CellId& at(std::int64_t x, std::int64_t y) {
+    return grid_[static_cast<std::size_t>(y * sitesX_ + x)];
+  }
+
+ private:
+  std::int64_t sitesX_;
+  std::vector<CellId> grid_;
+};
+
+TEST(PlacementStateFuzz, AgreesWithGridModel) {
+  Rng rng(777);
+  Design d = smallDesign();
+  d.numSitesX = 48;
+  d.numRows = 12;
+  const int numCells = 60;
+  for (int i = 0; i < numCells; ++i) {
+    addCell(d, static_cast<TypeId>(rng.uniformInt(0, 2)), 0, 0);
+  }
+  PlacementState state(d);
+  GridModel model(d.numSitesX, d.numRows);
+
+  int placedOps = 0, removedOps = 0, shiftedOps = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const CellId c = static_cast<CellId>(rng.uniformInt(0, numCells - 1));
+    const int w = d.widthOf(c);
+    const int h = d.heightOf(c);
+    const auto& cell = d.cells[c];
+    const int action = static_cast<int>(rng.uniformInt(0, 2));
+    if (action == 0 && !cell.placed) {
+      const std::int64_t x = rng.uniformInt(0, d.numSitesX - w);
+      const std::int64_t y = rng.uniformInt(0, d.numRows - h);
+      const bool fits = model.free(x, y, w, h);
+      EXPECT_EQ(state.spanEmpty(y, h, x, w), fits);
+      if (fits) {
+        state.place(c, x, y);
+        model.set(x, y, w, h, c);
+        ++placedOps;
+      }
+    } else if (action == 1 && cell.placed) {
+      model.set(cell.x, cell.y, w, h, kInvalidCell);
+      state.remove(c);
+      ++removedOps;
+    } else if (action == 2 && cell.placed) {
+      const std::int64_t nx = rng.uniformInt(0, d.numSitesX - w);
+      model.set(cell.x, cell.y, w, h, kInvalidCell);
+      const bool fits = model.free(nx, cell.y, w, h);
+      EXPECT_EQ(state.spanEmpty(cell.y, h, nx, w, c), fits);
+      if (fits) {
+        state.shiftX(c, nx);
+        model.set(nx, cell.y, w, h, c);
+        ++shiftedOps;
+      } else {
+        model.set(cell.x, cell.y, w, h, c);  // restore
+      }
+    }
+
+    // Spot-check random probes every few operations.
+    if (op % 7 == 0) {
+      const std::int64_t px = rng.uniformInt(0, d.numSitesX - 1);
+      const std::int64_t py = rng.uniformInt(0, d.numRows - 1);
+      EXPECT_EQ(state.cellAt(py, px), model.at(px, py))
+          << "op " << op << " probe (" << px << "," << py << ")";
+    }
+  }
+  EXPECT_GT(placedOps, 100);
+  EXPECT_GT(removedOps, 100);
+  EXPECT_GT(shiftedOps, 50);
+}
+
+TEST(FreeSpanFuzz, MatchesGridModel) {
+  Rng rng(888);
+  for (int trial = 0; trial < 20; ++trial) {
+    Design d = smallDesign();
+    d.numSitesX = 40;
+    d.numRows = 10;
+    if (rng.chance(0.5)) d.fences.push_back({"f", {{8, 2, 24, 8}}});
+    PlacementState state(d);
+    GridModel model(d.numSitesX, d.numRows);
+    // Scatter some cells.
+    for (int i = 0; i < 25; ++i) {
+      const CellId c = addCell(d, static_cast<TypeId>(rng.uniformInt(0, 2)),
+                               0, 0);
+      const int w = d.widthOf(c);
+      const int h = d.heightOf(c);
+      const std::int64_t x = rng.uniformInt(0, d.numSitesX - w);
+      const std::int64_t y = rng.uniformInt(0, d.numRows - h);
+      if (model.free(x, y, w, h)) {
+        state.place(c, x, y);
+        model.set(x, y, w, h, c);
+      }
+    }
+    const SegmentMap segments(d);
+    // For random spans, freeIntervalsForSpan must match site-wise checks.
+    for (int probe = 0; probe < 30; ++probe) {
+      const int h = 1 + static_cast<int>(rng.uniformInt(0, 2));
+      const std::int64_t y = rng.uniformInt(0, d.numRows - h);
+      const FenceId fence = static_cast<FenceId>(
+          rng.uniformInt(0, d.numFences() - 1));
+      const auto free = freeIntervalsForSpan(state, segments, y, h, fence,
+                                             {0, d.numSitesX});
+      for (std::int64_t x = 0; x < d.numSitesX; ++x) {
+        bool expected = segments.spanInFence(y, h, x, 1, fence);
+        if (expected) {
+          for (std::int64_t r = y; r < y + h && expected; ++r) {
+            if (model.at(x, r) != kInvalidCell) expected = false;
+          }
+        }
+        bool inFree = false;
+        for (const auto& iv : free) inFree |= iv.contains(x);
+        EXPECT_EQ(inFree, expected)
+            << "trial " << trial << " y=" << y << " h=" << h << " x=" << x
+            << " fence=" << fence;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mclg

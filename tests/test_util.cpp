@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mclg {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all values hit
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng rng(7);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(8);
+  const double weights[3] = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weightedIndex(weights, 3)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], 2 * counts[1]);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.addRow({"alpha", "1.5"});
+  table.addRow({"b", "120.25"});
+  const std::string s = table.toString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("120.25"), std::string::npos);
+  EXPECT_EQ(table.numRows(), 2);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"a", "b"});
+  table.addRow({"x,y", "he said \"hi\""});
+  const std::string csv = table.toCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(12345LL), "12345");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallelForBatch(10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, RunsAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallelForBatch(100, [&](int i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.parallelForBatch(7, [&](int) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 140);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallelForBatch(0, [&](int) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,171 @@
+// Structured violation reports and filler insertion.
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/violations.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "gen/fillers.hpp"
+#include "legal/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(Violations, CleanDesignYieldsNone) {
+  Design d = smallDesign();
+  const CellId c = addCell(d, 0, 5, 5);
+  d.cells[c].placed = true;
+  d.cells[c].x = 5;
+  d.cells[c].y = 5;
+  const SegmentMap map(d);
+  EXPECT_TRUE(collectViolations(d, map).empty());
+}
+
+TEST(Violations, ReportsEachKind) {
+  Design d = smallDesign();
+  d.numEdgeClasses = 2;
+  d.edgeSpacingTable = {0, 0, 0, 2};
+  d.types[0].leftEdge = 1;
+  d.types[0].rightEdge = 1;
+  d.fences.push_back({"island", {{30, 0, 40, 4}}});
+
+  const CellId unplaced = addCell(d, 0, 1, 1);
+  const CellId overlapA = addCell(d, 0, 5, 5);
+  const CellId overlapB = addCell(d, 0, 5, 5);
+  const CellId parity = addCell(d, 1, 10, 3);
+  const CellId fenced = addCell(d, 0, 20, 7, 1);
+  const CellId spacingA = addCell(d, 0, 0, 0);
+  const CellId spacingB = addCell(d, 0, 0, 0);
+  (void)unplaced;
+  auto put = [&](CellId c, std::int64_t x, std::int64_t y) {
+    d.cells[c].placed = true;
+    d.cells[c].x = x;
+    d.cells[c].y = y;
+  };
+  put(overlapA, 5, 5);
+  put(overlapB, 6, 5);   // overlaps A
+  put(parity, 10, 3);    // parity-0 type in odd row
+  put(fenced, 20, 7);    // assigned to the island fence, placed outside
+  put(spacingA, 0, 0);
+  put(spacingB, 3, 0);   // gap 1 < required 2
+
+  const SegmentMap map(d);
+  const auto violations = collectViolations(d, map);
+  auto count = [&](ViolationKind kind) {
+    int n = 0;
+    for (const auto& v : violations) {
+      if (v.kind == kind) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(ViolationKind::Unplaced), 1);
+  EXPECT_EQ(count(ViolationKind::Overlap), 1);
+  EXPECT_EQ(count(ViolationKind::Parity), 1);
+  EXPECT_EQ(count(ViolationKind::Fence), 1);
+  EXPECT_EQ(count(ViolationKind::EdgeSpacing), 1);
+
+  // Counts agree with the scalar checkers.
+  const auto legality = checkLegality(d, map);
+  EXPECT_EQ(count(ViolationKind::Overlap), legality.overlaps);
+  EXPECT_EQ(count(ViolationKind::Parity), legality.parityViolations);
+  EXPECT_EQ(count(ViolationKind::Fence), legality.fenceViolations);
+  EXPECT_EQ(count(ViolationKind::EdgeSpacing),
+            countEdgeSpacingViolations(d));
+
+  // Formatting mentions the offender and the kind.
+  const std::string text = formatViolations(d, violations);
+  EXPECT_NE(text.find("overlap"), std::string::npos);
+  EXPECT_NE(text.find("edge-spacing"), std::string::npos);
+}
+
+TEST(Violations, LimitTruncates) {
+  Design d = smallDesign();
+  for (int i = 0; i < 10; ++i) addCell(d, 0, i, 0);  // all unplaced
+  const SegmentMap map(d);
+  EXPECT_EQ(collectViolations(d, map, 3).size(), 3u);
+  EXPECT_EQ(collectViolations(d, map).size(), 10u);
+}
+
+TEST(Violations, PinKindsMatchCheckers) {
+  GenSpec spec;
+  spec.cellsPerHeight = {200, 20, 0, 0};
+  spec.density = 0.5;
+  spec.seed = 95;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  PipelineConfig config = PipelineConfig::contest();
+  config.mgl.insertion.routability = false;  // provoke some pin violations
+  legalize(state, segments, config);
+  const auto violations = collectViolations(design, segments);
+  int shorts = 0, access = 0;
+  for (const auto& v : violations) {
+    // Per-cell entries aggregate counts in the detail string; count cells.
+    if (v.kind == ViolationKind::PinShort) ++shorts;
+    if (v.kind == ViolationKind::PinAccess) ++access;
+  }
+  const auto report = countPinViolations(design);
+  EXPECT_EQ(shorts > 0, report.shorts > 0);
+  EXPECT_EQ(access > 0, report.access > 0);
+}
+
+TEST(Fillers, FillEveryGapAndRemoveCleanly) {
+  GenSpec spec;
+  spec.cellsPerHeight = {300, 30, 10, 0};
+  spec.density = 0.6;
+  spec.numFences = 1;
+  spec.numBlockages = 1;
+  spec.seed = 96;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+  const int cellsBefore = design.numCells();
+
+  const auto stats = insertFillers(state, segments);
+  EXPECT_GT(stats.fillersAdded, 0);
+  EXPECT_EQ(stats.sitesLeftUncovered, 0);  // width-1 fillers close all gaps
+  // Full coverage: free area equals filled sites + occupied sites.
+  std::int64_t freeSites = 0;
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    for (const auto& seg : segments.row(y)) freeSites += seg.x.length();
+  }
+  std::int64_t occupied = 0;
+  for (CellId c = 0; c < cellsBefore; ++c) {
+    if (!design.cells[c].fixed && design.cells[c].placed) {
+      occupied += static_cast<std::int64_t>(design.widthOf(c)) *
+                  design.heightOf(c);
+    }
+  }
+  EXPECT_EQ(stats.sitesFilled + occupied, freeSites);
+
+  // No new violations: fillers abut with class-0 edges.
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  EXPECT_EQ(countEdgeSpacingViolations(design), 0);
+
+  // Removal restores the design exactly (cell count and ids).
+  const int removed = removeFillers(design);
+  EXPECT_EQ(removed, stats.fillersAdded);
+  EXPECT_EQ(design.numCells(), cellsBefore);
+}
+
+TEST(Fillers, TypesAreRecognized) {
+  Design d = smallDesign();
+  SegmentMap segments(d);
+  PlacementState state(d);
+  insertFillers(state, segments, 4);
+  bool sawFiller = false;
+  for (TypeId t = 0; t < d.numTypes(); ++t) {
+    if (isFillerType(d, t)) sawFiller = true;
+  }
+  EXPECT_TRUE(sawFiller);
+  EXPECT_FALSE(isFillerType(d, 0));
+}
+
+}  // namespace
+}  // namespace mclg

@@ -1,0 +1,141 @@
+// Wirelength-recovery tests: HPWL never increases, legality and order are
+// preserved, the displacement budget binds, and the paper's trade-off
+// direction holds.
+#include <gtest/gtest.h>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/pipeline.hpp"
+#include "legal/refine/wirelength_recovery.hpp"
+#include "test_helpers.hpp"
+
+namespace mclg {
+namespace {
+
+using testing::addCell;
+using testing::smallDesign;
+
+TEST(WirelengthRecovery, PullsCellTowardItsNet) {
+  Design d = smallDesign();
+  d.types[0].pins.push_back({1, {8, 4, 8, 4}});  // center pin
+  const CellId a = addCell(d, 0, 5.0, 5.0);
+  const CellId b = addCell(d, 0, 30.0, 5.0);
+  Net net;
+  net.conns = {{a, 0}, {b, 0}};
+  d.nets.push_back(net);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(a, 5, 5);
+  state.place(b, 30, 5);
+  WirelengthRecoveryConfig config;
+  config.maxAddedDisplacement = 0.0;  // unlimited
+  config.routability = false;
+  const auto stats = recoverWirelength(state, segments, config);
+  EXPECT_GT(stats.cellsMoved, 0);
+  EXPECT_LT(stats.hpwlAfter, stats.hpwlBefore);
+  // Optimal without overlap: the cells abut, pins 2 sites apart (cell
+  // width 2 with identical pin offsets makes coincident pins impossible).
+  EXPECT_DOUBLE_EQ(stats.hpwlAfter, 2.0);
+}
+
+TEST(WirelengthRecovery, BudgetBindsDisplacement) {
+  Design d = smallDesign();
+  d.types[0].pins.push_back({1, {8, 4, 8, 4}});
+  const CellId a = addCell(d, 0, 5.0, 5.0);
+  const CellId b = addCell(d, 0, 30.0, 5.0);
+  Net net;
+  net.conns = {{a, 0}, {b, 0}};
+  d.nets.push_back(net);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(a, 5, 5);
+  state.place(b, 30, 5);
+  WirelengthRecoveryConfig config;
+  config.maxAddedDisplacement = 1.0;  // 1 row = 2 sites
+  config.routability = false;
+  recoverWirelength(state, segments, config);
+  // Each cell may move at most 2 sites from its GP.
+  EXPECT_LE(std::abs(d.cells[a].x - 5), 2);
+  EXPECT_LE(std::abs(d.cells[b].x - 30), 2);
+}
+
+TEST(WirelengthRecovery, NeighborGapRespected) {
+  Design d = smallDesign();
+  d.types[0].pins.push_back({1, {8, 4, 8, 4}});
+  const CellId a = addCell(d, 0, 5.0, 5.0);
+  const CellId wall = addCell(d, 0, 10.0, 5.0);  // netless blocker
+  const CellId b = addCell(d, 0, 30.0, 5.0);
+  Net net;
+  net.conns = {{a, 0}, {b, 0}};
+  d.nets.push_back(net);
+  SegmentMap segments(d);
+  PlacementState state(d);
+  state.place(a, 5, 5);
+  state.place(wall, 10, 5);
+  state.place(b, 30, 5);
+  WirelengthRecoveryConfig config;
+  config.maxAddedDisplacement = 0.0;
+  config.routability = false;
+  recoverWirelength(state, segments, config);
+  // a cannot pass the wall: at most x=8.
+  EXPECT_LE(d.cells[a].x, 8);
+  EXPECT_TRUE(checkLegality(d, segments).legal());
+}
+
+TEST(WirelengthRecovery, EndToEndTradeoff) {
+  GenSpec spec;
+  spec.cellsPerHeight = {600, 60, 20, 0};
+  spec.density = 0.55;
+  spec.seed = 91;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+
+  WirelengthRecoveryConfig config;
+  config.maxAddedDisplacement = 5.0;
+  const auto stats = recoverWirelength(state, segments, config);
+  EXPECT_LE(stats.hpwlAfter, stats.hpwlBefore + 1e-9);
+  EXPECT_GT(stats.cellsMoved, 0);
+  // The paper's trade-off: displacement should not improve (usually
+  // regresses) when chasing wirelength.
+  EXPECT_GE(stats.avgDispAfter, stats.avgDispBefore - 1e-9);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  EXPECT_EQ(countEdgeSpacingViolations(design), 0);
+}
+
+TEST(WirelengthRecovery, RoutabilityRangesPreservePinCounts) {
+  GenSpec spec;
+  spec.cellsPerHeight = {400, 40, 0, 0};
+  spec.density = 0.5;
+  spec.seed = 92;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+  const auto pinsBefore = countPinViolations(design);
+  WirelengthRecoveryConfig config;
+  config.routability = true;
+  recoverWirelength(state, segments, config);
+  const auto pinsAfter = countPinViolations(design);
+  EXPECT_LE(pinsAfter.total(), pinsBefore.total());
+}
+
+TEST(WirelengthRecovery, NoNetsNoMoves) {
+  GenSpec spec;
+  spec.cellsPerHeight = {200, 0, 0, 0};
+  spec.withNets = false;
+  spec.seed = 93;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::totalDisplacement());
+  const auto stats = recoverWirelength(state, segments, {});
+  EXPECT_EQ(stats.cellsMoved, 0);
+}
+
+}  // namespace
+}  // namespace mclg

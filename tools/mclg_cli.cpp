@@ -1,0 +1,398 @@
+// mclg_cli — command-line driver for the legalization flow.
+//
+//   mclg_cli generate --cells 20000 --density 0.6 --fences 2 --seed 7
+//            [--gp quadratic] --out design.mclg
+//   mclg_cli legalize --in design.mclg [--preset contest|totaldisp]
+//            [--threads 4] [--no-maxdisp] [--no-mcf] [--delta0 10]
+//            [--n0 4] [--ripup [--ripup-threshold 5]]
+//            [--recover-hpwl [--hpwl-budget 2]] [--fillers]
+//            [--config pipeline.conf]
+//            --out legal.mclg
+//   mclg_cli evaluate --in legal.mclg
+//   mclg_cli violations --in legal.mclg [--limit 100]
+//   mclg_cli stats --in design.mclg
+//   mclg_cli convert --in design.mclg --lef out.lef --def out.def
+//   mclg_cli convert --in design.mclg --bookshelf out        (out.aux + 4)
+//   mclg_cli convert --in-lef lib.lef --in-def chip.def --out design.mclg
+//   mclg_cli convert --in-aux chip.aux --out design.mclg
+//   mclg_cli svg --in legal.mclg --out disp.svg [--type 3 | --density]
+//
+// Exit status: 0 on success (for `legalize`/`evaluate`, additionally only
+// when the placement is legal), 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/report.hpp"
+#include "eval/design_stats.hpp"
+#include "eval/violations.hpp"
+#include "eval/score.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "gen/global_placer.hpp"
+#include "gen/fillers.hpp"
+#include "legal/pipeline.hpp"
+#include "legal/pipeline_config.hpp"
+#include "legal/refine/ripup_refine.hpp"
+#include "legal/refine/wirelength_recovery.hpp"
+#include "util/timer.hpp"
+#include "parsers/bookshelf.hpp"
+#include "parsers/def_parser.hpp"
+#include "parsers/lef_parser.hpp"
+#include "parsers/simple_format.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace mclg;
+
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  std::optional<std::string> get(const char* name) const {
+    for (int i = 2; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return std::string(argv_[i + 1]);
+    }
+    return std::nullopt;
+  }
+  bool has(const char* name) const {
+    for (int i = 2; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return true;
+    }
+    return false;
+  }
+  double getDouble(const char* name, double fallback) const {
+    const auto v = get(name);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+  long getInt(const char* name, long fallback) const {
+    const auto v = get(name);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mclg_cli <generate|legalize|evaluate|violations|stats|convert|svg> "
+               "[options]\n(see the header of tools/mclg_cli.cpp)\n");
+  return 1;
+}
+
+std::optional<Design> loadInput(const Args& args) {
+  const auto inPath = args.get("--in");
+  if (!inPath) {
+    std::fprintf(stderr, "missing --in\n");
+    return std::nullopt;
+  }
+  std::string error;
+  auto design = loadDesign(*inPath, &error);
+  if (!design) std::fprintf(stderr, "parse error: %s\n", error.c_str());
+  return design;
+}
+
+std::string readFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmdGenerate(const Args& args) {
+  GenSpec spec;
+  const int cells = static_cast<int>(args.getInt("--cells", 10000));
+  spec.name = args.get("--name").value_or("generated");
+  spec.cellsPerHeight = {cells * 8 / 10, cells * 12 / 100, cells * 5 / 100,
+                         cells * 3 / 100};
+  spec.density = args.getDouble("--density", 0.6);
+  spec.numFences = static_cast<int>(args.getInt("--fences", 2));
+  spec.numBlockages = static_cast<int>(args.getInt("--blockages", 1));
+  spec.seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+  spec.withRoutability = !args.has("--no-routability");
+  Design design = generate(spec);
+
+  if (args.get("--gp").value_or("clustered") == "quadratic") {
+    GlobalPlaceConfig gpConfig;
+    gpConfig.seed = spec.seed;
+    const auto stats = globalPlace(design, gpConfig);
+    std::printf("GP-lite: HPWL %.0f -> %.0f, peak bin util %.2f -> %.2f\n",
+                stats.hpwlBefore, stats.hpwlAfter, stats.maxBinUtilBefore,
+                stats.maxBinUtilAfter);
+  }
+
+  const auto outPath = args.get("--out");
+  if (!outPath || !saveDesign(design, *outPath)) {
+    std::fprintf(stderr, "cannot write output (--out)\n");
+    return 1;
+  }
+  std::printf("wrote %s: %d cells, %lld x %lld sites, %d fences\n",
+              outPath->c_str(), design.numCells(),
+              static_cast<long long>(design.numSitesX),
+              static_cast<long long>(design.numRows), design.numFences() - 1);
+  return 0;
+}
+
+int cmdLegalize(const Args& args) {
+  auto design = loadInput(args);
+  if (!design) return 1;
+
+  PipelineConfig config = args.get("--preset").value_or("contest") ==
+                                  "totaldisp"
+                              ? PipelineConfig::totalDisplacement()
+                              : PipelineConfig::contest();
+  if (const auto configPath = args.get("--config")) {
+    bool ok = false;
+    const std::string text = readFile(*configPath, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", configPath->c_str());
+      return 1;
+    }
+    std::string error;
+    if (!applyConfigText(text, &config, &error)) {
+      std::fprintf(stderr, "config error in %s: %s\n", configPath->c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+  config.mgl.numThreads = static_cast<int>(args.getInt("--threads", 1));
+  if (args.has("--no-maxdisp")) config.runMaxDisp = false;
+  if (args.has("--no-mcf")) config.runFixedRowOrder = false;
+  config.maxDisp.delta0 = args.getDouble("--delta0", config.maxDisp.delta0);
+  config.maxDisp.numThreads = config.mgl.numThreads;
+  if (config.fixedRowOrder.maxDispWeight == 0.0) {
+    config.fixedRowOrder.numThreads = config.mgl.numThreads;
+  }
+  config.fixedRowOrder.maxDispWeight =
+      args.getDouble("--n0", config.fixedRowOrder.maxDispWeight);
+
+  SegmentMap segments(*design);
+  PlacementState state(*design);
+  const auto stats = legalize(state, segments, config);
+  std::printf(
+      "MGL %.2fs (placed %d, fallback %d, failed %d) | matching %.2fs "
+      "(moved %d) | MCF %.2fs (moved %d)\n",
+      stats.secondsMgl, stats.mgl.placed, stats.mgl.fallbackPlaced,
+      stats.mgl.failed, stats.secondsMaxDisp, stats.maxDisp.cellsMoved,
+      stats.secondsFixedRowOrder, stats.fixedRowOrder.cellsMoved);
+
+  if (args.has("--ripup")) {
+    RipupConfig ripup;
+    ripup.displacementThreshold = args.getDouble("--ripup-threshold", 5.0);
+    ripup.insertion = config.mgl.insertion;
+    Timer timer;
+    const auto ripupStats = ripupRefine(state, segments, ripup);
+    std::printf("ripup %.2fs (attempted %d, improved %d, gain %.3f)\n",
+                timer.seconds(), ripupStats.attempted, ripupStats.improved,
+                ripupStats.gain);
+  }
+  if (args.has("--recover-hpwl")) {
+    WirelengthRecoveryConfig recovery;
+    recovery.maxAddedDisplacement = args.getDouble("--hpwl-budget", 2.0);
+    Timer timer;
+    const auto recoveryStats = recoverWirelength(state, segments, recovery);
+    std::printf("hpwl recovery %.2fs (moved %d, HPWL %.0f -> %.0f)\n",
+                timer.seconds(), recoveryStats.cellsMoved,
+                recoveryStats.hpwlBefore, recoveryStats.hpwlAfter);
+  }
+  if (args.has("--fillers")) {
+    const auto fillerStats = insertFillers(state, segments);
+    std::printf("fillers: %d cells covering %lld sites\n",
+                fillerStats.fillersAdded,
+                static_cast<long long>(fillerStats.sitesFilled));
+  }
+
+  const auto score = evaluateScore(*design, segments);
+  std::printf("%s\n", summarize(*design, score).c_str());
+
+  if (const auto outPath = args.get("--out")) {
+    if (!saveDesign(*design, *outPath)) {
+      std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", outPath->c_str());
+  }
+  return score.legality.legal() ? 0 : 1;
+}
+
+int cmdEvaluate(const Args& args) {
+  const auto design = loadInput(args);
+  if (!design) return 1;
+  SegmentMap segments(*design);
+  const auto score = evaluateScore(*design, segments);
+  std::printf("%s\n", summarize(*design, score).c_str());
+  return score.legality.legal() ? 0 : 1;
+}
+
+int cmdStats(const Args& args) {
+  auto design = loadInput(args);
+  if (!design) return 1;
+  SegmentMap segments(*design);
+  PlacementState state(*design);
+  const auto stats = computeDesignStats(state, segments);
+  std::printf("%s", stats.toString().c_str());
+  return 0;
+}
+
+int cmdViolations(const Args& args) {
+  const auto design = loadInput(args);
+  if (!design) return 1;
+  SegmentMap segments(*design);
+  const auto limit =
+      static_cast<std::size_t>(args.getInt("--limit", 100));
+  const auto violations = collectViolations(*design, segments, limit);
+  if (violations.empty()) {
+    std::printf("no violations\n");
+    return 0;
+  }
+  std::printf("%s", formatViolations(*design, violations).c_str());
+  if (violations.size() == limit) {
+    std::printf("... (truncated at %zu; raise --limit)\n", limit);
+  }
+  return 1;
+}
+
+int cmdConvert(const Args& args) {
+  // Bookshelf -> native.
+  if (const auto auxPath = args.get("--in-aux")) {
+    const auto outPath = args.get("--out");
+    if (!outPath) {
+      std::fprintf(stderr, "convert needs --out\n");
+      return 1;
+    }
+    std::string error;
+    const auto design = loadBookshelf(*auxPath, &error);
+    if (!design) {
+      std::fprintf(stderr, "Bookshelf error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!saveDesign(*design, *outPath)) {
+      std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%d cells)\n", outPath->c_str(),
+                design->numCells());
+    return 0;
+  }
+  // Native -> Bookshelf.
+  if (const auto bookshelfBase = args.get("--bookshelf")) {
+    const auto design = loadInput(args);
+    if (!design) return 1;
+    if (!saveBookshelf(*design, *bookshelfBase)) {
+      std::fprintf(stderr, "cannot write %s.*\n", bookshelfBase->c_str());
+      return 1;
+    }
+    std::printf("wrote %s.{aux,nodes,nets,pl,scl}\n",
+                bookshelfBase->c_str());
+    return 0;
+  }
+  // Direction 1: LEF+DEF -> native.
+  if (const auto lefPath = args.get("--in-lef")) {
+    const auto defPath = args.get("--in-def");
+    const auto outPath = args.get("--out");
+    if (!defPath || !outPath) {
+      std::fprintf(stderr, "convert needs --in-def and --out\n");
+      return 1;
+    }
+    bool ok = false;
+    const std::string lefText = readFile(*lefPath, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", lefPath->c_str());
+      return 1;
+    }
+    const std::string defText = readFile(*defPath, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", defPath->c_str());
+      return 1;
+    }
+    std::string error;
+    const auto lib = readLef(lefText, &error);
+    if (!lib) {
+      std::fprintf(stderr, "LEF error: %s\n", error.c_str());
+      return 1;
+    }
+    const auto design = readDef(defText, *lib, &error);
+    if (!design) {
+      std::fprintf(stderr, "DEF error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!saveDesign(*design, *outPath)) {
+      std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%d cells)\n", outPath->c_str(), design->numCells());
+    return 0;
+  }
+  // Direction 2: native -> LEF+DEF.
+  const auto design = loadInput(args);
+  if (!design) return 1;
+  const auto lefPath = args.get("--lef");
+  const auto defPath = args.get("--def");
+  if (!lefPath || !defPath) {
+    std::fprintf(stderr, "convert needs --lef and --def (or --in-lef)\n");
+    return 1;
+  }
+  std::ofstream lefOut(*lefPath);
+  lefOut << writeLef(*design);
+  std::ofstream defOut(*defPath);
+  defOut << writeDef(*design);
+  if (!lefOut || !defOut) {
+    std::fprintf(stderr, "write failed\n");
+    return 1;
+  }
+  std::printf("wrote %s and %s\n", lefPath->c_str(), defPath->c_str());
+  return 0;
+}
+
+int cmdSvg(const Args& args) {
+  const auto design = loadInput(args);
+  if (!design) return 1;
+  const auto outPath = args.get("--out");
+  if (!outPath) {
+    std::fprintf(stderr, "missing --out\n");
+    return 1;
+  }
+  if (args.has("--density")) {
+    if (!writeDensityMapSvg(*design, *outPath,
+                            static_cast<int>(args.getInt("--bin-rows", 8)))) {
+      std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", outPath->c_str());
+    return 0;
+  }
+  const auto type = static_cast<TypeId>(args.getInt("--type", -1));
+  if (!writeDisplacementSvg(*design, type, *outPath)) {
+    std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", outPath->c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  mclg::setLogLevel(mclg::LogLevel::Info);
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return cmdGenerate(args);
+  if (command == "legalize") return cmdLegalize(args);
+  if (command == "evaluate") return cmdEvaluate(args);
+  if (command == "violations") return cmdViolations(args);
+  if (command == "stats") return cmdStats(args);
+  if (command == "convert") return cmdConvert(args);
+  if (command == "svg") return cmdSvg(args);
+  return usage();
+}
