@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hpwl"
+  "../bench/bench_ablation_hpwl.pdb"
+  "CMakeFiles/bench_ablation_hpwl.dir/bench_ablation_hpwl.cpp.o"
+  "CMakeFiles/bench_ablation_hpwl.dir/bench_ablation_hpwl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hpwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

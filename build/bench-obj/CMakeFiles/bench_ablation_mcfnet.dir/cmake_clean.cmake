@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mcfnet"
+  "../bench/bench_ablation_mcfnet.pdb"
+  "CMakeFiles/bench_ablation_mcfnet.dir/bench_ablation_mcfnet.cpp.o"
+  "CMakeFiles/bench_ablation_mcfnet.dir/bench_ablation_mcfnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mcfnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

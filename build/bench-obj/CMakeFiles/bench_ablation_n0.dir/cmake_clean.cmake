@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_n0"
+  "../bench/bench_ablation_n0.pdb"
+  "CMakeFiles/bench_ablation_n0.dir/bench_ablation_n0.cpp.o"
+  "CMakeFiles/bench_ablation_n0.dir/bench_ablation_n0.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_n0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

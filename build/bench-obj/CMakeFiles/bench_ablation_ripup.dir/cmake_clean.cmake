@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ripup"
+  "../bench/bench_ablation_ripup.pdb"
+  "CMakeFiles/bench_ablation_ripup.dir/bench_ablation_ripup.cpp.o"
+  "CMakeFiles/bench_ablation_ripup.dir/bench_ablation_ripup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ripup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

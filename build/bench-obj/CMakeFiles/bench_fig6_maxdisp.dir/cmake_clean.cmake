@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_maxdisp"
+  "../bench/bench_fig6_maxdisp.pdb"
+  "CMakeFiles/bench_fig6_maxdisp.dir/bench_fig6_maxdisp.cpp.o"
+  "CMakeFiles/bench_fig6_maxdisp.dir/bench_fig6_maxdisp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_maxdisp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fence_design.dir/fence_design.cpp.o"
+  "CMakeFiles/example_fence_design.dir/fence_design.cpp.o.d"
+  "example_fence_design"
+  "example_fence_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fence_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

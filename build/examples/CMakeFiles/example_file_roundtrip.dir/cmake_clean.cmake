@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_file_roundtrip.dir/file_roundtrip.cpp.o"
+  "CMakeFiles/example_file_roundtrip.dir/file_roundtrip.cpp.o.d"
+  "example_file_roundtrip"
+  "example_file_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_file_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gp_flow.dir/gp_flow.cpp.o"
+  "CMakeFiles/example_gp_flow.dir/gp_flow.cpp.o.d"
+  "example_gp_flow"
+  "example_gp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_routability_report.dir/routability_report.cpp.o"
+  "CMakeFiles/example_routability_report.dir/routability_report.cpp.o.d"
+  "example_routability_report"
+  "example_routability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_routability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

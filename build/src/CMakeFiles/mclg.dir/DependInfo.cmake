@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/abacus_multi.cpp" "src/CMakeFiles/mclg.dir/baselines/abacus_multi.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/abacus_multi.cpp.o.d"
+  "/root/repo/src/baselines/abacus_row.cpp" "src/CMakeFiles/mclg.dir/baselines/abacus_row.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/abacus_row.cpp.o.d"
+  "/root/repo/src/baselines/champion_proxy.cpp" "src/CMakeFiles/mclg.dir/baselines/champion_proxy.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/champion_proxy.cpp.o.d"
+  "/root/repo/src/baselines/mll.cpp" "src/CMakeFiles/mclg.dir/baselines/mll.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/mll.cpp.o.d"
+  "/root/repo/src/baselines/ordered_mcf.cpp" "src/CMakeFiles/mclg.dir/baselines/ordered_mcf.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/ordered_mcf.cpp.o.d"
+  "/root/repo/src/baselines/qp_legalizer.cpp" "src/CMakeFiles/mclg.dir/baselines/qp_legalizer.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/qp_legalizer.cpp.o.d"
+  "/root/repo/src/baselines/tetris.cpp" "src/CMakeFiles/mclg.dir/baselines/tetris.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/baselines/tetris.cpp.o.d"
+  "/root/repo/src/db/design.cpp" "src/CMakeFiles/mclg.dir/db/design.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/db/design.cpp.o.d"
+  "/root/repo/src/db/free_span.cpp" "src/CMakeFiles/mclg.dir/db/free_span.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/db/free_span.cpp.o.d"
+  "/root/repo/src/db/placement_state.cpp" "src/CMakeFiles/mclg.dir/db/placement_state.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/db/placement_state.cpp.o.d"
+  "/root/repo/src/db/segment_map.cpp" "src/CMakeFiles/mclg.dir/db/segment_map.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/db/segment_map.cpp.o.d"
+  "/root/repo/src/eval/checkers.cpp" "src/CMakeFiles/mclg.dir/eval/checkers.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/checkers.cpp.o.d"
+  "/root/repo/src/eval/design_stats.cpp" "src/CMakeFiles/mclg.dir/eval/design_stats.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/design_stats.cpp.o.d"
+  "/root/repo/src/eval/histogram.cpp" "src/CMakeFiles/mclg.dir/eval/histogram.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/histogram.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/mclg.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/mclg.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/score.cpp" "src/CMakeFiles/mclg.dir/eval/score.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/score.cpp.o.d"
+  "/root/repo/src/eval/violations.cpp" "src/CMakeFiles/mclg.dir/eval/violations.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/eval/violations.cpp.o.d"
+  "/root/repo/src/flow/bipartite_matching.cpp" "src/CMakeFiles/mclg.dir/flow/bipartite_matching.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/flow/bipartite_matching.cpp.o.d"
+  "/root/repo/src/flow/cost_scaling.cpp" "src/CMakeFiles/mclg.dir/flow/cost_scaling.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/flow/cost_scaling.cpp.o.d"
+  "/root/repo/src/flow/hungarian.cpp" "src/CMakeFiles/mclg.dir/flow/hungarian.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/flow/hungarian.cpp.o.d"
+  "/root/repo/src/flow/network_simplex.cpp" "src/CMakeFiles/mclg.dir/flow/network_simplex.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/flow/network_simplex.cpp.o.d"
+  "/root/repo/src/flow/ssp.cpp" "src/CMakeFiles/mclg.dir/flow/ssp.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/flow/ssp.cpp.o.d"
+  "/root/repo/src/gen/benchmark_gen.cpp" "src/CMakeFiles/mclg.dir/gen/benchmark_gen.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/benchmark_gen.cpp.o.d"
+  "/root/repo/src/gen/fillers.cpp" "src/CMakeFiles/mclg.dir/gen/fillers.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/fillers.cpp.o.d"
+  "/root/repo/src/gen/global_placer.cpp" "src/CMakeFiles/mclg.dir/gen/global_placer.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/global_placer.cpp.o.d"
+  "/root/repo/src/gen/iccad17_suite.cpp" "src/CMakeFiles/mclg.dir/gen/iccad17_suite.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/iccad17_suite.cpp.o.d"
+  "/root/repo/src/gen/ispd15_suite.cpp" "src/CMakeFiles/mclg.dir/gen/ispd15_suite.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/ispd15_suite.cpp.o.d"
+  "/root/repo/src/geometry/disp_curve.cpp" "src/CMakeFiles/mclg.dir/geometry/disp_curve.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/geometry/disp_curve.cpp.o.d"
+  "/root/repo/src/legal/maxdisp/matching_opt.cpp" "src/CMakeFiles/mclg.dir/legal/maxdisp/matching_opt.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/maxdisp/matching_opt.cpp.o.d"
+  "/root/repo/src/legal/mcfopt/fixed_row_order.cpp" "src/CMakeFiles/mclg.dir/legal/mcfopt/fixed_row_order.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mcfopt/fixed_row_order.cpp.o.d"
+  "/root/repo/src/legal/mgl/insertion.cpp" "src/CMakeFiles/mclg.dir/legal/mgl/insertion.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mgl/insertion.cpp.o.d"
+  "/root/repo/src/legal/mgl/mgl_legalizer.cpp" "src/CMakeFiles/mclg.dir/legal/mgl/mgl_legalizer.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mgl/mgl_legalizer.cpp.o.d"
+  "/root/repo/src/legal/mgl/scheduler.cpp" "src/CMakeFiles/mclg.dir/legal/mgl/scheduler.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mgl/scheduler.cpp.o.d"
+  "/root/repo/src/legal/mgl/window.cpp" "src/CMakeFiles/mclg.dir/legal/mgl/window.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mgl/window.cpp.o.d"
+  "/root/repo/src/legal/pipeline.cpp" "src/CMakeFiles/mclg.dir/legal/pipeline.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/pipeline.cpp.o.d"
+  "/root/repo/src/legal/pipeline_config.cpp" "src/CMakeFiles/mclg.dir/legal/pipeline_config.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/pipeline_config.cpp.o.d"
+  "/root/repo/src/legal/refine/feasible_range.cpp" "src/CMakeFiles/mclg.dir/legal/refine/feasible_range.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/refine/feasible_range.cpp.o.d"
+  "/root/repo/src/legal/refine/ripup_refine.cpp" "src/CMakeFiles/mclg.dir/legal/refine/ripup_refine.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/refine/ripup_refine.cpp.o.d"
+  "/root/repo/src/legal/refine/wirelength_recovery.cpp" "src/CMakeFiles/mclg.dir/legal/refine/wirelength_recovery.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/refine/wirelength_recovery.cpp.o.d"
+  "/root/repo/src/parsers/bookshelf.cpp" "src/CMakeFiles/mclg.dir/parsers/bookshelf.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/parsers/bookshelf.cpp.o.d"
+  "/root/repo/src/parsers/def_parser.cpp" "src/CMakeFiles/mclg.dir/parsers/def_parser.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/parsers/def_parser.cpp.o.d"
+  "/root/repo/src/parsers/lef_parser.cpp" "src/CMakeFiles/mclg.dir/parsers/lef_parser.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/parsers/lef_parser.cpp.o.d"
+  "/root/repo/src/parsers/simple_format.cpp" "src/CMakeFiles/mclg.dir/parsers/simple_format.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/parsers/simple_format.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/mclg.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/mclg.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mclg.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/mclg.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abacus_row.cpp" "tests/CMakeFiles/mclg_tests.dir/test_abacus_row.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_abacus_row.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/mclg_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bipartite.cpp" "tests/CMakeFiles/mclg_tests.dir/test_bipartite.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_bipartite.cpp.o.d"
+  "/root/repo/tests/test_bookshelf.cpp" "tests/CMakeFiles/mclg_tests.dir/test_bookshelf.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_bookshelf.cpp.o.d"
+  "/root/repo/tests/test_checkers.cpp" "tests/CMakeFiles/mclg_tests.dir/test_checkers.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_checkers.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/mclg_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_design_stats.cpp" "tests/CMakeFiles/mclg_tests.dir/test_design_stats.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_design_stats.cpp.o.d"
+  "/root/repo/tests/test_disp_curve.cpp" "tests/CMakeFiles/mclg_tests.dir/test_disp_curve.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_disp_curve.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/mclg_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fixed_row_order.cpp" "tests/CMakeFiles/mclg_tests.dir/test_fixed_row_order.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_fixed_row_order.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/mclg_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/mclg_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_global_placer.cpp" "tests/CMakeFiles/mclg_tests.dir/test_global_placer.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_global_placer.cpp.o.d"
+  "/root/repo/tests/test_hungarian.cpp" "tests/CMakeFiles/mclg_tests.dir/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_hungarian.cpp.o.d"
+  "/root/repo/tests/test_insertion.cpp" "tests/CMakeFiles/mclg_tests.dir/test_insertion.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_insertion.cpp.o.d"
+  "/root/repo/tests/test_maxdisp.cpp" "tests/CMakeFiles/mclg_tests.dir/test_maxdisp.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_maxdisp.cpp.o.d"
+  "/root/repo/tests/test_mcf.cpp" "tests/CMakeFiles/mclg_tests.dir/test_mcf.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_mcf.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mclg_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mgl.cpp" "tests/CMakeFiles/mclg_tests.dir/test_mgl.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_mgl.cpp.o.d"
+  "/root/repo/tests/test_misc_eval.cpp" "tests/CMakeFiles/mclg_tests.dir/test_misc_eval.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_misc_eval.cpp.o.d"
+  "/root/repo/tests/test_orientation.cpp" "tests/CMakeFiles/mclg_tests.dir/test_orientation.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_orientation.cpp.o.d"
+  "/root/repo/tests/test_parsers.cpp" "tests/CMakeFiles/mclg_tests.dir/test_parsers.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_parsers.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/mclg_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pipeline_config.cpp" "tests/CMakeFiles/mclg_tests.dir/test_pipeline_config.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_pipeline_config.cpp.o.d"
+  "/root/repo/tests/test_placement_state.cpp" "tests/CMakeFiles/mclg_tests.dir/test_placement_state.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_placement_state.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/mclg_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_qp_legalizer.cpp" "tests/CMakeFiles/mclg_tests.dir/test_qp_legalizer.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_qp_legalizer.cpp.o.d"
+  "/root/repo/tests/test_ripup.cpp" "tests/CMakeFiles/mclg_tests.dir/test_ripup.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_ripup.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/mclg_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_segment_map.cpp" "tests/CMakeFiles/mclg_tests.dir/test_segment_map.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_segment_map.cpp.o.d"
+  "/root/repo/tests/test_state_fuzz.cpp" "tests/CMakeFiles/mclg_tests.dir/test_state_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_state_fuzz.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/mclg_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_theorem1.cpp" "tests/CMakeFiles/mclg_tests.dir/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_theorem1.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/mclg_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_violations_fillers.cpp" "tests/CMakeFiles/mclg_tests.dir/test_violations_fillers.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_violations_fillers.cpp.o.d"
+  "/root/repo/tests/test_wirelength_recovery.cpp" "tests/CMakeFiles/mclg_tests.dir/test_wirelength_recovery.cpp.o" "gcc" "tests/CMakeFiles/mclg_tests.dir/test_wirelength_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mclg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclg_cli.dir/mclg_cli.cpp.o"
+  "CMakeFiles/mclg_cli.dir/mclg_cli.cpp.o.d"
+  "mclg_cli"
+  "mclg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
