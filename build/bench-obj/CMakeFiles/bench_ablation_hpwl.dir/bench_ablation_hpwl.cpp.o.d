@@ -187,19 +187,20 @@ bench-obj/CMakeFiles/bench_ablation_hpwl.dir/bench_ablation_hpwl.cpp.o: \
  /root/repo/src/geometry/interval.hpp /root/repo/src/db/segment_map.hpp \
  /root/repo/src/eval/checkers.hpp /root/repo/src/gen/iccad17_suite.hpp \
  /root/repo/src/gen/benchmark_gen.hpp /usr/include/c++/12/array \
- /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/pipeline.hpp /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /usr/include/c++/12/limits \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
- /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/legal/mgl/insertion.hpp \
  /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/legal/mgl/window.hpp \
  /root/repo/src/legal/refine/ripup_refine.hpp \
  /root/repo/src/legal/refine/wirelength_recovery.hpp \
  /root/repo/src/parsers/simple_format.hpp /usr/include/c++/12/optional \
- /root/repo/src/util/table.hpp
+ /root/repo/src/parsers/parse_error.hpp /root/repo/src/util/table.hpp

@@ -188,11 +188,12 @@ bench-obj/CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cpp.o: \
  /root/repo/src/eval/metrics.hpp /root/repo/src/gen/iccad17_suite.hpp \
  /root/repo/src/gen/benchmark_gen.hpp /usr/include/c++/12/array \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
- /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/limits \
  /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/legal/mgl/window.hpp /root/repo/src/util/table.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \

@@ -188,10 +188,11 @@ bench-obj/CMakeFiles/bench_fig6_maxdisp.dir/bench_fig6_maxdisp.cpp.o: \
  /root/repo/src/gen/benchmark_gen.hpp /usr/include/c++/12/array \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
- /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/limits \
  /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/legal/mgl/window.hpp

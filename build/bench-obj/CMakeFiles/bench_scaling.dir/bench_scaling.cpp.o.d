@@ -187,15 +187,17 @@ bench-obj/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o: \
  /root/repo/src/geometry/interval.hpp /root/repo/src/db/segment_map.hpp \
  /root/repo/src/eval/metrics.hpp /root/repo/src/gen/benchmark_gen.hpp \
  /usr/include/c++/12/array /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /usr/include/c++/12/limits \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
- /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/legal/mgl/insertion.hpp \
  /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/legal/mgl/window.hpp \
  /root/repo/src/legal/refine/ripup_refine.hpp \

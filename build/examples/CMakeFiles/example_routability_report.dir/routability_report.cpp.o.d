@@ -186,16 +186,17 @@ examples/CMakeFiles/example_routability_report.dir/routability_report.cpp.o: \
  /root/repo/src/eval/report.hpp /root/repo/src/eval/score.hpp \
  /root/repo/src/eval/checkers.hpp /root/repo/src/eval/metrics.hpp \
  /root/repo/src/gen/benchmark_gen.hpp /usr/include/c++/12/array \
- /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/pipeline.hpp /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /usr/include/c++/12/limits \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
- /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/legal/mgl/insertion.hpp \
  /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/legal/mgl/window.hpp \
  /root/repo/src/legal/refine/ripup_refine.hpp \

@@ -37,6 +37,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/gen/iccad17_suite.cpp" "src/CMakeFiles/mclg.dir/gen/iccad17_suite.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/iccad17_suite.cpp.o.d"
   "/root/repo/src/gen/ispd15_suite.cpp" "src/CMakeFiles/mclg.dir/gen/ispd15_suite.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/gen/ispd15_suite.cpp.o.d"
   "/root/repo/src/geometry/disp_curve.cpp" "src/CMakeFiles/mclg.dir/geometry/disp_curve.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/geometry/disp_curve.cpp.o.d"
+  "/root/repo/src/legal/guard/guard.cpp" "src/CMakeFiles/mclg.dir/legal/guard/guard.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/guard/guard.cpp.o.d"
+  "/root/repo/src/legal/guard/invariants.cpp" "src/CMakeFiles/mclg.dir/legal/guard/invariants.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/guard/invariants.cpp.o.d"
+  "/root/repo/src/legal/guard/transaction.cpp" "src/CMakeFiles/mclg.dir/legal/guard/transaction.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/guard/transaction.cpp.o.d"
   "/root/repo/src/legal/maxdisp/matching_opt.cpp" "src/CMakeFiles/mclg.dir/legal/maxdisp/matching_opt.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/maxdisp/matching_opt.cpp.o.d"
   "/root/repo/src/legal/mcfopt/fixed_row_order.cpp" "src/CMakeFiles/mclg.dir/legal/mcfopt/fixed_row_order.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mcfopt/fixed_row_order.cpp.o.d"
   "/root/repo/src/legal/mgl/insertion.cpp" "src/CMakeFiles/mclg.dir/legal/mgl/insertion.cpp.o" "gcc" "src/CMakeFiles/mclg.dir/legal/mgl/insertion.cpp.o.d"

@@ -140,7 +140,8 @@ src/CMakeFiles/mclg.dir/parsers/lef_parser.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/geometry/interval.hpp /usr/include/c++/12/cmath \
+ /root/repo/src/geometry/interval.hpp \
+ /root/repo/src/parsers/parse_error.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -136,7 +136,8 @@ src/CMakeFiles/mclg.dir/parsers/simple_format.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/geometry/interval.hpp /usr/include/c++/12/fstream \
+ /root/repo/src/geometry/interval.hpp \
+ /root/repo/src/parsers/parse_error.hpp /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \

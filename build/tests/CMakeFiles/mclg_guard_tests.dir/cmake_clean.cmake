@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclg_guard_tests.dir/test_guard.cpp.o"
+  "CMakeFiles/mclg_guard_tests.dir/test_guard.cpp.o.d"
+  "mclg_guard_tests"
+  "mclg_guard_tests.pdb"
+  "mclg_guard_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclg_guard_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

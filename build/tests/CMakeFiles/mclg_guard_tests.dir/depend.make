@@ -1,0 +1,2 @@
+# Empty dependencies file for mclg_guard_tests.
+# This may be replaced when dependencies are built.

@@ -300,7 +300,7 @@ tests/CMakeFiles/mclg_tests.dir/test_bookshelf.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/geometry/interval.hpp /root/repo/src/db/segment_map.hpp \
  /root/repo/src/eval/checkers.hpp /root/repo/src/gen/benchmark_gen.hpp \
- /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/pipeline.hpp /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /root/repo/src/legal/mgl/mgl_legalizer.hpp \
@@ -309,4 +309,5 @@ tests/CMakeFiles/mclg_tests.dir/test_bookshelf.cpp.o: \
  /root/repo/src/legal/mgl/window.hpp \
  /root/repo/src/legal/refine/ripup_refine.hpp \
  /root/repo/src/legal/refine/wirelength_recovery.hpp \
- /root/repo/src/parsers/bookshelf.hpp /root/repo/tests/test_helpers.hpp
+ /root/repo/src/parsers/bookshelf.hpp \
+ /root/repo/src/parsers/parse_error.hpp /root/repo/tests/test_helpers.hpp

@@ -308,6 +308,7 @@ tests/CMakeFiles/mclg_tests.dir/test_edge_cases.cpp.o: \
  /root/repo/src/geometry/interval.hpp /root/repo/src/eval/checkers.hpp \
  /root/repo/src/db/segment_map.hpp /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/parsers/lef_parser.hpp \
+ /root/repo/src/parsers/parse_error.hpp \
  /root/repo/src/parsers/simple_format.hpp \
  /root/repo/tests/test_helpers.hpp /root/repo/src/util/logging.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono

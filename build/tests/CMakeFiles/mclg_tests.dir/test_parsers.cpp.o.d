@@ -301,5 +301,6 @@ tests/CMakeFiles/mclg_tests.dir/test_parsers.cpp.o: \
  /root/repo/src/geometry/interval.hpp \
  /root/repo/src/parsers/def_parser.hpp \
  /root/repo/src/parsers/lef_parser.hpp \
+ /root/repo/src/parsers/parse_error.hpp \
  /root/repo/src/parsers/simple_format.hpp \
  /root/repo/tests/test_helpers.hpp

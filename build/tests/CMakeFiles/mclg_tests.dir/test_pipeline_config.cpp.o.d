@@ -300,6 +300,7 @@ tests/CMakeFiles/mclg_tests.dir/test_pipeline_config.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/geometry/interval.hpp /root/repo/src/db/segment_map.hpp \
+ /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /root/repo/src/legal/mgl/mgl_legalizer.hpp \

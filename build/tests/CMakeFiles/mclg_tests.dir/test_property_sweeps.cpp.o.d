@@ -325,6 +325,7 @@ tests/CMakeFiles/mclg_tests.dir/test_property_sweeps.cpp.o: \
  /root/repo/src/flow/mcf.hpp /root/repo/src/gen/benchmark_gen.hpp \
  /root/repo/src/legal/mgl/insertion.hpp \
  /root/repo/src/geometry/disp_curve.hpp /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
@@ -333,4 +334,5 @@ tests/CMakeFiles/mclg_tests.dir/test_property_sweeps.cpp.o: \
  /root/repo/src/legal/refine/wirelength_recovery.hpp \
  /root/repo/src/parsers/def_parser.hpp \
  /root/repo/src/parsers/lef_parser.hpp \
+ /root/repo/src/parsers/parse_error.hpp \
  /root/repo/src/parsers/simple_format.hpp /root/repo/src/util/random.hpp

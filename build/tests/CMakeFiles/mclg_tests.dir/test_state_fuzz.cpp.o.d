@@ -299,4 +299,10 @@ tests/CMakeFiles/mclg_tests.dir/test_state_fuzz.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/geometry/interval.hpp /root/repo/src/db/segment_map.hpp \
+ /root/repo/src/gen/benchmark_gen.hpp \
+ /root/repo/src/parsers/bookshelf.hpp \
+ /root/repo/src/parsers/parse_error.hpp \
+ /root/repo/src/parsers/def_parser.hpp \
+ /root/repo/src/parsers/lef_parser.hpp \
+ /root/repo/src/parsers/simple_format.hpp \
  /root/repo/tests/test_helpers.hpp /root/repo/src/util/random.hpp

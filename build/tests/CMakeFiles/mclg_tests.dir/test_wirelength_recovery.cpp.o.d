@@ -301,6 +301,7 @@ tests/CMakeFiles/mclg_tests.dir/test_wirelength_recovery.cpp.o: \
  /root/repo/src/geometry/interval.hpp /root/repo/src/db/segment_map.hpp \
  /root/repo/src/eval/checkers.hpp /root/repo/src/eval/metrics.hpp \
  /root/repo/src/gen/benchmark_gen.hpp /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/guard/guard.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /root/repo/src/legal/mgl/mgl_legalizer.hpp \

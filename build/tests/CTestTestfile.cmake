@@ -5,5 +5,6 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/mclg_tests[1]_include.cmake")
+include("/root/repo/build/tests/mclg_guard_tests[1]_include.cmake")
 add_test(cli_end_to_end "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/mclg_cli" "-DWORKDIR=/root/repo/build/tests/cli_e2e" "-P" "/root/repo/tests/cli_end_to_end.cmake")
-set_tests_properties(cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -212,20 +212,22 @@ tools/CMakeFiles/mclg_cli.dir/mclg_cli.cpp.o: \
  /root/repo/src/eval/design_stats.hpp /root/repo/src/eval/violations.hpp \
  /root/repo/src/gen/benchmark_gen.hpp /usr/include/c++/12/array \
  /root/repo/src/gen/global_placer.hpp /root/repo/src/gen/fillers.hpp \
- /root/repo/src/legal/pipeline.hpp \
+ /root/repo/src/legal/guard/guard.hpp /root/repo/src/legal/pipeline.hpp \
  /root/repo/src/legal/maxdisp/matching_opt.hpp \
  /root/repo/src/legal/mcfopt/fixed_row_order.hpp \
  /root/repo/src/flow/mcf.hpp /usr/include/c++/12/limits \
  /root/repo/src/legal/mgl/mgl_legalizer.hpp \
- /root/repo/src/legal/mgl/insertion.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/legal/mgl/insertion.hpp \
  /root/repo/src/geometry/disp_curve.hpp \
  /root/repo/src/legal/mgl/window.hpp \
  /root/repo/src/legal/refine/ripup_refine.hpp \
  /root/repo/src/legal/refine/wirelength_recovery.hpp \
- /root/repo/src/legal/pipeline_config.hpp /root/repo/src/util/timer.hpp \
+ /root/repo/src/legal/pipeline_config.hpp \
+ /root/repo/src/parsers/parse_error.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \

@@ -61,59 +61,84 @@ std::int64_t Design::maxCellWidth() const {
   return cachedMaxCellWidth_;
 }
 
-void Design::validate() const {
-  MCLG_ASSERT(numSitesX > 0 && numRows > 0, "empty core area");
-  MCLG_ASSERT(!fences.empty() && fences[0].rects.empty(),
+bool Design::check(std::string* whatOut) const {
+  const auto fail = [&](const char* what) {
+    if (whatOut != nullptr) *whatOut = what;
+    return false;
+  };
+#define MCLG_CHECK_DESIGN(cond, msg) \
+  do {                               \
+    if (!(cond)) return fail(msg);   \
+  } while (0)
+
+  MCLG_CHECK_DESIGN(numSitesX > 0 && numRows > 0, "empty core area");
+  MCLG_CHECK_DESIGN(!fences.empty() && fences[0].rects.empty(),
               "fence 0 must be the implicit default fence");
-  MCLG_ASSERT(siteWidthFactor > 0.0, "siteWidthFactor must be positive");
+  MCLG_CHECK_DESIGN(siteWidthFactor > 0.0, "siteWidthFactor must be positive");
   for (const auto& type : types) {
-    MCLG_ASSERT(type.width > 0 && type.height > 0, "degenerate cell type");
+    MCLG_CHECK_DESIGN(type.width > 0 && type.height > 0, "degenerate cell type");
     if (type.height % 2 == 0) {
-      MCLG_ASSERT(type.parity == 0 || type.parity == 1,
+      MCLG_CHECK_DESIGN(type.parity == 0 || type.parity == 1,
                   "even-height type needs a P/G parity");
     }
-    MCLG_ASSERT(type.leftEdge >= 0 && type.leftEdge < numEdgeClasses &&
+    MCLG_CHECK_DESIGN(type.leftEdge >= 0 && type.leftEdge < numEdgeClasses &&
                     type.rightEdge >= 0 && type.rightEdge < numEdgeClasses,
                 "edge class out of range");
   }
   if (!edgeSpacingTable.empty()) {
-    MCLG_ASSERT(static_cast<int>(edgeSpacingTable.size()) ==
+    MCLG_CHECK_DESIGN(static_cast<int>(edgeSpacingTable.size()) ==
                     numEdgeClasses * numEdgeClasses,
                 "edge spacing table size mismatch");
   }
   const Rect core(0, 0, numSitesX, numRows);
   for (std::size_t f = 1; f < fences.size(); ++f) {
     for (const auto& rect : fences[f].rects) {
-      MCLG_ASSERT(core.containsRect(rect), "fence rect outside core");
+      MCLG_CHECK_DESIGN(core.containsRect(rect), "fence rect outside core");
     }
   }
   for (const auto& cell : cells) {
-    MCLG_ASSERT(cell.type >= 0 && cell.type < numTypes(), "bad cell type id");
-    MCLG_ASSERT(cell.fence >= 0 && cell.fence < numFences(), "bad fence id");
+    MCLG_CHECK_DESIGN(cell.type >= 0 && cell.type < numTypes(), "bad cell type id");
+    MCLG_CHECK_DESIGN(cell.fence >= 0 && cell.fence < numFences(), "bad fence id");
     if (cell.fixed) {
-      MCLG_ASSERT(cell.x >= 0 && cell.y >= 0, "fixed cell without position");
+      MCLG_CHECK_DESIGN(cell.x >= 0 && cell.y >= 0, "fixed cell without position");
+    }
+    if (!cell.fixed && cell.placed) {
+      // PlacementState indexes placed movable cells by row, so an
+      // out-of-core span in a loaded file would be a heap overrun.
+      MCLG_CHECK_DESIGN(cell.x >= 0 && cell.y >= 0 &&
+                            cell.x + types[cell.type].width <= numSitesX &&
+                            cell.y + types[cell.type].height <= numRows,
+                        "placed movable cell outside core");
     }
   }
   for (std::size_t i = 1; i < hRails.size(); ++i) {
-    MCLG_ASSERT(hRails[i - 1].yFineLo <= hRails[i].yFineLo,
+    MCLG_CHECK_DESIGN(hRails[i - 1].yFineLo <= hRails[i].yFineLo,
                 "hRails must be sorted by yFineLo");
   }
   for (std::size_t i = 1; i < vRails.size(); ++i) {
-    MCLG_ASSERT(vRails[i - 1].xFineLo <= vRails[i].xFineLo,
+    MCLG_CHECK_DESIGN(vRails[i - 1].xFineLo <= vRails[i].xFineLo,
                 "vRails must be sorted by xFineLo");
   }
   for (std::size_t i = 1; i < ioPins.size(); ++i) {
-    MCLG_ASSERT(ioPins[i - 1].rect.xlo <= ioPins[i].rect.xlo,
+    MCLG_CHECK_DESIGN(ioPins[i - 1].rect.xlo <= ioPins[i].rect.xlo,
                 "ioPins must be sorted by rect.xlo");
   }
   for (const auto& net : nets) {
     for (const auto& conn : net.conns) {
-      MCLG_ASSERT(conn.cell >= 0 && conn.cell < numCells(), "bad net conn");
-      MCLG_ASSERT(conn.pin >= 0 &&
+      MCLG_CHECK_DESIGN(conn.cell >= 0 && conn.cell < numCells(), "bad net conn");
+      MCLG_CHECK_DESIGN(conn.pin >= 0 &&
                       conn.pin < static_cast<int>(typeOf(conn.cell).pins.size()),
                   "net pin index out of range");
     }
   }
+
+#undef MCLG_CHECK_DESIGN
+  return true;
+}
+
+void Design::validate() const {
+  std::string what;
+  MCLG_ASSERT(check(&what), what.c_str());
 }
 
 }  // namespace mclg

@@ -198,9 +198,14 @@ class Design {
     return (y & 1) == 0 ? Orient::N : Orient::FS;
   }
 
-  /// Sanity-check internal consistency (index ranges, fence rects in core,
-  /// type dimensions positive). Aborts on violation; cheap enough to call
-  /// after generation/parsing.
+  /// Non-aborting consistency check (index ranges, fence rects in core,
+  /// type dimensions positive, placed movable cells inside the core).
+  /// Returns false and fills *whatOut with the first violation; used by the
+  /// parsers so malformed input surfaces as a ParseError, not an abort.
+  bool check(std::string* whatOut = nullptr) const;
+
+  /// Aborting wrapper around check(); call sites (the generator) where a
+  /// violation means an internal bug rather than bad input.
   void validate() const;
 
   /// Drop the lazily cached statistics (max height, per-height counts, max

@@ -74,6 +74,32 @@ void PlacementState::shiftX(CellId c, std::int64_t newX) {
   cell.x = newX;
 }
 
+PlacementSnapshot PlacementState::snapshot() const {
+  PlacementSnapshot snap;
+  snap.cells.resize(design_->cells.size());
+  for (std::size_t c = 0; c < design_->cells.size(); ++c) {
+    const auto& cell = design_->cells[c];
+    snap.cells[c] = {cell.x, cell.y, cell.placed};
+  }
+  snap.rows = rows_;
+  snap.numPlaced = numPlaced_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void PlacementState::restore(const PlacementSnapshot& snap) {
+  MCLG_ASSERT(snap.cells.size() == design_->cells.size(),
+              "snapshot is from a different design");
+  for (std::size_t c = 0; c < design_->cells.size(); ++c) {
+    auto& cell = design_->cells[c];
+    if (cell.fixed) continue;
+    cell.x = snap.cells[c].x;
+    cell.y = snap.cells[c].y;
+    cell.placed = snap.cells[c].placed;
+  }
+  rows_ = snap.rows;
+  numPlaced_.store(snap.numPlaced, std::memory_order_relaxed);
+}
+
 CellId PlacementState::cellAt(std::int64_t y, std::int64_t x) const {
   if (y < 0 || y >= design_->numRows) return kInvalidCell;
   const auto& rowMap = rows_[static_cast<std::size_t>(y)];

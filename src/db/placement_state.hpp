@@ -17,6 +17,26 @@
 
 namespace mclg {
 
+/// Value snapshot of a PlacementState: per-cell coordinates/placed flags of
+/// the movable cells plus the row occupancy maps. Captured before a
+/// pipeline stage runs so the stage can be rolled back transactionally
+/// (legal/guard/); restore() brings both the Design's cells and the
+/// occupancy index back to the exact captured state.
+struct PlacementSnapshot {
+  struct CellPos {
+    std::int64_t x = -1;
+    std::int64_t y = -1;
+    bool placed = false;
+
+    bool operator==(const CellPos&) const = default;
+  };
+  std::vector<CellPos> cells;  // indexed by CellId; fixed cells included
+  std::vector<std::map<std::int64_t, CellId>> rows;
+  int numPlaced = 0;
+
+  bool operator==(const PlacementSnapshot&) const = default;
+};
+
 class PlacementState {
  public:
   explicit PlacementState(Design& design);
@@ -53,6 +73,15 @@ class PlacementState {
   /// Number of placed movable cells. (Atomic: the MGL scheduler places
   /// cells from several threads, in row-disjoint windows.)
   int numPlaced() const { return numPlaced_.load(std::memory_order_relaxed); }
+
+  /// Capture the full placement (cell coordinates + occupancy index) for a
+  /// later transactional restore(). Cost: one copy of the row maps.
+  PlacementSnapshot snapshot() const;
+
+  /// Roll back to a snapshot taken on this state. Restores movable cells'
+  /// x/y/placed and the occupancy index exactly; fixed cells are untouched
+  /// (they never move).
+  void restore(const PlacementSnapshot& snap);
 
  private:
   Design* design_;

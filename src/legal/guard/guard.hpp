@@ -1,0 +1,137 @@
+// Pipeline guard (robustness subsystem): stage transactions, invariant
+// validation, deterministic fault injection, and graceful degradation.
+//
+// Every stage of legalize() can run as a transaction: the guard snapshots
+// the PlacementState, runs the stage, audits the result (overlap / core /
+// parity / fence legality, placed-count monotonicity, Eq. 10 score
+// non-regression), and on any violation — thrown MclgError, exhausted
+// wall-clock budget, or failed audit — rolls back to the snapshot and
+// applies a degradation policy: retry with a relaxed configuration, skip an
+// optional stage, or fall back to the Tetris baseline for the mandatory MGL
+// stage. Every decision is recorded in a GuardReport.
+//
+// FaultPlan is the test harness for all of this: it deterministically arms
+// synthetic faults (stage exceptions, artificial invariant breaks, budget
+// exhaustion, worker-task throws) at chosen (stage, attempt) points so the
+// rollback and degradation paths are exercised without relying on real
+// failures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mclg {
+
+/// The five stages of legalize(), in execution order.
+enum class PipelineStage { Mgl, MaxDisp, FixedRowOrder, Ripup, Recovery };
+inline constexpr int kNumPipelineStages = 5;
+
+const char* stageName(PipelineStage stage);
+
+enum class FaultKind {
+  StageThrow,      // MclgError(Injected) after the stage has mutated state
+  InvariantBreak,  // corrupt the placement so the post-stage audit fails
+  BudgetExhaust,   // run the stage under an already-expired Deadline
+  TaskThrow,       // throw inside a thread-pool task (MGL) / stage body
+};
+inline constexpr int kNumFaultKinds = 4;
+
+const char* faultKindName(FaultKind kind);
+
+struct FaultSpec {
+  PipelineStage stage = PipelineStage::Mgl;
+  FaultKind kind = FaultKind::StageThrow;
+  int attempt = 0;  // fires on this 0-based attempt of the stage
+};
+
+/// A deterministic set of synthetic faults. Injection is keyed on
+/// (stage, kind, attempt), so a fault armed for attempt 0 does not re-fire
+/// on the retry — the standard way to exercise the rollback-then-recover
+/// path.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(PipelineStage stage, FaultKind kind, int attempt = 0);
+
+  /// One pseudo-random fault derived from `seed` (SplitMix64 mixing, stable
+  /// across platforms) — the fuzzing entry point: any seed must degrade
+  /// gracefully, never abort.
+  static FaultPlan fromSeed(std::uint64_t seed);
+
+  bool empty() const { return specs_.empty(); }
+  bool armed(PipelineStage stage, FaultKind kind, int attempt) const;
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+enum class StageStatus {
+  NotRun,               // pipeline aborted before reaching this stage
+  Disabled,             // stage toggled off in PipelineConfig
+  Ok,                   // clean first attempt
+  OkAfterRetry,         // failed, rolled back, succeeded on a later attempt
+  SkippedAfterRollback, // optional stage failed every attempt; state restored
+  FallbackApplied,      // MGL failed; Tetris baseline placed the cells
+  Failed,               // no recovery possible; state restored to pre-stage
+};
+
+const char* stageStatusName(StageStatus status);
+
+/// Outcome of one stage transaction. `attempts` counts actual runs of the
+/// stage body, so a report distinguishes "ran fast" (attempts = 1,
+/// small seconds) from "did not run" (attempts = 0, Disabled/NotRun).
+struct StageRecord {
+  PipelineStage stage = PipelineStage::Mgl;
+  StageStatus status = StageStatus::NotRun;
+  int attempts = 0;
+  double seconds = 0.0;      // wall clock across all attempts + recovery
+  double scoreBefore = -1.0; // Eq. 10 entering the stage; -1 = not measured
+  double scoreAfter = -1.0;  // Eq. 10 after the stage committed
+  std::string detail;        // failure / recovery log, "; "-separated
+};
+
+struct GuardConfig {
+  /// Off by default in the library: guarded runs re-evaluate legality and
+  /// Eq. 10 at every stage boundary, which costs a full-design audit per
+  /// stage. The CLI turns it on by default (--no-guard opts out).
+  bool enabled = false;
+  /// Audit overlap / core / parity / fence and placed-count monotonicity
+  /// after each stage.
+  bool validateLegality = true;
+  /// Audit Eq. 10 non-regression after each post-MGL stage (before MGL the
+  /// cells are unplaced, so the score is undefined).
+  bool validateScore = true;
+  /// Allowed relative Eq. 10 regression per stage before rollback.
+  double scoreTolerance = 0.05;
+  /// Wall-clock budget per stage attempt; <= 0 means unlimited. MGL
+  /// cancels cooperatively at batch boundaries; the single-threaded stages
+  /// are checked at the stage boundary.
+  double stageBudgetSeconds = 0.0;
+  /// Attempts per stage (1 initial + retries after rollback).
+  int maxAttempts = 2;
+  bool allowRetry = true;     // re-run after rollback, relaxed if possible
+  bool allowSkip = true;      // optional stages may be skipped on failure
+  bool allowFallback = true;  // Tetris baseline if MGL fails every attempt
+  FaultPlan faults;           // test-only deterministic fault injection
+};
+
+struct GuardReport {
+  GuardReport();
+
+  std::array<StageRecord, kNumPipelineStages> stages;  // by stage order
+  bool degraded = false;     // some stage needed retry / skip / fallback
+  bool failed = false;       // some stage failed with no recovery
+  int infeasibleCells = 0;   // movable cells left unplaced at the end
+
+  StageRecord& at(PipelineStage stage);
+  const StageRecord& at(PipelineStage stage) const;
+
+  /// Fixed-width per-stage summary table (status, attempts, time, scores).
+  std::string summary() const;
+};
+
+}  // namespace mclg

@@ -1,0 +1,283 @@
+#include "legal/guard/transaction.hpp"
+
+#include <algorithm>
+#include <array>
+#include <exception>
+#include <functional>
+#include <iterator>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "eval/score.hpp"
+#include "legal/guard/invariants.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace mclg {
+
+namespace {
+
+/// One stage of the pipeline as a transactional unit.
+struct StageDriver {
+  PipelineStage id = PipelineStage::Mgl;
+  bool enabled = true;
+  /// Optional stages may be skipped after rollback; the mandatory MGL stage
+  /// degrades to the Tetris baseline instead.
+  bool optional = true;
+  std::function<void(const Deadline&, int attempt)> run;
+  std::function<void()> relax;       // config relaxation for retries
+  std::function<void()> resetStats;  // clear stage stats after final rollback
+};
+
+void appendDetail(StageRecord& rec, const std::string& text) {
+  if (!rec.detail.empty()) rec.detail += "; ";
+  rec.detail += text;
+}
+
+const char* errorKindTag(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::Internal: return "internal";
+    case ErrorKind::Timeout: return "timeout";
+    case ErrorKind::Injected: return "injected";
+  }
+  return "?";
+}
+
+/// Manufacture a genuine overlap via shiftX — which checks core bounds but
+/// deliberately not occupancy — so the invariant audit has a real violation
+/// to catch. Returns false when the placement offers no safe spot (the
+/// caller then falls back to throwing an injected error).
+bool corruptPlacement(PlacementState& state) {
+  Design& design = state.design();
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    const auto& row = state.rowCells(y);
+    for (auto it = row.begin(); it != row.end(); ++it) {
+      const auto next = std::next(it);
+      if (next == row.end()) break;
+      const CellId a = it->second;
+      const CellId b = next->second;
+      const int wa = design.widthOf(a);
+      const int wb = design.widthOf(b);
+      for (const std::int64_t newX :
+           {it->first + 1, it->first + wa - 1, it->first - 1}) {
+        if (newX < 0 || newX + wb > design.numSitesX) continue;
+        if (newX >= it->first + wa || newX + wb <= it->first) continue;
+        // The occupancy maps key cells by left x; a colliding key in any
+        // row b spans would silently drop an entry and desync the index.
+        bool keyFree = true;
+        const auto& cb = design.cells[b];
+        for (std::int64_t r = cb.y; r < cb.y + design.heightOf(b); ++r) {
+          const auto& rowMap = state.rowCells(r);
+          const auto found = rowMap.find(newX);
+          if (found != rowMap.end() && found->second != b) {
+            keyFree = false;
+            break;
+          }
+        }
+        if (!keyFree) continue;
+        state.shiftX(b, newX);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void runStage(PlacementState& state, const SegmentMap& segments,
+              const GuardConfig& guard, StageDriver& driver,
+              GuardReport& report) {
+  StageRecord& rec = report.at(driver.id);
+  if (!driver.enabled) {
+    rec.status = StageStatus::Disabled;
+    return;
+  }
+
+  Timer total;
+  const PlacementSnapshot before = state.snapshot();
+  const int unplacedBefore = countUnplacedMovable(state.design());
+  double scoreBefore = -1.0;
+  if (guard.validateScore && driver.id != PipelineStage::Mgl &&
+      unplacedBefore == 0) {
+    scoreBefore = evaluateScore(state.design(), segments).score;
+  }
+  rec.scoreBefore = scoreBefore;
+
+  const int maxAttempts = std::max(1, guard.maxAttempts);
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    ++rec.attempts;
+    const Deadline deadline =
+        guard.faults.armed(driver.id, FaultKind::BudgetExhaust, attempt)
+            ? Deadline::expired()
+            : Deadline::after(guard.stageBudgetSeconds);
+    std::string failure;
+    try {
+      driver.run(deadline, attempt);
+      if (guard.faults.armed(driver.id, FaultKind::StageThrow, attempt) ||
+          (driver.id != PipelineStage::Mgl &&
+           guard.faults.armed(driver.id, FaultKind::TaskThrow, attempt))) {
+        // Thrown *after* the stage body so the rollback is exercised on a
+        // genuinely mutated placement. Single-threaded stages treat a
+        // task fault as a stage fault.
+        throw MclgError("injected stage fault", ErrorKind::Injected);
+      }
+      if (guard.faults.armed(driver.id, FaultKind::InvariantBreak, attempt) &&
+          !corruptPlacement(state)) {
+        throw MclgError("injected invariant break (no overlap site found)",
+                        ErrorKind::Injected);
+      }
+      // Stages without internal checkpoints detect overage here.
+      deadline.checkpoint(stageName(driver.id));
+      const InvariantResult audit = checkStageInvariants(
+          state.design(), segments, guard, driver.id, unplacedBefore,
+          scoreBefore);
+      if (audit.ok) {
+        rec.scoreAfter = audit.score;
+        rec.seconds = total.seconds();
+        rec.status =
+            attempt == 0 ? StageStatus::Ok : StageStatus::OkAfterRetry;
+        if (attempt > 0) report.degraded = true;
+        return;
+      }
+      failure = "invariant violated: " + audit.violation;
+    } catch (const MclgError& e) {
+      failure = std::string("[") + errorKindTag(e.kind()) + "] " + e.what();
+    } catch (const std::exception& e) {
+      failure = std::string("[exception] ") + e.what();
+    }
+    state.restore(before);
+    appendDetail(rec, "attempt " + std::to_string(attempt + 1) + ": " +
+                          failure + " -> rolled back");
+    if (!guard.allowRetry || attempt + 1 >= maxAttempts) break;
+    if (driver.relax) {
+      driver.relax();
+      appendDetail(rec, "retrying with relaxed config");
+    }
+  }
+
+  // Every attempt failed; the placement equals the pre-stage snapshot.
+  if (driver.resetStats) driver.resetStats();
+  if (!driver.optional && guard.allowFallback) {
+    const BaselineStats fallback = legalizeTetris(state, segments);
+    const InvariantResult audit = checkStageInvariants(
+        state.design(), segments, guard, driver.id, unplacedBefore,
+        scoreBefore);
+    if (audit.ok) {
+      rec.status = StageStatus::FallbackApplied;
+      report.degraded = true;
+      rec.scoreAfter = audit.score;
+      appendDetail(rec, "tetris fallback placed " +
+                            std::to_string(fallback.placed) + " cells");
+    } else {
+      state.restore(before);
+      rec.status = StageStatus::Failed;
+      report.failed = true;
+      appendDetail(rec, "tetris fallback rejected: " + audit.violation);
+    }
+  } else if (driver.optional && guard.allowSkip) {
+    rec.status = StageStatus::SkippedAfterRollback;
+    report.degraded = true;
+    appendDetail(rec, "stage skipped; placement restored");
+  } else {
+    rec.status = StageStatus::Failed;
+    report.failed = true;
+    appendDetail(rec, "no degradation allowed; placement restored");
+  }
+  rec.seconds = total.seconds();
+}
+
+}  // namespace
+
+PipelineStats legalizeGuarded(PlacementState& state, const SegmentMap& segments,
+                              const PipelineConfig& config) {
+  PipelineStats stats;
+  GuardReport& report = stats.guard;
+  const GuardConfig& guard = config.guard;
+  PipelineConfig cfg = config;  // relaxed retries edit this copy
+
+  std::array<StageDriver, kNumPipelineStages> drivers;
+
+  StageDriver& mgl = drivers[0];
+  mgl.id = PipelineStage::Mgl;
+  mgl.optional = false;
+  mgl.run = [&](const Deadline& deadline, int attempt) {
+    MglConfig mglCfg = cfg.mgl;
+    mglCfg.checkpoint = [&deadline] { deadline.checkpoint("mgl"); };
+    if (guard.faults.armed(PipelineStage::Mgl, FaultKind::TaskThrow,
+                           attempt)) {
+      mglCfg.taskHook = [](int task) {
+        if (task == 0) {
+          throw MclgError("injected worker-task fault", ErrorKind::Injected);
+        }
+      };
+    }
+    Timer timer;
+    MglLegalizer legalizer(state, segments, mglCfg);
+    stats.mgl = legalizer.run();
+    stats.secondsMgl += timer.seconds();
+  };
+  mgl.relax = [&] {
+    cfg.mgl.insertion.routability = false;
+    cfg.mgl.insertion.respectEdgeSpacing = false;
+    cfg.mgl.window.maxExpansions += 2;
+  };
+  mgl.resetStats = [&] { stats.mgl = {}; };
+
+  StageDriver& maxDisp = drivers[1];
+  maxDisp.id = PipelineStage::MaxDisp;
+  maxDisp.enabled = cfg.runMaxDisp;
+  maxDisp.run = [&](const Deadline&, int) {
+    Timer timer;
+    stats.maxDisp = optimizeMaxDisplacement(state, cfg.maxDisp);
+    stats.secondsMaxDisp += timer.seconds();
+  };
+  maxDisp.resetStats = [&] { stats.maxDisp = {}; };
+
+  StageDriver& mcf = drivers[2];
+  mcf.id = PipelineStage::FixedRowOrder;
+  mcf.enabled = cfg.runFixedRowOrder;
+  mcf.run = [&](const Deadline&, int) {
+    Timer timer;
+    stats.fixedRowOrder =
+        optimizeFixedRowOrder(state, segments, cfg.fixedRowOrder);
+    stats.secondsFixedRowOrder += timer.seconds();
+  };
+  mcf.relax = [&] { cfg.fixedRowOrder.routability = false; };
+  mcf.resetStats = [&] { stats.fixedRowOrder = {}; };
+
+  StageDriver& ripup = drivers[3];
+  ripup.id = PipelineStage::Ripup;
+  ripup.enabled = cfg.runRipup;
+  ripup.run = [&](const Deadline&, int) {
+    Timer timer;
+    RipupConfig ripupCfg = cfg.ripup;
+    ripupCfg.insertion = cfg.mgl.insertion;  // same objective/constraints
+    stats.ripup = ripupRefine(state, segments, ripupCfg);
+    stats.secondsRipup += timer.seconds();
+  };
+  ripup.resetStats = [&] { stats.ripup = {}; };
+
+  StageDriver& recovery = drivers[4];
+  recovery.id = PipelineStage::Recovery;
+  recovery.enabled = cfg.runWirelengthRecovery;
+  recovery.run = [&](const Deadline&, int) {
+    Timer timer;
+    stats.recovery = recoverWirelength(state, segments, cfg.recovery);
+    stats.secondsRecovery += timer.seconds();
+  };
+  recovery.resetStats = [&] { stats.recovery = {}; };
+
+  for (auto& driver : drivers) {
+    runStage(state, segments, guard, driver, report);
+    if (driver.id == PipelineStage::Mgl &&
+        report.at(driver.id).status == StageStatus::Failed) {
+      // Rolled back to the (unplaced) GP input with no fallback: the later
+      // stages have nothing to refine. They stay NotRun.
+      break;
+    }
+  }
+  report.infeasibleCells = countUnplacedMovable(state.design());
+  return stats;
+}
+
+}  // namespace mclg

@@ -1,0 +1,18 @@
+// Guarded pipeline driver: runs every stage of legalize() as a transaction
+// (snapshot -> stage -> invariant audit -> commit or rollback + degrade).
+// See guard.hpp for the policy knobs and the report format.
+#pragma once
+
+#include "legal/pipeline.hpp"
+
+namespace mclg {
+
+/// Guarded variant of legalize(). Never throws and never aborts on a
+/// recoverable stage failure: the worst outcome is a rolled-back stage
+/// recorded as Failed in stats.guard, with the placement restored to the
+/// last known-good state. legalize() dispatches here when
+/// config.guard.enabled is set.
+PipelineStats legalizeGuarded(PlacementState& state, const SegmentMap& segments,
+                              const PipelineConfig& config);
+
+}  // namespace mclg

@@ -126,7 +126,11 @@ MglStats MglLegalizer::run() {
   MglStats stats;
   const Rect fullCore{0, 0, design.numSitesX, design.numRows};
   InsertionSearcher searcher(state_, segments_, config_.insertion);
+  int taskIndex = 0;
   for (const CellId c : orderCells()) {
+    // Same cancellation/fault-injection points as the parallel scheduler.
+    if (config_.checkpoint) config_.checkpoint();
+    if (config_.taskHook) config_.taskHook(taskIndex++);
     const auto& cell = design.cells[c];
     bool done = false;
     Rect prevWindow{0, 0, 0, 0};

@@ -11,6 +11,7 @@
 // cells' current positions instead of their GP positions.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "db/placement_state.hpp"
@@ -26,6 +27,14 @@ struct MglConfig {
   int numThreads = 1;
   /// Max windows per parallel batch (0 = 2 * numThreads).
   int batchCap = 0;
+  /// Cooperative-cancellation hook, called serially between batches. The
+  /// pipeline guard installs a Deadline checkpoint here; a throw unwinds
+  /// the scheduler and is caught at the transaction boundary.
+  std::function<void()> checkpoint;
+  /// Test hook called at the start of every insertion task with its
+  /// batch-local index — the guard's fault-injection point for exercising
+  /// exception propagation out of the thread pool.
+  std::function<void(int)> taskHook;
 };
 
 struct MglStats {

@@ -26,6 +26,8 @@ MglStats MglScheduler::run() {
   std::vector<Rect> windows;
   std::vector<char> success;
   while (!queue.empty()) {
+    // Safe cancellation point: no batch in flight, state consistent.
+    if (config.checkpoint) config.checkpoint();
     // Assemble a batch of row-disjoint windows, preserving queue order.
     batch.clear();
     windows.clear();
@@ -63,6 +65,7 @@ MglStats MglScheduler::run() {
     success.assign(batch.size(), 0);
     pool.parallelForBatch(
         static_cast<int>(batch.size()), [&](int i) {
+          if (config.taskHook) config.taskHook(i);
           InsertionSearcher searcher(state, legalizer_.segments_,
                                      config.insertion);
           success[static_cast<std::size_t>(i)] =

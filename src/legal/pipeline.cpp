@@ -1,5 +1,7 @@
 #include "legal/pipeline.hpp"
 
+#include "legal/guard/invariants.hpp"
+#include "legal/guard/transaction.hpp"
 #include "util/timer.hpp"
 
 namespace mclg {
@@ -36,24 +38,42 @@ PipelineConfig PipelineConfig::totalDisplacement() {
 
 PipelineStats legalize(PlacementState& state, const SegmentMap& segments,
                        const PipelineConfig& config) {
+  if (config.guard.enabled) return legalizeGuarded(state, segments, config);
+
   PipelineStats stats;
+  // Even unguarded, record one Ok attempt per executed stage (and Disabled
+  // for toggled-off ones) so reports distinguish "ran fast" from "not run".
+  auto record = [&stats](PipelineStage stage, bool ran, double seconds) {
+    StageRecord& rec = stats.guard.at(stage);
+    if (!ran) {
+      rec.status = StageStatus::Disabled;
+      return;
+    }
+    rec.status = StageStatus::Ok;
+    rec.attempts = 1;
+    rec.seconds = seconds;
+  };
   {
     Timer timer;
     MglLegalizer mgl(state, segments, config.mgl);
     stats.mgl = mgl.run();
     stats.secondsMgl = timer.seconds();
+    record(PipelineStage::Mgl, true, stats.secondsMgl);
   }
   if (config.runMaxDisp) {
     Timer timer;
     stats.maxDisp = optimizeMaxDisplacement(state, config.maxDisp);
     stats.secondsMaxDisp = timer.seconds();
   }
+  record(PipelineStage::MaxDisp, config.runMaxDisp, stats.secondsMaxDisp);
   if (config.runFixedRowOrder) {
     Timer timer;
     stats.fixedRowOrder =
         optimizeFixedRowOrder(state, segments, config.fixedRowOrder);
     stats.secondsFixedRowOrder = timer.seconds();
   }
+  record(PipelineStage::FixedRowOrder, config.runFixedRowOrder,
+         stats.secondsFixedRowOrder);
   if (config.runRipup) {
     Timer timer;
     RipupConfig ripup = config.ripup;
@@ -61,11 +81,15 @@ PipelineStats legalize(PlacementState& state, const SegmentMap& segments,
     stats.ripup = ripupRefine(state, segments, ripup);
     stats.secondsRipup = timer.seconds();
   }
+  record(PipelineStage::Ripup, config.runRipup, stats.secondsRipup);
   if (config.runWirelengthRecovery) {
     Timer timer;
     stats.recovery = recoverWirelength(state, segments, config.recovery);
     stats.secondsRecovery = timer.seconds();
   }
+  record(PipelineStage::Recovery, config.runWirelengthRecovery,
+         stats.secondsRecovery);
+  stats.guard.infeasibleCells = countUnplacedMovable(state.design());
   return stats;
 }
 

@@ -9,6 +9,7 @@
 
 #include "db/placement_state.hpp"
 #include "db/segment_map.hpp"
+#include "legal/guard/guard.hpp"
 #include "legal/maxdisp/matching_opt.hpp"
 #include "legal/mcfopt/fixed_row_order.hpp"
 #include "legal/mgl/mgl_legalizer.hpp"
@@ -28,6 +29,9 @@ struct PipelineConfig {
   // Extension stages beyond the paper's flow, off by default.
   bool runRipup = false;             // rip-up & re-insert (stage 4)
   bool runWirelengthRecovery = false;  // budgeted HPWL recovery (stage 5)
+  /// Transactional stage guard (legal/guard/): snapshot / validate /
+  /// rollback / degrade. Off by default in the library; the CLI enables it.
+  GuardConfig guard;
 
   /// Contest setup (Table 1): Eq. 2 weights, routability on.
   static PipelineConfig contest();
@@ -47,6 +51,10 @@ struct PipelineStats {
   double secondsFixedRowOrder = 0.0;
   double secondsRipup = 0.0;
   double secondsRecovery = 0.0;
+  /// Per-stage transaction records. Populated on every run — including
+  /// unguarded ones, where each executed stage shows one Ok attempt — so a
+  /// report always distinguishes "ran" from "disabled" / "never reached".
+  GuardReport guard;
 
   double secondsTotal() const {
     return secondsMgl + secondsMaxDisp + secondsFixedRowOrder + secondsRipup +

@@ -141,6 +141,28 @@ bool applyConfigText(const std::string& text, PipelineConfig* config,
       config->recovery.maxAddedDisplacement = okDouble;
     } else if (key == "recovery.passes" && parseInt(value, &okInt)) {
       config->recovery.passes = okInt;
+    } else if (key == "guard.run" && parseBool(value, &okBool)) {
+      config->guard.enabled = okBool;
+    } else if (key == "guard.validate_legality" && parseBool(value, &okBool)) {
+      config->guard.validateLegality = okBool;
+    } else if (key == "guard.validate_score" && parseBool(value, &okBool)) {
+      config->guard.validateScore = okBool;
+    } else if (key == "guard.score_tolerance" && parseDouble(value, &okDouble)) {
+      config->guard.scoreTolerance = okDouble;
+    } else if (key == "guard.stage_budget" && parseDouble(value, &okDouble)) {
+      config->guard.stageBudgetSeconds = okDouble;
+    } else if (key == "guard.max_attempts" && parseInt(value, &okInt)) {
+      config->guard.maxAttempts = okInt;
+    } else if (key == "guard.allow_retry" && parseBool(value, &okBool)) {
+      config->guard.allowRetry = okBool;
+    } else if (key == "guard.allow_skip" && parseBool(value, &okBool)) {
+      config->guard.allowSkip = okBool;
+    } else if (key == "guard.allow_fallback" && parseBool(value, &okBool)) {
+      config->guard.allowFallback = okBool;
+    } else if (key == "guard.fault_seed" && parseInt(value, &okInt)) {
+      // Deterministic fault fuzzing hook: arm one pseudo-random fault.
+      config->guard.faults =
+          FaultPlan::fromSeed(static_cast<std::uint64_t>(okInt));
     } else {
       return fail("unknown key or bad value: '" + key + "' = '" + value +
                   "'");
@@ -194,6 +216,16 @@ std::string configToText(const PipelineConfig& config) {
   out << "recovery.run = " << b(config.runWirelengthRecovery) << "\n";
   out << "recovery.budget = " << config.recovery.maxAddedDisplacement << "\n";
   out << "recovery.passes = " << config.recovery.passes << "\n";
+  out << "guard.run = " << b(config.guard.enabled) << "\n";
+  out << "guard.validate_legality = " << b(config.guard.validateLegality)
+      << "\n";
+  out << "guard.validate_score = " << b(config.guard.validateScore) << "\n";
+  out << "guard.score_tolerance = " << config.guard.scoreTolerance << "\n";
+  out << "guard.stage_budget = " << config.guard.stageBudgetSeconds << "\n";
+  out << "guard.max_attempts = " << config.guard.maxAttempts << "\n";
+  out << "guard.allow_retry = " << b(config.guard.allowRetry) << "\n";
+  out << "guard.allow_skip = " << b(config.guard.allowSkip) << "\n";
+  out << "guard.allow_fallback = " << b(config.guard.allowFallback) << "\n";
   return out.str();
 }
 

@@ -19,6 +19,11 @@
 //   mcf.n0 = 4
 //   mcf.routability = true
 //   mcf.threads = 1
+//   guard.run = false            # transactional stage guard (legal/guard/)
+//   guard.score_tolerance = 0.05
+//   guard.stage_budget = 0       # seconds per stage attempt; 0 = unlimited
+//   guard.max_attempts = 2
+//   guard.fault_seed = 42        # arm one deterministic injected fault
 #pragma once
 
 #include <string>

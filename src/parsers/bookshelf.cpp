@@ -9,18 +9,32 @@
 namespace mclg {
 namespace {
 
-bool setError(std::string* error, const std::string& what) {
-  if (error != nullptr) *error = what;
+bool setError(ParseError* error, const std::string& file, int line,
+              const std::string& what) {
+  if (error != nullptr) {
+    error->file = file;
+    error->line = line;
+    error->token.clear();
+    error->message = what;
+  }
   return false;
 }
 
+/// A content line with its 1-based position in the source file.
+struct NumberedLine {
+  std::string text;
+  int number = 0;
+};
+
 /// Strip comments (#) and skip the "UCLA <kind> 1.0" header line.
-std::vector<std::string> contentLines(const std::string& text) {
-  std::vector<std::string> lines;
+std::vector<NumberedLine> contentLines(const std::string& text) {
+  std::vector<NumberedLine> lines;
   std::istringstream in(text);
   std::string line;
   bool first = true;
+  int lineNo = 0;
   while (std::getline(in, line)) {
+    ++lineNo;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     // Trim.
@@ -32,7 +46,7 @@ std::vector<std::string> contentLines(const std::string& text) {
       continue;
     }
     first = false;
-    lines.push_back(line);
+    lines.push_back({line, lineNo});
   }
   return lines;
 }
@@ -129,6 +143,14 @@ BookshelfBundle writeBookshelf(const Design& design) {
 
 std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
                                     std::string* error) {
+  ParseError parseError;
+  auto design = readBookshelf(bundle, &parseError);
+  if (!design && error != nullptr) *error = parseError.str();
+  return design;
+}
+
+std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
+                                    ParseError* error) {
   Design design;
   design.name = "bookshelf";
 
@@ -138,7 +160,7 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
   int numRows = 0;
   {
     for (const auto& line : contentLines(bundle.scl)) {
-      std::istringstream ls(line);
+      std::istringstream ls(line.text);
       std::string key;
       ls >> key;
       if (key == "Height") {
@@ -146,7 +168,8 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
         double v;
         if (ls >> colon >> v) {
           if (rowHeight != 0.0 && std::abs(v - rowHeight) > 1e-9) {
-            setError(error, "non-uniform row heights are not supported");
+            setError(error, "<scl>", line.number,
+                     "non-uniform row heights are not supported");
             return std::nullopt;
           }
           rowHeight = v;
@@ -169,7 +192,7 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
       }
     }
     if (numRows == 0 || rowHeight <= 0.0 || siteWidth <= 0.0) {
-      setError(error, "missing or malformed .scl");
+      setError(error, "<scl>", 0, "missing or malformed .scl");
       return std::nullopt;
     }
   }
@@ -182,13 +205,13 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
   std::unordered_map<std::string, CellId> cellByName;
   std::map<std::pair<int, int>, TypeId> typeBySize;
   for (const auto& line : contentLines(bundle.nodes)) {
-    std::istringstream ls(line);
+    std::istringstream ls(line.text);
     std::string name;
     double w = 0, h = 0;
     if (!(ls >> name)) continue;
     if (name == "NumNodes" || name == "NumTerminals") continue;
     if (!(ls >> w >> h)) {
-      setError(error, "bad .nodes line: " + line);
+      setError(error, "<nodes>", line.number, "bad .nodes line: " + line.text);
       return std::nullopt;
     }
     std::string flag;
@@ -223,19 +246,20 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
 
   // --- .pl: positions.
   for (const auto& line : contentLines(bundle.pl)) {
-    std::istringstream ls(line);
+    std::istringstream ls(line.text);
     std::string name;
     double px = 0, py = 0;
     if (!(ls >> name >> px >> py)) continue;
     const auto it = cellByName.find(name);
     if (it == cellByName.end()) {
-      setError(error, ".pl references unknown node " + name);
+      setError(error, "<pl>", line.number,
+               ".pl references unknown node " + name);
       return std::nullopt;
     }
     auto& cell = design.cells[it->second];
     cell.gpX = px / siteWidth;
     cell.gpY = (py - minCoord) / rowHeight;
-    if (cell.fixed || line.find("/FIXED") != std::string::npos) {
+    if (cell.fixed || line.text.find("/FIXED") != std::string::npos) {
       cell.fixed = true;
       cell.placed = true;
       cell.x = static_cast<std::int64_t>(std::llround(cell.gpX));
@@ -248,7 +272,7 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
     Net current;
     int remaining = 0;
     for (const auto& line : contentLines(bundle.nets)) {
-      std::istringstream ls(line);
+      std::istringstream ls(line.text);
       std::string first;
       ls >> first;
       if (first == "NumNets" || first == "NumPins") continue;
@@ -266,7 +290,11 @@ std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
     if (current.conns.size() >= 2) design.nets.push_back(current);
   }
 
-  design.validate();
+  std::string what;
+  if (!design.check(&what)) {
+    setError(error, "<bookshelf>", 0, "inconsistent design: " + what);
+    return std::nullopt;
+  }
   return design;
 }
 
@@ -301,9 +329,17 @@ bool saveBookshelf(const Design& design, const std::string& basePath) {
 
 std::optional<Design> loadBookshelf(const std::string& auxPath,
                                     std::string* error) {
+  ParseError parseError;
+  auto design = loadBookshelf(auxPath, &parseError);
+  if (!design && error != nullptr) *error = parseError.str();
+  return design;
+}
+
+std::optional<Design> loadBookshelf(const std::string& auxPath,
+                                    ParseError* error) {
   std::ifstream aux(auxPath);
   if (!aux) {
-    setError(error, "cannot open " + auxPath);
+    setError(error, auxPath, 0, "cannot open file");
     return std::nullopt;
   }
   std::string line;
@@ -319,7 +355,7 @@ std::optional<Design> loadBookshelf(const std::string& auxPath,
   while (ls >> fileName) {
     std::ifstream in(dir + fileName);
     if (!in) {
-      setError(error, "cannot open " + dir + fileName);
+      setError(error, dir + fileName, 0, "cannot open file");
       return std::nullopt;
     }
     std::ostringstream buffer;

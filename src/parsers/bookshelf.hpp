@@ -20,6 +20,7 @@
 #include <string>
 
 #include "db/design.hpp"
+#include "parsers/parse_error.hpp"
 
 namespace mclg {
 
@@ -37,10 +38,14 @@ BookshelfBundle writeBookshelf(const Design& design);
 /// Parse a bundle; nullopt + *error on malformed input.
 std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
                                     std::string* error = nullptr);
+std::optional<Design> readBookshelf(const BookshelfBundle& bundle,
+                                    ParseError* error);
 
 /// File helpers: `base.aux` plus the four sibling files.
 bool saveBookshelf(const Design& design, const std::string& basePath);
 std::optional<Design> loadBookshelf(const std::string& auxPath,
                                     std::string* error = nullptr);
+std::optional<Design> loadBookshelf(const std::string& auxPath,
+                                    ParseError* error);
 
 }  // namespace mclg

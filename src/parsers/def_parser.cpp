@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "parsers/parse_error.hpp"
 #include "parsers/token_stream.hpp"
 
 namespace mclg {
@@ -12,12 +13,17 @@ namespace {
 
 using parse::layerNumber;
 using parse::TokenStream;
-using parse::tokenize;
 
 struct DefError {
-  std::string* error;
+  ParseError* error;
+  const TokenStream* ts;
   bool set(const std::string& what) {
-    if (error != nullptr) *error = what;
+    if (error != nullptr) {
+      error->file = "<def>";
+      error->line = ts->line();
+      error->token = ts->peek();
+      error->message = what;
+    }
     return false;
   }
 };
@@ -31,8 +37,16 @@ bool parsePoint(TokenStream& ts, double* x, double* y) {
 
 std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
                               std::string* error) {
-  TokenStream ts(tokenize(text));
-  DefError err{error};
+  ParseError parseError;
+  auto design = readDef(text, lib, &parseError);
+  if (!design && error != nullptr) *error = parseError.str();
+  return design;
+}
+
+std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
+                              ParseError* error) {
+  TokenStream ts(text);
+  DefError err{error, &ts};
   Design design;
   design.siteWidthFactor = lib.siteWidthFactor();
   design.types = lib.types;
@@ -265,7 +279,11 @@ std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
   }
   std::sort(design.ioPins.begin(), design.ioPins.end(),
             [](const IoPin& a, const IoPin& b) { return a.rect.xlo < b.rect.xlo; });
-  design.validate();
+  std::string what;
+  if (!design.check(&what)) {
+    err.set("inconsistent design: " + what);
+    return std::nullopt;
+  }
   return design;
 }
 

@@ -18,12 +18,18 @@
 
 #include "db/design.hpp"
 #include "parsers/lef_parser.hpp"
+#include "parsers/parse_error.hpp"
 
 namespace mclg {
 
 /// Parse a DEF-lite file against an already-loaded LEF library.
 std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
                               std::string* error = nullptr);
+
+/// Structured-diagnostic overload: on failure fills *error with the source
+/// line and offending token.
+std::optional<Design> readDef(const std::string& text, const LefLibrary& lib,
+                              ParseError* error);
 
 /// Emit the design as DEF-lite (round-trips through readDef with the
 /// library from writeLef). GP positions are written as PLACED coordinates.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "parsers/parse_error.hpp"
 #include "parsers/token_stream.hpp"
 
 namespace mclg {
@@ -10,10 +11,16 @@ namespace {
 
 using parse::layerNumber;
 using parse::TokenStream;
-using parse::tokenize;
 
-bool setError(std::string* error, const std::string& what) {
-  if (error != nullptr) *error = what;
+/// Fill *error with the message plus the stream's current location.
+bool setError(ParseError* error, const TokenStream& ts,
+              const std::string& what) {
+  if (error != nullptr) {
+    error->file = "<lef>";
+    error->line = ts.line();
+    error->token = ts.peek();
+    error->message = what;
+  }
   return false;
 }
 
@@ -28,7 +35,15 @@ int LefLibrary::findType(const std::string& name) const {
 
 std::optional<LefLibrary> readLef(const std::string& text,
                                   std::string* error) {
-  TokenStream ts(tokenize(text));
+  ParseError parseError;
+  auto lib = readLef(text, &parseError);
+  if (!lib && error != nullptr) *error = parseError.str();
+  return lib;
+}
+
+std::optional<LefLibrary> readLef(const std::string& text,
+                                  ParseError* error) {
+  TokenStream ts(text);
   LefLibrary lib;
   bool sawSite = false;
 
@@ -36,29 +51,31 @@ std::optional<LefLibrary> readLef(const std::string& text,
     CellType type;
     type.name = macroName;
     double wMicron = 0.0, hMicron = 0.0;
+    bool macroClosed = false;
     while (!ts.done()) {
       const std::string tok = ts.next();
       if (tok == "END") {
-        if (ts.done()) return setError(error, "truncated MACRO");
+        if (ts.done()) return setError(error, ts, "truncated MACRO");
         ts.next();  // macro name
+        macroClosed = true;
         break;
       } else if (tok == "CLASS") {
         ts.skipStatement();
       } else if (tok == "SIZE") {
         if (!ts.number(&wMicron) || !ts.accept("BY") || !ts.number(&hMicron)) {
-          return setError(error, "bad MACRO SIZE");
+          return setError(error, ts, "bad MACRO SIZE");
         }
         ts.skipStatement();
       } else if (tok == "PROPERTY") {
         const std::string prop = ts.next();
         if (prop == "mclgParity") {
           double v = 0;
-          if (!ts.number(&v)) return setError(error, "bad mclgParity");
+          if (!ts.number(&v)) return setError(error, ts, "bad mclgParity");
           type.parity = static_cast<int>(v);
         } else if (prop == "mclgEdges") {
           double l = 0, r = 0;
           if (!ts.number(&l) || !ts.number(&r)) {
-            return setError(error, "bad mclgEdges");
+            return setError(error, ts, "bad mclgEdges");
           }
           type.leftEdge = static_cast<int>(l);
           type.rightEdge = static_cast<int>(r);
@@ -67,13 +84,15 @@ std::optional<LefLibrary> readLef(const std::string& text,
       } else if (tok == "PIN") {
         const std::string pinName = ts.next();
         int layer = 1;
+        bool pinClosed = false;
         while (!ts.done()) {
           const std::string ptok = ts.next();
           if (ptok == "END") {
             const std::string endName = ts.next();
             if (endName != pinName) {
-              return setError(error, "mismatched PIN END");
+              return setError(error, ts, "mismatched PIN END");
             }
+            pinClosed = true;
             break;
           } else if (ptok == "LAYER") {
             layer = layerNumber(ts.next());
@@ -82,7 +101,7 @@ std::optional<LefLibrary> readLef(const std::string& text,
             double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
             if (!ts.number(&x1) || !ts.number(&y1) || !ts.number(&x2) ||
                 !ts.number(&y2)) {
-              return setError(error, "bad PIN RECT");
+              return setError(error, ts, "bad PIN RECT");
             }
             ts.skipStatement();
             PinShape pin;
@@ -97,11 +116,13 @@ std::optional<LefLibrary> readLef(const std::string& text,
           }
           // PORT / USE / DIRECTION etc.: structural noise for our purposes.
         }
+        if (!pinClosed) return setError(error, ts, "truncated PIN block");
       }
       // Other macro statements (FOREIGN, ORIGIN, SYMMETRY...) are skipped
       // by falling through; they end at ';' naturally on the next loop.
     }
-    if (!sawSite) return setError(error, "MACRO before SITE");
+    if (!macroClosed) return setError(error, ts, "truncated MACRO");
+    if (!sawSite) return setError(error, ts, "MACRO before SITE");
     type.width = std::max(
         1, static_cast<int>(std::llround(wMicron / lib.siteWidthMicron)));
     type.height = std::max(
@@ -126,7 +147,7 @@ std::optional<LefLibrary> readLef(const std::string& text,
         } else if (stok == "SIZE") {
           if (!ts.number(&lib.siteWidthMicron) || !ts.accept("BY") ||
               !ts.number(&lib.rowHeightMicron)) {
-            setError(error, "bad SITE SIZE");
+            setError(error, ts, "bad SITE SIZE");
             return std::nullopt;
           }
           ts.skipStatement();
@@ -142,7 +163,7 @@ std::optional<LefLibrary> readLef(const std::string& text,
       if (prop == "mclgEdgeClasses") {
         double n = 1;
         if (!ts.number(&n) || n < 1) {
-          setError(error, "bad mclgEdgeClasses");
+          setError(error, ts, "bad mclgEdgeClasses");
           return std::nullopt;
         }
         lib.numEdgeClasses = static_cast<int>(n);
@@ -154,7 +175,7 @@ std::optional<LefLibrary> readLef(const std::string& text,
         if (!ts.number(&a) || !ts.number(&b) || !ts.number(&v) ||
             a < 0 || b < 0 || a >= lib.numEdgeClasses ||
             b >= lib.numEdgeClasses) {
-          setError(error, "bad mclgEdgeSpacing");
+          setError(error, ts, "bad mclgEdgeSpacing");
           return std::nullopt;
         }
         lib.edgeSpacingTable[static_cast<std::size_t>(a) *
@@ -169,7 +190,7 @@ std::optional<LefLibrary> readLef(const std::string& text,
     // VERSION, BUSBITCHARS, DIVIDERCHAR... skipped implicitly.
   }
   if (!sawSite) {
-    setError(error, "LEF has no SITE definition");
+    setError(error, ts, "LEF has no SITE definition");
     return std::nullopt;
   }
   return lib;

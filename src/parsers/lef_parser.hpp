@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "db/design.hpp"
+#include "parsers/parse_error.hpp"
 
 namespace mclg {
 
@@ -35,6 +36,10 @@ struct LefLibrary {
 
 std::optional<LefLibrary> readLef(const std::string& text,
                                   std::string* error = nullptr);
+
+/// Structured-diagnostic overload: on failure fills *error with the source
+/// line and offending token.
+std::optional<LefLibrary> readLef(const std::string& text, ParseError* error);
 
 /// Emit the library of `design` as LEF-lite (round-trips through readLef).
 std::string writeLef(const Design& design, double siteWidthMicron = 0.2);

@@ -1,0 +1,32 @@
+// Structured parse diagnostics shared by every reader (.mclg, LEF-lite,
+// DEF-lite, Bookshelf).
+//
+// Malformed input must never abort or silently misread: readers return
+// nullopt and fill a ParseError locating the problem — source file (or
+// format name when parsing from memory), 1-based line, the offending token
+// when known, and a message. The legacy std::string* overloads remain and
+// carry ParseError::str().
+#pragma once
+
+#include <string>
+
+namespace mclg {
+
+struct ParseError {
+  std::string file;     // path, or format name for in-memory parses
+  int line = 0;         // 1-based; 0 when unknown
+  std::string token;    // offending token, when known
+  std::string message;  // human-readable description
+
+  /// "file:line: message (near 'token')" with the optional parts elided.
+  std::string str() const {
+    std::string out = file.empty() ? std::string() : file + ":";
+    if (line > 0) out += std::to_string(line) + ":";
+    if (!out.empty()) out += " ";
+    out += message;
+    if (!token.empty()) out += " (near '" + token + "')";
+    return out;
+  }
+};
+
+}  // namespace mclg

@@ -6,9 +6,13 @@
 namespace mclg {
 namespace {
 
-void fail(std::string* error, int line, const std::string& what) {
+void fail(ParseError* error, int line, const std::string& what,
+          const std::string& token = std::string()) {
   if (error != nullptr) {
-    *error = "line " + std::to_string(line) + ": " + what;
+    error->file = "<mclg>";
+    error->line = line;
+    error->token = token;
+    error->message = what;
   }
 }
 
@@ -75,6 +79,14 @@ std::string writeSimpleFormat(const Design& design) {
 
 std::optional<Design> readSimpleFormat(const std::string& text,
                                        std::string* error) {
+  ParseError parseError;
+  auto design = readSimpleFormat(text, &parseError);
+  if (!design && error != nullptr) *error = parseError.str();
+  return design;
+}
+
+std::optional<Design> readSimpleFormat(const std::string& text,
+                                       ParseError* error) {
   std::istringstream in(text);
   std::string line;
   int lineNo = 0;
@@ -234,12 +246,17 @@ std::optional<Design> readSimpleFormat(const std::string& text,
       sawEnd = true;
       break;
     } else {
-      fail(error, lineNo, "unknown keyword: " + key);
+      fail(error, lineNo, "unknown keyword", key);
       return std::nullopt;
     }
   }
   if (!sawEnd) {
     fail(error, lineNo, "missing END");
+    return std::nullopt;
+  }
+  std::string what;
+  if (!design.check(&what)) {
+    fail(error, lineNo, "inconsistent design: " + what);
     return std::nullopt;
   }
   return design;
@@ -253,14 +270,27 @@ bool saveDesign(const Design& design, const std::string& path) {
 }
 
 std::optional<Design> loadDesign(const std::string& path, std::string* error) {
+  ParseError parseError;
+  auto design = loadDesign(path, &parseError);
+  if (!design && error != nullptr) *error = parseError.str();
+  return design;
+}
+
+std::optional<Design> loadDesign(const std::string& path, ParseError* error) {
   std::ifstream in(path);
   if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
+    if (error != nullptr) {
+      error->file = path;
+      error->line = 0;
+      error->message = "cannot open file";
+    }
     return std::nullopt;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return readSimpleFormat(buffer.str(), error);
+  auto design = readSimpleFormat(buffer.str(), error);
+  if (!design && error != nullptr) error->file = path;
+  return design;
 }
 
 }  // namespace mclg

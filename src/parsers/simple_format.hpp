@@ -26,6 +26,7 @@
 #include <string>
 
 #include "db/design.hpp"
+#include "parsers/parse_error.hpp"
 
 namespace mclg {
 
@@ -35,10 +36,13 @@ std::string writeSimpleFormat(const Design& design);
 /// Parse; returns nullopt and fills *error on malformed input.
 std::optional<Design> readSimpleFormat(const std::string& text,
                                        std::string* error = nullptr);
+std::optional<Design> readSimpleFormat(const std::string& text,
+                                       ParseError* error);
 
 /// File helpers.
 bool saveDesign(const Design& design, const std::string& path);
 std::optional<Design> loadDesign(const std::string& path,
                                  std::string* error = nullptr);
+std::optional<Design> loadDesign(const std::string& path, ParseError* error);
 
 }  // namespace mclg

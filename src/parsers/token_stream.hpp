@@ -1,5 +1,10 @@
 // Shared LEF/DEF-style tokenizer: whitespace-separated tokens, ';', '(' and
 // ')' as standalone tokens, '#' line comments.
+//
+// Every read is bounds-checked: next()/peek() past the end return an empty
+// sentinel token (and set overran()) instead of walking off the token
+// vector, so truncated input degrades into an orderly parse error rather
+// than undefined behavior. Tokens carry their source line for diagnostics.
 #pragma once
 
 #include <cctype>
@@ -9,17 +14,25 @@
 
 namespace mclg::parse {
 
-inline std::vector<std::string> tokenize(const std::string& text) {
-  std::vector<std::string> tokens;
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based source line
+};
+
+inline std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
   std::string current;
+  int line = 1;
+  int currentLine = 1;
   auto flush = [&] {
     if (!current.empty()) {
-      tokens.push_back(current);
+      tokens.push_back({current, currentLine});
       current.clear();
     }
   };
   bool inComment = false;
   for (const char c : text) {
+    if (c == '\n') ++line;
     if (inComment) {
       if (c == '\n') inComment = false;
       continue;
@@ -31,8 +44,9 @@ inline std::vector<std::string> tokenize(const std::string& text) {
       flush();
     } else if (c == ';' || c == '(' || c == ')') {
       flush();
-      tokens.emplace_back(1, c);
+      tokens.push_back({std::string(1, c), line});
     } else {
+      if (current.empty()) currentLine = line;
       current += c;
     }
   }
@@ -42,15 +56,40 @@ inline std::vector<std::string> tokenize(const std::string& text) {
 
 class TokenStream {
  public:
-  explicit TokenStream(std::vector<std::string> tokens)
+  explicit TokenStream(std::vector<Token> tokens)
       : tokens_(std::move(tokens)) {}
+  explicit TokenStream(const std::string& text)
+      : TokenStream(tokenize(text)) {}
 
   bool done() const { return pos_ >= tokens_.size(); }
-  const std::string& peek() const { return tokens_[pos_]; }
-  std::string next() { return tokens_[pos_++]; }
+
+  /// True iff a read was attempted past the last token (truncated input).
+  bool overran() const { return overran_; }
+
+  const std::string& peek() const {
+    if (done()) return kEof.text;
+    return tokens_[pos_].text;
+  }
+
+  std::string next() {
+    if (done()) {
+      overran_ = true;
+      return kEof.text;
+    }
+    lastLine_ = tokens_[pos_].line;
+    return tokens_[pos_++].text;
+  }
+
+  /// Source line of the upcoming token (or of the last consumed token at
+  /// end of input) — anchors ParseError locations.
+  int line() const {
+    if (done()) return lastLine_;
+    return tokens_[pos_].line;
+  }
 
   bool accept(const std::string& tok) {
-    if (!done() && tokens_[pos_] == tok) {
+    if (!done() && tokens_[pos_].text == tok) {
+      lastLine_ = tokens_[pos_].line;
       ++pos_;
       return true;
     }
@@ -58,24 +97,38 @@ class TokenStream {
   }
 
   bool number(double* out) {
-    if (done()) return false;
+    if (done()) {
+      overran_ = true;
+      return false;
+    }
     char* end = nullptr;
-    const double v = std::strtod(tokens_[pos_].c_str(), &end);
-    if (end == tokens_[pos_].c_str() || *end != '\0') return false;
+    const double v = std::strtod(tokens_[pos_].text.c_str(), &end);
+    if (end == tokens_[pos_].text.c_str() || *end != '\0') return false;
     *out = v;
+    lastLine_ = tokens_[pos_].line;
     ++pos_;
     return true;
   }
 
   /// Skip tokens until (and including) the next ';'.
   void skipStatement() {
-    while (!done() && next() != ";") {
+    while (!done() && tokens_[pos_].text != ";") {
+      lastLine_ = tokens_[pos_].line;
+      ++pos_;
+    }
+    if (!done()) {
+      lastLine_ = tokens_[pos_].line;
+      ++pos_;
     }
   }
 
  private:
-  std::vector<std::string> tokens_;
+  inline static const Token kEof{};
+
+  std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int lastLine_ = 0;
+  bool overran_ = false;
 };
 
 /// metal1 / M2 / met3 -> 1 / 2 / 3 (first digit run in the name).

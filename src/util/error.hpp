@@ -1,0 +1,45 @@
+// Recoverable-error path of the library.
+//
+// MCLG_ASSERT (util/assert.hpp) aborts: it guards internal invariants whose
+// violation means the process state can no longer be trusted. MCLG_CHECK
+// throws MclgError instead: it guards conditions a caller can recover from
+// by rolling back to a known-good snapshot — the pipeline guard
+// (legal/guard/) catches MclgError at stage boundaries, restores the
+// pre-stage PlacementState, and applies a degradation policy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mclg {
+
+/// Classification of a recoverable failure, recorded in GuardReport.
+enum class ErrorKind {
+  Internal,    // violated MCLG_CHECK / unexpected stage exception
+  Timeout,     // stage wall-clock budget exhausted (cooperative cancel)
+  Injected,    // synthetic fault from a FaultPlan (tests only)
+};
+
+class MclgError : public std::runtime_error {
+ public:
+  explicit MclgError(std::string message, ErrorKind kind = ErrorKind::Internal)
+      : std::runtime_error(std::move(message)), kind_(kind) {}
+
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+}  // namespace mclg
+
+/// Recoverable sibling of MCLG_ASSERT: throws MclgError so a transaction
+/// boundary can catch, roll back, and degrade instead of aborting.
+#define MCLG_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::mclg::MclgError(std::string(__FILE__) + ":" +                 \
+                              std::to_string(__LINE__) + ": " #cond " — " + \
+                              (msg));                                       \
+    }                                                                       \
+  } while (0)

@@ -32,12 +32,19 @@ void ThreadPool::parallelForBatch(int count, const std::function<void(int)>& fn)
   std::unique_lock<std::mutex> lock(mutex_);
   MCLG_ASSERT(batchFn_ == nullptr, "nested parallelForBatch is not supported");
   batchFn_ = &fn;
+  batchError_ = nullptr;
   batchCount_ = count;
   nextIndex_ = 0;
   remaining_ = count;
   wakeWorkers_.notify_all();
   batchDone_.wait(lock, [this] { return remaining_ == 0; });
   batchFn_ = nullptr;
+  if (batchError_ != nullptr) {
+    std::exception_ptr error = batchError_;
+    batchError_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -51,8 +58,14 @@ void ThreadPool::workerLoop() {
       const int index = nextIndex_++;
       const auto* fn = batchFn_;
       lock.unlock();
-      (*fn)(index);
+      std::exception_ptr error;
+      try {
+        (*fn)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
       lock.lock();
+      if (error != nullptr && batchError_ == nullptr) batchError_ = error;
       if (--remaining_ == 0) batchDone_.notify_all();
     }
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,6 +28,10 @@ class ThreadPool {
   int numThreads() const { return numThreads_; }
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all of them.
+  /// A task that throws does not take the process down: the batch still
+  /// drains (remaining tasks run), and the first exception is rethrown
+  /// here, in the calling thread — so stage transactions observe worker
+  /// failures as ordinary exceptions they can roll back from.
   void parallelForBatch(int count, const std::function<void(int)>& fn);
 
  private:
@@ -38,6 +43,7 @@ class ThreadPool {
   std::condition_variable wakeWorkers_;
   std::condition_variable batchDone_;
   const std::function<void(int)>* batchFn_ = nullptr;
+  std::exception_ptr batchError_;
   int batchCount_ = 0;
   int nextIndex_ = 0;
   int remaining_ = 0;

@@ -41,3 +41,25 @@ run_cli(convert --in-lef ${WORKDIR}/out.lef --in-def ${WORKDIR}/out.def
 run_cli(convert --in ${WORKDIR}/legal.mclg --bookshelf ${WORKDIR}/bk)
 run_cli(convert --in-aux ${WORKDIR}/bk.aux --out ${WORKDIR}/from_bk.mclg)
 run_cli(legalize --in ${WORKDIR}/from_bk.mclg --preset totaldisp)
+
+# Exit-code contract (documented in --help).
+function(expect_exit expected)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL ${expected})
+    message(FATAL_ERROR
+            "mclg_cli ${ARGN}: expected exit ${expected}, got ${code}:\n"
+            "${out}\n${err}")
+  endif()
+endfunction()
+
+expect_exit(0 --help)
+file(WRITE ${WORKDIR}/garbage.mclg "MCLG 1\nDESIGN broken\nCORE nonsense\n")
+expect_exit(4 legalize --in ${WORKDIR}/garbage.mclg)
+expect_exit(4 evaluate --in ${WORKDIR}/garbage.mclg)
+# An injected first-attempt fault must degrade (exit 2), never crash; the
+# guard retries and still produces a legal placement.
+expect_exit(2 legalize --in ${WORKDIR}/design.mclg --guard-attempts 2
+            --fault-seed 1)

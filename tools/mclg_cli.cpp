@@ -17,8 +17,13 @@
 //   mclg_cli convert --in-aux chip.aux --out design.mclg
 //   mclg_cli svg --in legal.mclg --out disp.svg [--type 3 | --density]
 //
-// Exit status: 0 on success (for `legalize`/`evaluate`, additionally only
-// when the placement is legal), 1 otherwise.
+// Exit status (see `mclg_cli --help`):
+//   0  success; for legalize/evaluate the placement is fully legal
+//   1  usage / IO error (bad flags, unreadable or unwritable files)
+//   2  legalized, but only after guard degradation (retry/skip/fallback)
+//   3  infeasible cells remain or the placement is not legal
+//   4  structured parse error in an input file
+//   5  internal error (unrecoverable stage failure or unexpected exception)
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,8 +42,10 @@
 #include "gen/benchmark_gen.hpp"
 #include "gen/global_placer.hpp"
 #include "gen/fillers.hpp"
+#include "legal/guard/guard.hpp"
 #include "legal/pipeline.hpp"
 #include "legal/pipeline_config.hpp"
+#include "parsers/parse_error.hpp"
 #include "legal/refine/ripup_refine.hpp"
 #include "legal/refine/wirelength_recovery.hpp"
 #include "util/timer.hpp"
@@ -82,22 +89,65 @@ class Args {
   char** argv_;
 };
 
+// Exit codes (documented in --help and the file header).
+constexpr int kExitLegal = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitDegraded = 2;
+constexpr int kExitInfeasible = 3;
+constexpr int kExitParseError = 4;
+constexpr int kExitInternal = 5;
+
+const char kHelp[] =
+    "usage: mclg_cli <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  generate    --cells N --density D --fences F --seed S [--gp quadratic]\n"
+    "              [--blockages B] [--no-routability] --out design.mclg\n"
+    "  legalize    --in design.mclg [--preset contest|totaldisp] [--threads N]\n"
+    "              [--no-maxdisp] [--no-mcf] [--delta0 D] [--n0 N]\n"
+    "              [--ripup [--ripup-threshold T]]\n"
+    "              [--recover-hpwl [--hpwl-budget B]] [--fillers]\n"
+    "              [--config pipeline.conf] [--out legal.mclg]\n"
+    "              guard options (pipeline guard is ON by default):\n"
+    "              [--no-guard]           run stages without transactions\n"
+    "              [--guard-budget SECS]  wall-clock budget per stage attempt\n"
+    "              [--guard-attempts N]   attempts per stage (default 2)\n"
+    "              [--fault-seed S]       inject one deterministic fault\n"
+    "  evaluate    --in legal.mclg\n"
+    "  violations  --in legal.mclg [--limit N]\n"
+    "  stats       --in design.mclg\n"
+    "  convert     --in x.mclg --lef out.lef --def out.def | --bookshelf base\n"
+    "              --in-lef lib.lef --in-def chip.def --out design.mclg\n"
+    "              --in-aux chip.aux --out design.mclg\n"
+    "  svg         --in legal.mclg --out out.svg [--type T | --density]\n"
+    "\n"
+    "exit codes:\n"
+    "  0  success; for legalize/evaluate the placement is fully legal\n"
+    "  1  usage / IO error\n"
+    "  2  legalized, but only after guard degradation (retry/skip/fallback)\n"
+    "  3  infeasible cells remain or the placement is not legal\n"
+    "  4  structured parse error in an input file\n"
+    "  5  internal error (unrecoverable stage failure / unexpected "
+    "exception)\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: mclg_cli <generate|legalize|evaluate|violations|stats|convert|svg> "
-               "[options]\n(see the header of tools/mclg_cli.cpp)\n");
-  return 1;
+  std::fputs(kHelp, stderr);
+  return kExitUsage;
 }
 
-std::optional<Design> loadInput(const Args& args) {
+std::optional<Design> loadInput(const Args& args, int* exitCode) {
   const auto inPath = args.get("--in");
   if (!inPath) {
     std::fprintf(stderr, "missing --in\n");
+    *exitCode = kExitUsage;
     return std::nullopt;
   }
-  std::string error;
+  ParseError error;
   auto design = loadDesign(*inPath, &error);
-  if (!design) std::fprintf(stderr, "parse error: %s\n", error.c_str());
+  if (!design) {
+    std::fprintf(stderr, "parse error: %s\n", error.str().c_str());
+    *exitCode = kExitParseError;
+  }
   return design;
 }
 
@@ -144,26 +194,39 @@ int cmdGenerate(const Args& args) {
 }
 
 int cmdLegalize(const Args& args) {
-  auto design = loadInput(args);
-  if (!design) return 1;
+  int exitCode = kExitUsage;
+  auto design = loadInput(args, &exitCode);
+  if (!design) return exitCode;
 
   PipelineConfig config = args.get("--preset").value_or("contest") ==
                                   "totaldisp"
                               ? PipelineConfig::totalDisplacement()
                               : PipelineConfig::contest();
+  // The CLI runs guarded by default: every stage is a transaction with
+  // rollback + degradation, and the run ends with a GuardReport summary.
+  config.guard.enabled = true;
   if (const auto configPath = args.get("--config")) {
     bool ok = false;
     const std::string text = readFile(*configPath, &ok);
     if (!ok) {
       std::fprintf(stderr, "cannot read %s\n", configPath->c_str());
-      return 1;
+      return kExitUsage;
     }
     std::string error;
     if (!applyConfigText(text, &config, &error)) {
       std::fprintf(stderr, "config error in %s: %s\n", configPath->c_str(),
                    error.c_str());
-      return 1;
+      return kExitParseError;
     }
+  }
+  if (args.has("--no-guard")) config.guard.enabled = false;
+  config.guard.stageBudgetSeconds =
+      args.getDouble("--guard-budget", config.guard.stageBudgetSeconds);
+  config.guard.maxAttempts = static_cast<int>(
+      args.getInt("--guard-attempts", config.guard.maxAttempts));
+  if (const auto seed = args.get("--fault-seed")) {
+    config.guard.faults = FaultPlan::fromSeed(
+        static_cast<std::uint64_t>(std::atoll(seed->c_str())));
   }
   config.mgl.numThreads = static_cast<int>(args.getInt("--threads", 1));
   if (args.has("--no-maxdisp")) config.runMaxDisp = false;
@@ -212,31 +275,49 @@ int cmdLegalize(const Args& args) {
                 static_cast<long long>(fillerStats.sitesFilled));
   }
 
+  const GuardReport& guard = stats.guard;
+  if (config.guard.enabled) {
+    std::printf("pipeline guard:\n%s", guard.summary().c_str());
+    if (guard.degraded) {
+      std::printf("guard: degraded run (see the table above)\n");
+    }
+    if (guard.infeasibleCells > 0) {
+      std::printf("guard: %d infeasible cells remain unplaced\n",
+                  guard.infeasibleCells);
+    }
+  }
+
   const auto score = evaluateScore(*design, segments);
   std::printf("%s\n", summarize(*design, score).c_str());
 
   if (const auto outPath = args.get("--out")) {
     if (!saveDesign(*design, *outPath)) {
       std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
-      return 1;
+      return kExitUsage;
     }
     std::printf("wrote %s\n", outPath->c_str());
   }
-  return score.legality.legal() ? 0 : 1;
+  if (guard.failed) return kExitInternal;
+  if (guard.infeasibleCells > 0 || !score.legality.legal()) {
+    return kExitInfeasible;
+  }
+  return guard.degraded ? kExitDegraded : kExitLegal;
 }
 
 int cmdEvaluate(const Args& args) {
-  const auto design = loadInput(args);
-  if (!design) return 1;
+  int exitCode = kExitUsage;
+  const auto design = loadInput(args, &exitCode);
+  if (!design) return exitCode;
   SegmentMap segments(*design);
   const auto score = evaluateScore(*design, segments);
   std::printf("%s\n", summarize(*design, score).c_str());
-  return score.legality.legal() ? 0 : 1;
+  return score.legality.legal() ? kExitLegal : kExitInfeasible;
 }
 
 int cmdStats(const Args& args) {
-  auto design = loadInput(args);
-  if (!design) return 1;
+  int exitCode = kExitUsage;
+  auto design = loadInput(args, &exitCode);
+  if (!design) return exitCode;
   SegmentMap segments(*design);
   PlacementState state(*design);
   const auto stats = computeDesignStats(state, segments);
@@ -245,8 +326,9 @@ int cmdStats(const Args& args) {
 }
 
 int cmdViolations(const Args& args) {
-  const auto design = loadInput(args);
-  if (!design) return 1;
+  int exitCode = kExitUsage;
+  const auto design = loadInput(args, &exitCode);
+  if (!design) return exitCode;
   SegmentMap segments(*design);
   const auto limit =
       static_cast<std::size_t>(args.getInt("--limit", 100));
@@ -270,11 +352,11 @@ int cmdConvert(const Args& args) {
       std::fprintf(stderr, "convert needs --out\n");
       return 1;
     }
-    std::string error;
+    ParseError error;
     const auto design = loadBookshelf(*auxPath, &error);
     if (!design) {
-      std::fprintf(stderr, "Bookshelf error: %s\n", error.c_str());
-      return 1;
+      std::fprintf(stderr, "Bookshelf error: %s\n", error.str().c_str());
+      return kExitParseError;
     }
     if (!saveDesign(*design, *outPath)) {
       std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
@@ -286,8 +368,9 @@ int cmdConvert(const Args& args) {
   }
   // Native -> Bookshelf.
   if (const auto bookshelfBase = args.get("--bookshelf")) {
-    const auto design = loadInput(args);
-    if (!design) return 1;
+    int exitCode = kExitUsage;
+    const auto design = loadInput(args, &exitCode);
+    if (!design) return exitCode;
     if (!saveBookshelf(*design, *bookshelfBase)) {
       std::fprintf(stderr, "cannot write %s.*\n", bookshelfBase->c_str());
       return 1;
@@ -315,16 +398,16 @@ int cmdConvert(const Args& args) {
       std::fprintf(stderr, "cannot read %s\n", defPath->c_str());
       return 1;
     }
-    std::string error;
+    ParseError error;
     const auto lib = readLef(lefText, &error);
     if (!lib) {
-      std::fprintf(stderr, "LEF error: %s\n", error.c_str());
-      return 1;
+      std::fprintf(stderr, "LEF error: %s\n", error.str().c_str());
+      return kExitParseError;
     }
     const auto design = readDef(defText, *lib, &error);
     if (!design) {
-      std::fprintf(stderr, "DEF error: %s\n", error.c_str());
-      return 1;
+      std::fprintf(stderr, "DEF error: %s\n", error.str().c_str());
+      return kExitParseError;
     }
     if (!saveDesign(*design, *outPath)) {
       std::fprintf(stderr, "cannot write %s\n", outPath->c_str());
@@ -334,8 +417,9 @@ int cmdConvert(const Args& args) {
     return 0;
   }
   // Direction 2: native -> LEF+DEF.
-  const auto design = loadInput(args);
-  if (!design) return 1;
+  int exitCode = kExitUsage;
+  const auto design = loadInput(args, &exitCode);
+  if (!design) return exitCode;
   const auto lefPath = args.get("--lef");
   const auto defPath = args.get("--def");
   if (!lefPath || !defPath) {
@@ -355,8 +439,9 @@ int cmdConvert(const Args& args) {
 }
 
 int cmdSvg(const Args& args) {
-  const auto design = loadInput(args);
-  if (!design) return 1;
+  int exitCode = kExitUsage;
+  const auto design = loadInput(args, &exitCode);
+  if (!design) return exitCode;
   const auto outPath = args.get("--out");
   if (!outPath) {
     std::fprintf(stderr, "missing --out\n");
@@ -386,13 +471,22 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   mclg::setLogLevel(mclg::LogLevel::Info);
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kHelp, stdout);
+    return kExitLegal;
+  }
   const Args args(argc, argv);
-  if (command == "generate") return cmdGenerate(args);
-  if (command == "legalize") return cmdLegalize(args);
-  if (command == "evaluate") return cmdEvaluate(args);
-  if (command == "violations") return cmdViolations(args);
-  if (command == "stats") return cmdStats(args);
-  if (command == "convert") return cmdConvert(args);
-  if (command == "svg") return cmdSvg(args);
+  try {
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "legalize") return cmdLegalize(args);
+    if (command == "evaluate") return cmdEvaluate(args);
+    if (command == "violations") return cmdViolations(args);
+    if (command == "stats") return cmdStats(args);
+    if (command == "convert") return cmdConvert(args);
+    if (command == "svg") return cmdSvg(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
+  }
   return usage();
 }
