@@ -4,12 +4,17 @@
 // benchmarks by default so the full harness finishes in minutes; set
 // MCLG_BENCH_SCALE (e.g. 1.0) to run the published sizes, and
 // MCLG_BENCH_DESIGNS to limit the number of designs.
+// Set MCLG_BENCH_REPORT to a directory to drop a machine-readable
+// "kind":"bench" JSON report per table bench (see docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/run_report.hpp"
 
 namespace mclg::bench {
 
@@ -43,6 +48,22 @@ inline double normAvg(const std::vector<double>& value,
     }
   }
   return counted > 0 ? sum / counted : 0.0;
+}
+
+/// When MCLG_BENCH_REPORT names a directory, write the bench's summary
+/// values there as <dir>/<benchName>.json (run-report envelope,
+/// "kind":"bench"). No-op otherwise.
+inline void maybeWriteBenchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& values) {
+  const char* dir = std::getenv("MCLG_BENCH_REPORT");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + benchName + ".json";
+  if (obs::writeBenchReport(path, benchName, values)) {
+    std::fprintf(stderr, "bench report: wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+  }
 }
 
 }  // namespace mclg::bench

@@ -97,5 +97,10 @@ int main() {
   std::printf(
       "Paper reference       : avgDisp 1.18, maxDisp 1.12, pin 8.25, "
       "score 1.26 (Table 1, champion normalized to ours)\n");
+  bench::maybeWriteBenchReport(
+      "table1", {{"norm_avg_disp", bench::normAvg(avg1, avgO)},
+                 {"norm_max_disp", bench::normAvg(max1, maxO)},
+                 {"norm_pin", bench::normAvg(pin1, pinO)},
+                 {"norm_score", bench::normAvg(s1, sO)}});
   return 0;
 }

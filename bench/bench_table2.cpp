@@ -96,5 +96,9 @@ int main() {
   std::printf(
       "Paper reference    : [12] 1.20, [7] 1.17, [9] 1.09, Ours 1.00 "
       "(Table 2)\n");
+  bench::maybeWriteBenchReport(
+      "table2", {{"norm_mll", bench::normAvg(mll, ours)},
+                 {"norm_abacus", bench::normAvg(abacus, ours)},
+                 {"norm_ordered", bench::normAvg(ordered, ours)}});
   return 0;
 }

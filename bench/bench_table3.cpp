@@ -65,5 +65,8 @@ int main() {
               bench::normAvg(maxBefore, maxAfter));
   std::printf(
       "Paper reference         : avgDisp 1.01, maxDisp 1.23 (Table 3)\n");
+  bench::maybeWriteBenchReport(
+      "table3", {{"norm_avg_disp", bench::normAvg(avgBefore, avgAfter)},
+                 {"norm_max_disp", bench::normAvg(maxBefore, maxAfter)}});
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <queue>
 
 #include "flow/mcf.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace mclg {
@@ -72,11 +73,19 @@ class CostScaling {
     pi_.assign(static_cast<std::size_t>(n), 0);
     const Wide scale = n + 1;
     Wide eps = static_cast<Wide>(maxCost) * scale;
+    long long phases = 0;
     while (eps >= 1) {
       refine(eps);
+      ++phases;
       if (eps == 1) break;
       eps = eps / kAlpha;
       if (eps < 1) eps = 1;
+    }
+    // Pushes are tallied in applyPush without atomics; flush once per solve.
+    if (obs::metricsEnabled()) {
+      obs::counter("mcf.cost_scaling.solves").add();
+      obs::counter("mcf.cost_scaling.phases").add(phases);
+      obs::counter("mcf.cost_scaling.pushes").add(pushes_);
     }
 
     sol.status = McfStatus::Optimal;
@@ -99,6 +108,7 @@ class CostScaling {
   }
 
   void applyPush(int u, RArc& arc, FlowValue delta) {
+    ++pushes_;
     arc.cap -= delta;
     adj_[static_cast<std::size_t>(arc.to)][static_cast<std::size_t>(arc.rev)]
         .cap += delta;
@@ -268,6 +278,7 @@ class CostScaling {
   std::vector<FlowValue> flow_;
   std::vector<FlowValue> excess_;
   std::vector<Wide> pi_;
+  long long pushes_ = 0;
 };
 
 }  // namespace

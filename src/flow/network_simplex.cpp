@@ -17,6 +17,7 @@
 #include <cmath>
 
 #include "flow/mcf.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace mclg {
@@ -191,15 +192,32 @@ class Simplex {
 
   McfStatus optimize() {
     recomputeSubtreeSizes();
+    // Pivots are counted locally and flushed once per solve, keeping the
+    // inner loop free of atomics.
+    long long pivots = 0;
+    McfStatus status = McfStatus::Optimal;
     for (;;) {
       const int inArc = findEnteringArc();
       if (inArc < 0) break;
-      if (!pivot(inArc)) return McfStatus::Unbounded;
+      ++pivots;
+      if (!pivot(inArc)) {
+        status = McfStatus::Unbounded;
+        break;
+      }
     }
-    for (int v = 0; v < n_; ++v) {
-      if (flow_[m_ + v] != 0) return McfStatus::Infeasible;
+    if (status == McfStatus::Optimal) {
+      for (int v = 0; v < n_; ++v) {
+        if (flow_[m_ + v] != 0) {
+          status = McfStatus::Infeasible;
+          break;
+        }
+      }
     }
-    return McfStatus::Optimal;
+    if (obs::metricsEnabled()) {
+      obs::counter("mcf.simplex.solves").add();
+      obs::counter("mcf.simplex.pivots").add(pivots);
+    }
+    return status;
   }
 
   /// Returns false iff the pivot reveals an uncapacitated negative cycle.

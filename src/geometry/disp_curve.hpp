@@ -87,6 +87,14 @@ class CurveSum {
   void clear() { curves_.clear(); }
   std::size_t size() const { return curves_.size(); }
 
+  /// Sum of breakpoints over all accumulated curves (0–2 each); this is the
+  /// B that drives the minimizeOnSites sweep cost.
+  int totalBreakpoints() const {
+    int total = 0;
+    for (const auto& curve : curves_) total += curve.numBreakpoints();
+    return total;
+  }
+
   /// Total curve value at an arbitrary x (linear in #curves).
   double value(double x) const;
 

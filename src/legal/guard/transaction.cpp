@@ -10,6 +10,7 @@
 #include "baselines/baselines.hpp"
 #include "eval/score.hpp"
 #include "legal/guard/invariants.hpp"
+#include "obs/obs.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -29,6 +30,23 @@ struct StageDriver {
   std::function<void()> relax;       // config relaxation for retries
   std::function<void()> resetStats;  // clear stage stats after final rollback
 };
+
+// Trace span names need static storage (the trace buffer keeps pointers).
+const char* guardSpanName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::Mgl: return "guard/mgl";
+    case PipelineStage::MaxDisp: return "guard/maxdisp";
+    case PipelineStage::FixedRowOrder: return "guard/mcf";
+    case PipelineStage::Ripup: return "guard/ripup";
+    case PipelineStage::Recovery: return "guard/recovery";
+  }
+  return "guard/?";
+}
+
+void bumpGuardCounter(const char* name) {
+  if (!obs::metricsEnabled()) return;
+  obs::counter(name).add();
+}
 
 void appendDetail(StageRecord& rec, const std::string& text) {
   if (!rec.detail.empty()) rec.detail += "; ";
@@ -106,6 +124,9 @@ void runStage(PlacementState& state, const SegmentMap& segments,
   const int maxAttempts = std::max(1, guard.maxAttempts);
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     ++rec.attempts;
+    bumpGuardCounter("guard.attempts");
+    MCLG_TRACE_SCOPE(guardSpanName(driver.id),
+                     {{"attempt", static_cast<double>(attempt + 1)}});
     const Deadline deadline =
         guard.faults.armed(driver.id, FaultKind::BudgetExhaust, attempt)
             ? Deadline::expired()
@@ -137,6 +158,11 @@ void runStage(PlacementState& state, const SegmentMap& segments,
         rec.status =
             attempt == 0 ? StageStatus::Ok : StageStatus::OkAfterRetry;
         if (attempt > 0) report.degraded = true;
+        if (obs::metricsEnabled()) {
+          const std::string base = std::string("stage.") + stageName(driver.id);
+          obs::gauge(base + ".wall_seconds").set(total.seconds());
+          obs::gauge(base + ".cpu_seconds").set(total.cpuSeconds());
+        }
         return;
       }
       failure = "invariant violated: " + audit.violation;
@@ -146,6 +172,7 @@ void runStage(PlacementState& state, const SegmentMap& segments,
       failure = std::string("[exception] ") + e.what();
     }
     state.restore(before);
+    bumpGuardCounter("guard.rollbacks");
     appendDetail(rec, "attempt " + std::to_string(attempt + 1) + ": " +
                           failure + " -> rolled back");
     if (!guard.allowRetry || attempt + 1 >= maxAttempts) break;
@@ -165,6 +192,8 @@ void runStage(PlacementState& state, const SegmentMap& segments,
     if (audit.ok) {
       rec.status = StageStatus::FallbackApplied;
       report.degraded = true;
+      bumpGuardCounter("guard.fallbacks");
+      bumpGuardCounter("guard.degradations");
       rec.scoreAfter = audit.score;
       appendDetail(rec, "tetris fallback placed " +
                             std::to_string(fallback.placed) + " cells");
@@ -177,6 +206,7 @@ void runStage(PlacementState& state, const SegmentMap& segments,
   } else if (driver.optional && guard.allowSkip) {
     rec.status = StageStatus::SkippedAfterRollback;
     report.degraded = true;
+    bumpGuardCounter("guard.degradations");
     appendDetail(rec, "stage skipped; placement restored");
   } else {
     rec.status = StageStatus::Failed;

@@ -6,6 +6,7 @@
 
 #include "flow/bipartite_matching.hpp"
 #include "flow/hungarian.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 #include "util/assert.hpp"
 
@@ -196,12 +197,21 @@ MaxDispStats optimizeMaxDisplacement(PlacementState& state,
       chunks.size());
   ThreadPool pool(config.numThreads);
   pool.parallelForBatch(static_cast<int>(chunks.size()), [&](int i) {
+    // Spans land on the solving worker's thread track.
+    MCLG_TRACE_SCOPE(
+        "maxdisp/group",
+        {{"cells", static_cast<double>(
+              chunks[static_cast<std::size_t>(i)].size())}});
     allMoves[static_cast<std::size_t>(i)] = computeGroupMoves(
         design, config, chunks[static_cast<std::size_t>(i)]);
   });
   for (const auto& moves : allMoves) {
     applyMoves(state, moves);
     stats.cellsMoved += static_cast<int>(moves.size());
+  }
+  if (obs::metricsEnabled()) {
+    obs::counter("maxdisp.groups").add(stats.groups);
+    obs::counter("maxdisp.cells_moved").add(stats.cellsMoved);
   }
   return stats;
 }

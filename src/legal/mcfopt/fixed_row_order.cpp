@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "legal/refine/feasible_range.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -191,9 +192,16 @@ void solveSubset(const PlacementState& state, const SegmentMap& segments,
                  const FixedRowOrderConfig& config, std::vector<CellId> subset,
                  std::vector<std::pair<CellId, std::int64_t>>* moves) {
   const auto& design = state.design();
+  MCLG_TRACE_SCOPE("mcfopt/component",
+                   {{"cells", static_cast<double>(subset.size())}});
   const FroNetwork net =
       buildNetworkForCells(state, segments, config, std::move(subset));
   if (net.cells.empty()) return;
+  if (obs::metricsEnabled()) {
+    obs::counter("mcfopt.components").add();
+    obs::counter("mcfopt.nodes").add(net.problem.numNodes());
+    obs::counter("mcfopt.arcs").add(net.problem.numArcs());
+  }
   const McfSolution sol = NetworkSimplex::solve(net.problem);
   MCLG_ASSERT(sol.status == McfStatus::Optimal,
               "fixed-row-order MCF must be optimal (zero flow is feasible)");
@@ -282,6 +290,9 @@ FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
     state.place(c, x, design.cells[c].y);
   }
   stats.cellsMoved = static_cast<int>(moves.size());
+  if (obs::metricsEnabled()) {
+    obs::counter("mcfopt.cells_moved").add(stats.cellsMoved);
+  }
   stats.objectiveAfter = weightedObjective(design, all, config.contestWeights);
   if (stats.objectiveAfter > stats.objectiveBefore + 1e-6) {
     // Only possible through the integer rounding of GP positions and

@@ -7,9 +7,20 @@
 
 #include "eval/checkers.hpp"
 #include "geometry/disp_curve.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mclg {
+namespace {
+
+// Disabled cost is the single relaxed load in metricsEnabled(); the registry
+// lookup only happens when metrics are on.
+inline void bumpReject(const char* name) {
+  if (!obs::metricsEnabled()) return;
+  obs::counter(name).add();
+}
+
+}  // namespace
 
 int InsertionSearcher::edgeSpacing(int rightEdgeClass,
                                    int leftEdgeClass) const {
@@ -63,7 +74,10 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
 
   for (std::int64_t r = y; r < y + h; ++r) {
     const Segment* seg = segments_.find(r, seed);
-    if (seg == nullptr || seg->fence != target.fence) return false;
+    if (seg == nullptr || seg->fence != target.fence) {
+      bumpReject("mgl.insert.reject.fence");
+      return false;
+    }
     const std::int64_t rowLo = std::max(seg->x.lo, window.xlo);
     const std::int64_t rowHi = std::min(seg->x.hi, window.xhi);
 
@@ -158,6 +172,10 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
                 : DispCurve::rightPush(cur, gp, static_cast<double>(entry.off))
                       .scaled(scale));
   }
+  if (obs::metricsEnabled()) {
+    obs::counter("mgl.disp_curve.breakpoints").add(sum.totalBreakpoints());
+    obs::counter("mgl.disp_curve.minimized").add();
+  }
   auto best = sum.minimizeOnSites(lo, hi);
   if (!best.feasible) return false;
   best.value -= baseline;
@@ -214,10 +232,14 @@ void InsertionSearcher::evaluateRow(CellId c, const Rect& window,
   const auto& design = state_.design();
   const auto& target = design.cells[c];
   const auto& type = design.typeOf(c);
-  if (!design.parityOk(target.type, y)) return;
+  if (!design.parityOk(target.type, y)) {
+    bumpReject("mgl.insert.reject.parity");
+    return;
+  }
   if (y < window.ylo || y + type.height > window.yhi) return;
   if (config_.routability &&
       hasHorizontalRailConflict(design, target.type, y)) {
+    bumpReject("mgl.insert.reject.pin_access");
     return;
   }
 
@@ -268,6 +290,7 @@ bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
   const auto& design = state_.design();
   const auto& target = design.cells[c];
   MCLG_ASSERT(!target.placed && !target.fixed, "target must be unplaced");
+  bumpReject("mgl.insert.attempted");
   const int h = design.heightOf(c);
 
   auto& candidates = candidateScratch_;
@@ -300,7 +323,10 @@ bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
       break;
     }
   }
-  if (candidates.empty()) return false;
+  if (candidates.empty()) {
+    bumpReject("mgl.insert.window_failed");
+    return false;
+  }
 
   const double gpY = target.gpY;
   std::sort(candidates.begin(), candidates.end(),
@@ -326,10 +352,12 @@ bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
       lastCommit_.x = cand.x;
       lastCommit_.y = cand.y;
       lastCommit_.estimatedCost = cand.cost;
+      bumpReject("mgl.insert.committed");
       return true;
     }
     if (++attempts >= config_.maxCommitAttempts) break;
   }
+  bumpReject("mgl.insert.window_failed");
   return false;
 }
 

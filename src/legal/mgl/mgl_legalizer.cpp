@@ -5,6 +5,7 @@
 
 #include "db/free_span.hpp"
 #include "legal/mgl/scheduler.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace mclg {
@@ -139,6 +140,8 @@ MglStats MglLegalizer::run() {
                                      design.typeOf(c), config_.window, level);
       if (window == prevWindow) continue;  // clamped at the core boundary
       prevWindow = window;
+      MCLG_TRACE_SCOPE("mgl/window", {{"cell", static_cast<double>(c)},
+                                      {"level", static_cast<double>(level)}});
       if (searcher.tryInsert(c, window)) {
         done = true;
         break;
@@ -151,6 +154,7 @@ MglStats MglLegalizer::run() {
     } else if (placeFallback(c)) {
       ++stats.placed;
       ++stats.fallbackPlaced;
+      if (obs::metricsEnabled()) obs::counter("mgl.fallback_placed").add();
     } else {
       ++stats.failed;
       MCLG_LOG_WARN() << "MGL: no room for cell " << c << " ("

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mclg {
@@ -63,8 +64,18 @@ MglStats MglScheduler::run() {
     // Process the batch in parallel; windows are row-disjoint so commits
     // cannot touch the same occupancy maps.
     success.assign(batch.size(), 0);
+    MCLG_TRACE_SCOPE("mgl/batch",
+                     {{"windows", static_cast<double>(batch.size())}});
     pool.parallelForBatch(
         static_cast<int>(batch.size()), [&](int i) {
+          // Recorded from the worker thread so the trace shows the window
+          // tasks on their own thread tracks.
+          MCLG_TRACE_SCOPE(
+              "mgl/window",
+              {{"cell", static_cast<double>(
+                    batch[static_cast<std::size_t>(i)].cell)},
+               {"level", static_cast<double>(
+                    batch[static_cast<std::size_t>(i)].level)}});
           if (config.taskHook) config.taskHook(i);
           InsertionSearcher searcher(state, legalizer_.segments_,
                                      config.insertion);
@@ -91,6 +102,7 @@ MglStats MglScheduler::run() {
       } else if (legalizer_.placeFallback(p.cell)) {
         ++stats.placed;
         ++stats.fallbackPlaced;
+        if (obs::metricsEnabled()) obs::counter("mgl.fallback_placed").add();
       } else {
         ++stats.failed;
       }

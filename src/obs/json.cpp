@@ -1,0 +1,138 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace mclg::obs {
+
+void appendJsonEscaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::beforeValue() {
+  if (!stack_.empty() && stack_.back() == 'v') {
+    stack_.back() = 'o';  // the pending key gets this value
+    return;
+  }
+  MCLG_ASSERT(stack_.empty() || stack_.back() == 'a',
+              "JSON value inside an object requires a key first");
+  if (!firstInScope_) out_ += ',';
+  firstInScope_ = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ += '{';
+  stack_ += 'o';
+  firstInScope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  MCLG_ASSERT(!stack_.empty() && stack_.back() == 'o',
+              "endObject without matching beginObject");
+  stack_.pop_back();
+  out_ += '}';
+  firstInScope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ += '[';
+  stack_ += 'a';
+  firstInScope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  MCLG_ASSERT(!stack_.empty() && stack_.back() == 'a',
+              "endArray without matching beginArray");
+  stack_.pop_back();
+  out_ += ']';
+  firstInScope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  MCLG_ASSERT(!stack_.empty() && stack_.back() == 'o',
+              "JSON key outside an object");
+  if (!firstInScope_) out_ += ',';
+  firstInScope_ = false;
+  out_ += '"';
+  appendJsonEscaped(out_, name);
+  out_ += "\":";
+  stack_.back() = 'v';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  beforeValue();
+  out_ += '"';
+  appendJsonEscaped(out_, text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  beforeValue();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  beforeValue();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  beforeValue();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::valueNull() {
+  beforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::rawValue(const std::string& json) {
+  beforeValue();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace mclg::obs

@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer for the observability outputs (Chrome
+// traces, run reports, structured log lines). Emits valid UTF-8 JSON with
+// correct string escaping and finite-number handling; no DOM, no parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mclg::obs {
+
+/// Escape `text` per RFC 8259 and append it (without surrounding quotes)
+/// to `out`. Exposed so the logger can build JSON lines without a writer.
+void appendJsonEscaped(std::string& out, const std::string& text);
+
+/// Stack-based writer: begin/end object/array calls must balance; `key`
+/// must precede every value inside an object. Commas and quoting are
+/// handled internally. Non-finite doubles are emitted as null (JSON has no
+/// NaN/Infinity).
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(long long number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& valueNull();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// Append a pre-rendered JSON fragment verbatim (caller guarantees
+  /// validity) — used for the per-span args objects rendered at record time.
+  JsonWriter& rawValue(const std::string& json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void beforeValue();
+
+  std::string out_;
+  // One char per nesting level: 'o' = object (expecting key), 'v' = object
+  // (key written, expecting value), 'a' = array.
+  std::string stack_;
+  bool firstInScope_ = true;
+};
+
+}  // namespace mclg::obs

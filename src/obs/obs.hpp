@@ -1,0 +1,12 @@
+// Umbrella header for the observability subsystem: scoped-span tracing
+// (obs/trace.hpp), the metrics registry (obs/metrics.hpp), and the run
+// report (obs/run_report.hpp — not included here; it pulls the pipeline
+// headers and only report producers need it).
+//
+// Instrumentation sites include this and pay, when both switches are off,
+// exactly one branch per site. See docs/OBSERVABILITY.md for the span and
+// counter naming conventions.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

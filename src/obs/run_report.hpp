@@ -1,0 +1,54 @@
+// Machine-readable run reports: one versioned JSON document per run,
+// merging the pipeline's PipelineStats + GuardReport, the metrics
+// registry, the quality metrics from src/eval, and build/config
+// provenance. Bench binaries emit the same schema ("kind":"bench") so CI
+// can diff legalize runs and benchmark sweeps with one parser. The schema
+// is documented in docs/OBSERVABILITY.md; bump kRunReportSchemaVersion on
+// any breaking field change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/score.hpp"
+#include "legal/pipeline.hpp"
+
+namespace mclg::obs {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Where the run came from: everything needed to reproduce it.
+struct RunProvenance {
+  std::string design;        // design name from the input
+  int numCells = 0;
+  std::string preset;        // "contest" / "totaldisp" / bench-specific
+  int threads = 1;
+  std::uint64_t seed = 0;    // generator seed when known, 0 otherwise
+  bool guardEnabled = false;
+  std::string configText;    // full configToText() dump, optional
+};
+
+/// Render the "kind":"legalize" report. `score` may be null (quality block
+/// omitted); the metrics block snapshots the registry when
+/// `includeMetrics` is set.
+std::string renderRunReport(const RunProvenance& provenance,
+                            const PipelineStats& stats,
+                            const ScoreBreakdown* score, bool includeMetrics);
+
+bool writeRunReport(const std::string& path, const RunProvenance& provenance,
+                    const PipelineStats& stats, const ScoreBreakdown* score,
+                    bool includeMetrics);
+
+/// Render the "kind":"bench" report: same envelope (schema_version,
+/// provenance, metrics registry), with the benchmark's named values in
+/// place of the pipeline blocks.
+std::string renderBenchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& values);
+
+bool writeBenchReport(const std::string& path, const std::string& benchName,
+                      const std::vector<std::pair<std::string, double>>& values);
+
+}  // namespace mclg::obs

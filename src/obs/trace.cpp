@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mclg::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+/// One per recording thread, owned by the registry so spans survive the
+/// recording thread's exit (thread-pool workers die at stage teardown).
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<detail::SpanEvent> events;
+  // Events up to this index belong to a previous session (before the last
+  // traceReset) and are skipped by render/count. Cheaper than clearing,
+  // which would race with a thread still holding the pointer.
+  std::size_t liveFrom = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  Clock::time_point epoch = Clock::now();
+  std::atomic<std::uint64_t> generation{1};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may record at exit
+  return *r;
+}
+
+struct ThreadSlot {
+  ThreadBuffer* buffer = nullptr;
+  std::uint64_t generation = 0;
+};
+
+ThreadBuffer& threadBuffer() {
+  thread_local ThreadSlot slot;
+  Registry& r = registry();
+  const std::uint64_t gen = r.generation.load(std::memory_order_acquire);
+  if (slot.buffer == nullptr || slot.generation != gen) {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (slot.buffer == nullptr) {
+      r.buffers.push_back(std::make_unique<ThreadBuffer>());
+      slot.buffer = r.buffers.back().get();
+      slot.buffer->tid = static_cast<int>(r.buffers.size());
+    }
+    // After a reset, everything already recorded is stale.
+    slot.buffer->liveFrom = slot.buffer->events.size();
+    slot.generation = gen;
+  }
+  return *slot.buffer;
+}
+
+}  // namespace
+
+bool tracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void setTracingEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void traceReset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.epoch = Clock::now();
+  // Bumping the generation invalidates every thread's cached slot; each
+  // thread advances its own liveFrom on next record. Buffers of threads
+  // that never record again keep stale events, which render/count skip via
+  // the liveFrom recorded here.
+  for (auto& buffer : r.buffers) buffer->liveFrom = buffer->events.size();
+  r.generation.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t traceEventCount() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : r.buffers) {
+    total += buffer->events.size() - buffer->liveFrom;
+  }
+  return total;
+}
+
+namespace detail {
+
+std::int64_t nowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - registry().epoch)
+      .count();
+}
+
+void recordSpan(const char* name, std::int64_t tsUs, std::int64_t durUs,
+                std::string args) {
+  threadBuffer().events.push_back({name, tsUs, durUs, std::move(args)});
+}
+
+}  // namespace detail
+
+void TraceScope::renderArgs(
+    std::initializer_list<std::pair<const char*, double>> args) {
+  if (args.size() == 0) return;
+  JsonWriter w;
+  w.beginObject();
+  for (const auto& [key, number] : args) w.field(key, number);
+  w.endObject();
+  args_ = w.take();
+}
+
+std::string renderChromeTrace() {
+  Registry& r = registry();
+  // Snapshot under the lock. Callers flush at quiescent points (see the
+  // header), so no thread is appending while the live ranges are copied.
+  struct Snapshot {
+    int tid;
+    std::vector<detail::SpanEvent> events;
+  };
+  std::vector<Snapshot> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto& buffer : r.buffers) {
+      const std::size_t n = buffer->events.size();
+      if (n == buffer->liveFrom) continue;
+      Snapshot s;
+      s.tid = buffer->tid;
+      s.events.assign(buffer->events.begin() +
+                          static_cast<std::ptrdiff_t>(buffer->liveFrom),
+                      buffer->events.begin() + static_cast<std::ptrdiff_t>(n));
+      snapshots.push_back(std::move(s));
+    }
+  }
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (const auto& snap : snapshots) {
+    // Thread-name metadata so Perfetto labels the tracks.
+    w.beginObject()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", snap.tid)
+        .key("args")
+        .beginObject()
+        .field("name", "mclg-thread-" + std::to_string(snap.tid))
+        .endObject()
+        .endObject();
+    for (const auto& event : snap.events) {
+      w.beginObject()
+          .field("name", event.name)
+          .field("cat", "mclg")
+          .field("ph", "X")
+          .field("pid", 1)
+          .field("tid", snap.tid)
+          .field("ts", event.tsUs)
+          .field("dur", std::max<std::int64_t>(event.durUs, 0));
+      if (!event.args.empty()) w.key("args").rawValue(event.args);
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.field("displayTimeUnit", "ms");
+  w.endObject();
+  return w.take();
+}
+
+bool writeChromeTrace(const std::string& path) {
+  const std::string json = renderChromeTrace();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace mclg::obs

@@ -1,0 +1,118 @@
+// Scoped-span tracing for the legalization pipeline.
+//
+// Spans are recorded per thread into registry-owned buffers: the hot path
+// (TraceScope constructor/destructor) touches only a thread-local pointer
+// and a vector push_back — no locks, no allocation beyond vector growth —
+// and compiles down to a single branch on the global enable flag when
+// tracing is off. Buffers outlive their threads (the MGL thread pool is
+// torn down per stage, long before the flush), so worker spans keep their
+// thread attribution in the output.
+//
+// The flush renders Chrome trace-event JSON ("X" complete events), loadable
+// in Perfetto / chrome://tracing: one track per recording thread, span
+// nesting recovered from timestamps. Instrumentation sites use the
+// MCLG_TRACE_SCOPE macro, which compiles to nothing when the build sets
+// MCLG_TRACING_DISABLED (CMake option MCLG_TRACING=OFF).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+namespace mclg::obs {
+
+/// Global tracing switch. Off by default; the CLI turns it on for
+/// --trace-out runs. Reads are a single relaxed atomic load.
+bool tracingEnabled();
+void setTracingEnabled(bool enabled);
+
+/// Drop all recorded spans and restart the session clock. Buffers of
+/// threads that recorded before stay registered (and are re-used).
+void traceReset();
+
+/// Number of spans recorded since the last reset (all threads).
+std::size_t traceEventCount();
+
+/// Render the Chrome trace-event JSON document for everything recorded
+/// since the last reset. Recording is lock-free per thread, so call this
+/// (and traceReset) only at quiescent points — no spans in flight. The CLI
+/// flushes after the pipeline returns; tests flush after joining workers.
+std::string renderChromeTrace();
+
+/// renderChromeTrace() to a file. Returns false on I/O error.
+bool writeChromeTrace(const std::string& path);
+
+namespace detail {
+
+struct SpanEvent {
+  const char* name;      // static string (macro passes literals)
+  std::int64_t tsUs;     // microseconds since session start
+  std::int64_t durUs;
+  std::string args;      // pre-rendered JSON object body, may be empty
+};
+
+/// Append a finished span to the calling thread's buffer.
+void recordSpan(const char* name, std::int64_t tsUs, std::int64_t durUs,
+                std::string args);
+
+/// Microseconds since the session clock started (monotonic).
+std::int64_t nowUs();
+
+}  // namespace detail
+
+/// RAII span. Constructing with tracing disabled is a single branch; with
+/// tracing enabled the constructor snapshots the clock and the destructor
+/// records a complete event on the current thread's track.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (tracingEnabled()) begin(name);
+  }
+  /// Numeric key/value annotations, shown in the Perfetto span details
+  /// (e.g. MCLG_TRACE_SCOPE("mgl/window", {{"cells", n}})). Keys must be
+  /// string literals; values are rendered as JSON numbers.
+  TraceScope(const char* name,
+             std::initializer_list<std::pair<const char*, double>> args) {
+    if (tracingEnabled()) {
+      begin(name);
+      renderArgs(args);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (active_) {
+      detail::recordSpan(name_, startUs_, detail::nowUs() - startUs_,
+                         std::move(args_));
+    }
+  }
+
+ private:
+  void begin(const char* name) {
+    name_ = name;
+    startUs_ = detail::nowUs();
+    active_ = true;
+  }
+  void renderArgs(std::initializer_list<std::pair<const char*, double>> args);
+
+  const char* name_ = nullptr;
+  std::int64_t startUs_ = 0;
+  bool active_ = false;
+  std::string args_;
+};
+
+}  // namespace mclg::obs
+
+#ifdef MCLG_TRACING_DISABLED
+#define MCLG_TRACE_SCOPE(...) \
+  do {                        \
+  } while (0)
+#else
+#define MCLG_TRACE_CONCAT_IMPL(a, b) a##b
+#define MCLG_TRACE_CONCAT(a, b) MCLG_TRACE_CONCAT_IMPL(a, b)
+#define MCLG_TRACE_SCOPE(...)                                      \
+  ::mclg::obs::TraceScope MCLG_TRACE_CONCAT(mclgTraceScope_,       \
+                                            __COUNTER__)(__VA_ARGS__)
+#endif

@@ -1,14 +1,19 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 
 namespace mclg {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<LogFormat> g_format{LogFormat::Text};
 std::mutex g_emitMutex;
+std::function<void(const std::string&)> g_sink;  // guarded by g_emitMutex
 
 const char* levelTag(LogLevel level) {
   switch (level) {
@@ -21,17 +26,91 @@ const char* levelTag(LogLevel level) {
   return "?";
 }
 
+const char* levelNameJson(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Silent: return "silent";
+  }
+  return "?";
+}
+
+// Local escaper: util must not depend on obs, and the needs here are small.
+void appendEscaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::uint64_t currentTid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::string formatLine(LogLevel level, const std::string& msg) {
+  if (g_format.load(std::memory_order_relaxed) == LogFormat::Text) {
+    std::string line = "[mclg ";
+    line += levelTag(level);
+    line += "] ";
+    line += msg;
+    return line;
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double ts =
+      std::chrono::duration<double>(now).count();
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "{\"ts\":%.6f,\"level\":\"%s\",\"tid\":%llu,\"msg\":\"", ts,
+                levelNameJson(level),
+                static_cast<unsigned long long>(currentTid()));
+  std::string line = head;
+  appendEscaped(line, msg);
+  line += "\"}";
+  return line;
+}
+
 }  // namespace
 
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
 
+void setLogFormat(LogFormat format) { g_format.store(format); }
+LogFormat logFormat() { return g_format.load(); }
+
+void setLogSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_emitMutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 
 void logEmit(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
+  // Build the whole line first so the critical section is one write and
+  // concurrent workers can never interleave mid-line.
+  std::string line = formatLine(level, msg);
   std::lock_guard<std::mutex> lock(g_emitMutex);
-  std::fprintf(stderr, "[mclg %s] %s\n", levelTag(level), msg.c_str());
+  if (g_sink) {
+    g_sink(line);
+    return;
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

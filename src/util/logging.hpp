@@ -1,19 +1,33 @@
 // Minimal leveled logging used across the library.
 //
 // Levels are filtered at runtime via setLogLevel(); output goes to stderr so
-// that benchmark tables on stdout stay machine-readable.
+// that benchmark tables on stdout stay machine-readable. Each log statement
+// is flushed as ONE write under a mutex, so lines from concurrent MGL
+// workers never interleave mid-line. setLogFormat(LogFormat::Json) switches
+// the same sink to one JSON object per line ({"ts","level","tid","msg"}) for
+// log collectors; the CLI exposes it as --log-json.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace mclg {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+enum class LogFormat { Text = 0, Json = 1 };
 
 /// Set the global minimum level that is actually emitted.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+void setLogFormat(LogFormat format);
+LogFormat logFormat();
+
+/// Redirect fully formatted lines (no trailing newline) away from stderr —
+/// used by tests to assert on atomicity and JSON shape. The sink runs under
+/// the emit mutex; pass nullptr to restore stderr.
+void setLogSink(std::function<void(const std::string&)> sink);
 
 namespace detail {
 void logEmit(LogLevel level, const std::string& msg);

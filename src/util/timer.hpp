@@ -1,24 +1,89 @@
-// Wall-clock timer used for the runtime columns of the benchmark tables.
+// Wall-clock + CPU-time timer used for the runtime columns of the
+// benchmark tables and the per-stage time gauges of the run report.
+//
+// The timer is an accumulating stopwatch: it starts running on
+// construction, pause()/resume() exclude intervals from the total, and
+// seconds()/cpuSeconds() read the accumulated running time at any point.
+// CPU time is the calling thread's CLOCK_THREAD_CPUTIME_ID where
+// available (POSIX), falling back to process std::clock() otherwise —
+// reading it from a different thread than the one being measured gives
+// that reader's clock, so keep a Timer on the thread it times.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace mclg {
 
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() { reset(); }
 
-  void reset() { start_ = Clock::now(); }
+  /// Restart from zero, running.
+  void reset() {
+    accumulatedWall_ = 0.0;
+    accumulatedCpu_ = 0.0;
+    running_ = true;
+    start_ = Clock::now();
+    cpuStart_ = threadCpuSeconds();
+  }
 
-  /// Seconds elapsed since construction / last reset().
+  /// Stop accumulating; idempotent.
+  void pause() {
+    if (!running_) return;
+    accumulatedWall_ += std::chrono::duration<double>(Clock::now() - start_)
+                            .count();
+    accumulatedCpu_ += threadCpuSeconds() - cpuStart_;
+    running_ = false;
+  }
+
+  /// Continue accumulating after pause(); idempotent.
+  void resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+    cpuStart_ = threadCpuSeconds();
+  }
+
+  bool running() const { return running_; }
+
+  /// Accumulated wall-clock seconds (excluding paused intervals).
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    double total = accumulatedWall_;
+    if (running_) {
+      total +=
+          std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    return total;
+  }
+
+  /// Accumulated CPU seconds of the calling thread over the running
+  /// intervals (see the header note on cross-thread reads).
+  double cpuSeconds() const {
+    double total = accumulatedCpu_;
+    if (running_) total += threadCpuSeconds() - cpuStart_;
+    return total;
+  }
+
+  /// Absolute CPU time of the calling thread, for ad-hoc deltas.
+  static double threadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
   }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  double cpuStart_ = 0.0;
+  double accumulatedWall_ = 0.0;
+  double accumulatedCpu_ = 0.0;
+  bool running_ = true;
 };
 
 }  // namespace mclg

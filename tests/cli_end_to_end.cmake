@@ -18,8 +18,51 @@ endfunction()
 run_cli(generate --cells 800 --density 0.55 --seed 17 --gp quadratic
         --out ${WORKDIR}/design.mclg)
 run_cli(legalize --in ${WORKDIR}/design.mclg --threads 2 --ripup
-        --recover-hpwl --out ${WORKDIR}/legal.mclg)
+        --recover-hpwl --trace-out ${WORKDIR}/trace.json
+        --report-out ${WORKDIR}/run.json --out ${WORKDIR}/legal.mclg)
 run_cli(evaluate --in ${WORKDIR}/legal.mclg)
+
+# Observability outputs: both files must exist and be well-formed JSON with
+# the expected top-level shape. string(JSON) needs CMake >= 3.19; older
+# CMakes only check existence.
+foreach(obsfile trace.json run.json)
+  if(NOT EXISTS ${WORKDIR}/${obsfile})
+    message(FATAL_ERROR "legalize did not write ${obsfile}")
+  endif()
+endforeach()
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ ${WORKDIR}/trace.json trace_text)
+  string(JSON trace_len ERROR_VARIABLE trace_err
+         LENGTH "${trace_text}" traceEvents)
+  if(trace_err)
+    message(FATAL_ERROR "trace.json is not valid trace JSON: ${trace_err}")
+  endif()
+  # With -DMCLG_TRACING=OFF spans compile out and an empty event list is
+  # the correct output; otherwise at least one span must be present.
+  if(TRACING AND trace_len LESS 1)
+    message(FATAL_ERROR "trace.json contains no trace events")
+  endif()
+
+  file(READ ${WORKDIR}/run.json report_text)
+  string(JSON schema ERROR_VARIABLE report_err
+         GET "${report_text}" schema_version)
+  if(report_err)
+    message(FATAL_ERROR "run.json is not a valid run report: ${report_err}")
+  endif()
+  if(NOT schema EQUAL 1)
+    message(FATAL_ERROR "run.json schema_version ${schema}, expected 1")
+  endif()
+  string(JSON mgl_placed ERROR_VARIABLE report_err
+         GET "${report_text}" pipeline mgl placed)
+  if(report_err OR mgl_placed LESS 1)
+    message(FATAL_ERROR "run.json pipeline.mgl.placed missing or zero")
+  endif()
+  string(JSON committed ERROR_VARIABLE report_err
+         GET "${report_text}" metrics counters mgl.insert.committed)
+  if(report_err OR committed LESS 1)
+    message(FATAL_ERROR "run.json counters missing mgl.insert.committed")
+  endif()
+endif()
 run_cli(svg --in ${WORKDIR}/legal.mclg --out ${WORKDIR}/legal.svg)
 
 # violations: exit status reflects whether any exist; just require output.

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace mclg {
 namespace {
@@ -119,6 +122,60 @@ TEST(ThreadPool, SequentialBatchesReuseWorkers) {
 TEST(ThreadPool, ZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.parallelForBatch(0, [&](int) { FAIL(); });
+}
+
+TEST(Timer, StartsRunningAndAccumulates) {
+  Timer timer;
+  EXPECT_TRUE(timer.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double first = timer.seconds();
+  EXPECT_GT(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(timer.seconds(), first);  // monotone while running
+}
+
+TEST(Timer, PauseExcludesIntervalAndResumeContinues) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.pause();
+  EXPECT_FALSE(timer.running());
+  const double paused = timer.seconds();
+  EXPECT_GT(paused, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Paused interval is excluded: reading twice gives the same total.
+  EXPECT_DOUBLE_EQ(timer.seconds(), paused);
+  timer.pause();  // idempotent
+  EXPECT_DOUBLE_EQ(timer.seconds(), paused);
+
+  timer.resume();
+  EXPECT_TRUE(timer.running());
+  timer.resume();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(timer.seconds(), paused);
+  EXPECT_LT(timer.seconds(), paused + 10.0);  // sanity upper bound
+
+  timer.reset();
+  EXPECT_TRUE(timer.running());
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST(Timer, CpuSecondsTracksWorkNotSleep) {
+  Timer timer;
+  // Busy work accumulates CPU time...
+  volatile double sink = 0.0;
+  while (timer.cpuSeconds() < 0.01) {
+    for (int i = 0; i < 10000; ++i) {
+      sink = sink + static_cast<double>(i) * 1e-9;
+    }
+  }
+  const double cpuAfterWork = timer.cpuSeconds();
+  EXPECT_GE(cpuAfterWork, 0.01);
+  // ...sleeping accumulates wall time but (almost) no CPU time.
+  timer.pause();
+  const double cpuPaused = timer.cpuSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_DOUBLE_EQ(timer.cpuSeconds(), cpuPaused);
+  EXPECT_GT(Timer::threadCpuSeconds(), 0.0);
 }
 
 }  // namespace

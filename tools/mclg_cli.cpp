@@ -45,6 +45,8 @@
 #include "legal/guard/guard.hpp"
 #include "legal/pipeline.hpp"
 #include "legal/pipeline_config.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
 #include "parsers/parse_error.hpp"
 #include "legal/refine/ripup_refine.hpp"
 #include "legal/refine/wirelength_recovery.hpp"
@@ -113,6 +115,13 @@ const char kHelp[] =
     "              [--guard-budget SECS]  wall-clock budget per stage attempt\n"
     "              [--guard-attempts N]   attempts per stage (default 2)\n"
     "              [--fault-seed S]       inject one deterministic fault\n"
+    "              observability (see docs/OBSERVABILITY.md):\n"
+    "              [--trace-out t.json]   Chrome trace-event spans of the\n"
+    "                                     run (load in Perfetto or\n"
+    "                                     chrome://tracing)\n"
+    "              [--report-out r.json]  versioned machine-readable run\n"
+    "                                     report (stats + metrics + quality\n"
+    "                                     + provenance)\n"
     "  evaluate    --in legal.mclg\n"
     "  violations  --in legal.mclg [--limit N]\n"
     "  stats       --in design.mclg\n"
@@ -120,6 +129,10 @@ const char kHelp[] =
     "              --in-lef lib.lef --in-def chip.def --out design.mclg\n"
     "              --in-aux chip.aux --out design.mclg\n"
     "  svg         --in legal.mclg --out out.svg [--type T | --density]\n"
+    "\n"
+    "global options:\n"
+    "  --log-json  emit one JSON object per log line on stderr\n"
+    "              ({\"ts\",\"level\",\"tid\",\"msg\"}) instead of text\n"
     "\n"
     "exit codes:\n"
     "  0  success; for legalize/evaluate the placement is fully legal\n"
@@ -198,8 +211,22 @@ int cmdLegalize(const Args& args) {
   auto design = loadInput(args, &exitCode);
   if (!design) return exitCode;
 
-  PipelineConfig config = args.get("--preset").value_or("contest") ==
-                                  "totaldisp"
+  // Observability switches: each is a file path; enabling them turns on the
+  // corresponding collection before the pipeline runs.
+  const auto traceOut = args.get("--trace-out");
+  const auto reportOut = args.get("--report-out");
+  if (traceOut) {
+    obs::setTracingEnabled(true);
+    obs::traceReset();
+  }
+  if (reportOut) {
+    obs::setMetricsEnabled(true);
+    obs::metricsReset();
+  }
+
+  const std::string presetName =
+      args.get("--preset").value_or("contest");
+  PipelineConfig config = presetName == "totaldisp"
                               ? PipelineConfig::totalDisplacement()
                               : PipelineConfig::contest();
   // The CLI runs guarded by default: every stage is a transaction with
@@ -289,6 +316,32 @@ int cmdLegalize(const Args& args) {
 
   const auto score = evaluateScore(*design, segments);
   std::printf("%s\n", summarize(*design, score).c_str());
+
+  // Flush observability outputs at this quiescent point: every stage thread
+  // pool has been joined, so no spans are in flight.
+  if (traceOut) {
+    if (!obs::writeChromeTrace(*traceOut)) {
+      std::fprintf(stderr, "cannot write %s\n", traceOut->c_str());
+      return kExitUsage;
+    }
+    std::printf("wrote %s (%zu trace events)\n", traceOut->c_str(),
+                obs::traceEventCount());
+  }
+  if (reportOut) {
+    obs::RunProvenance provenance;
+    provenance.design = design->name;
+    provenance.numCells = design->numCells();
+    provenance.preset = presetName;
+    provenance.threads = config.mgl.numThreads;
+    provenance.guardEnabled = config.guard.enabled;
+    provenance.configText = configToText(config);
+    if (!obs::writeRunReport(*reportOut, provenance, stats, &score,
+                             /*includeMetrics=*/true)) {
+      std::fprintf(stderr, "cannot write %s\n", reportOut->c_str());
+      return kExitUsage;
+    }
+    std::printf("wrote %s\n", reportOut->c_str());
+  }
 
   if (const auto outPath = args.get("--out")) {
     if (!saveDesign(*design, *outPath)) {
@@ -476,6 +529,7 @@ int main(int argc, char** argv) {
     return kExitLegal;
   }
   const Args args(argc, argv);
+  if (args.has("--log-json")) mclg::setLogFormat(mclg::LogFormat::Json);
   try {
     if (command == "generate") return cmdGenerate(args);
     if (command == "legalize") return cmdLegalize(args);
