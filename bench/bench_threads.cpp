@@ -29,6 +29,7 @@ int main() {
 
   const GenSpec spec = iccad17Suite(scale)[4].spec;  // des_perf_b_md2 style
   Table table({"threads", "seconds", "speedup", "avgDisp", "identical"});
+  std::vector<std::pair<std::string, double>> values;
   double baseSeconds = 0.0;
   // Determinism is claimed within the scheduler (threads >= 2, fixed batch
   // capacity); the sequential path visits cells in a different order, so it
@@ -69,9 +70,14 @@ int main() {
                   Table::fmt(seconds, 2), Table::fmt(baseSeconds / seconds, 2),
                   Table::fmt(disp.average, 3),
                   threads == 1 ? "n/a" : (identical ? "yes" : "NO")});
+    const std::string p = "t" + std::to_string(threads) + ".";
+    values.emplace_back(p + "seconds", seconds);
+    values.emplace_back(p + "avg_disp", disp.average);
+    if (threads > 1) values.emplace_back(p + "identical", identical ? 1 : 0);
   }
   std::printf("%s", table.toString().c_str());
   std::printf("note: threads=1 runs the sequential path; >=2 runs the "
               "batch scheduler, so compare speedups within the >=2 rows\n");
+  bench::maybeWriteBenchReport("bench_threads", values);
   return 0;
 }

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the mclg bench harness.
+
+Two subcommands:
+
+  merge <report-dir> -o BENCH_PR3.json [--baseline BASELINE.json]
+      Collect the per-bench JSON reports that the bench binaries wrote into
+      <report-dir> (bench_scaling.json / bench_threads.json via
+      MCLG_BENCH_REPORT, bench_micro.json via --benchmark_out) into one
+      perf-suite document. When --baseline is given, per-key speedups are
+      computed and embedded.
+
+  compare <current.json> <baseline.json> [options]
+      Gate the current suite against a baseline suite:
+        * placement hashes and Eq. 10 scores of the bench_scaling thread
+          sweep must match the baseline exactly (quality-neutrality);
+        * bench_threads determinism flags must all be 1;
+        * timing keys must not regress beyond --tolerance (default 0.15);
+        * --require KEY>=RATIO asserts a minimum speedup (baseline/current)
+          for a timing key, e.g. --require t1.mgl_seconds>=1.5.
+      Exits 0 when every gate passes, 1 otherwise.
+
+Both documents use the run-report envelope (docs/OBSERVABILITY.md); this
+reader accepts schema_version 1 and 2.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ACCEPTED_SCHEMAS = (1, 2)
+
+# Keys treated as timings (gated on regression / speedup); everything else in
+# the bench_scaling values block is an identity key (must match exactly).
+TIMING_SUFFIXES = ("_seconds",)
+IDENTITY_SUFFIXES = ("hash_lo", "hash_hi", "score")
+
+
+def load_envelope(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema_version")
+    if schema not in ACCEPTED_SCHEMAS:
+        raise SystemExit(
+            f"{path}: unsupported schema_version {schema!r} "
+            f"(accepted: {ACCEPTED_SCHEMAS})")
+    return doc
+
+
+def load_micro(path):
+    """Google-benchmark JSON -> {name: real_time in ns}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        out[bench["name"]] = bench["real_time"] * scale
+    return out
+
+
+def cmd_merge(args):
+    suite = {
+        "schema_version": 2,
+        "kind": "perf_suite",
+        "generated_by": "scripts/perf_regression.sh",
+        "benches": {},
+    }
+    for name in ("bench_scaling", "bench_threads"):
+        path = os.path.join(args.report_dir, name + ".json")
+        if not os.path.exists(path):
+            print(f"merge: missing {path}", file=sys.stderr)
+            return 1
+        doc = load_envelope(path)
+        suite["benches"][name] = doc.get("values", {})
+    micro_path = os.path.join(args.report_dir, "bench_micro.json")
+    if os.path.exists(micro_path):
+        suite["benches"]["bench_micro"] = load_micro(micro_path)
+    else:
+        print(f"merge: note: no {micro_path}, micro block omitted",
+              file=sys.stderr)
+
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            base = json.load(fh)
+        speedups = {}
+        for bench, values in suite["benches"].items():
+            base_values = base.get("benches", {}).get(bench, {})
+            for key, value in values.items():
+                if not is_timing(key):
+                    continue
+                ref = base_values.get(key)
+                if ref and value > 0:
+                    speedups[f"{bench}.{key}"] = round(ref / value, 4)
+        suite["speedup_vs_baseline"] = speedups
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(suite, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"merge: wrote {args.output}")
+    return 0
+
+
+def is_timing(key):
+    return key.endswith(TIMING_SUFFIXES) or key.startswith("BM_")
+
+
+def is_identity(key):
+    return key.endswith(IDENTITY_SUFFIXES)
+
+
+def cmd_compare(args):
+    cur = json.load(open(args.current, encoding="utf-8"))
+    base = json.load(open(args.baseline, encoding="utf-8"))
+    failures = []
+    checked_identity = 0
+    for bench, values in base.get("benches", {}).items():
+        cur_values = cur.get("benches", {}).get(bench, {})
+        for key, ref in values.items():
+            val = cur_values.get(key)
+            if val is None:
+                failures.append(f"{bench}.{key}: missing from current suite")
+                continue
+            if is_identity(key):
+                if val != ref:
+                    failures.append(
+                        f"{bench}.{key}: {val} != baseline {ref} "
+                        f"(placements/quality must be identical)")
+                checked_identity += 1
+            elif key.endswith(".identical"):
+                if val != 1:
+                    failures.append(f"{bench}.{key}: thread-determinism broken")
+            elif is_timing(key) and ref > 0:
+                if val > ref * (1.0 + args.tolerance):
+                    failures.append(
+                        f"{bench}.{key}: {val:.4g} regressed past baseline "
+                        f"{ref:.4g} * (1 + {args.tolerance})")
+
+    for requirement in args.require or []:
+        key, _, ratio_text = requirement.partition(">=")
+        ratio = float(ratio_text)
+        bench, _, sub = key.partition(".")
+        ref = base.get("benches", {}).get(bench, {}).get(sub)
+        val = cur.get("benches", {}).get(bench, {}).get(sub)
+        if ref is None or val is None or val <= 0:
+            failures.append(f"require {requirement}: key not present")
+        elif ref / val < ratio:
+            failures.append(
+                f"require {requirement}: speedup {ref / val:.3f} < {ratio}")
+        else:
+            print(f"require {requirement}: ok (speedup {ref / val:.3f})")
+
+    if failures:
+        for failure in failures:
+            print(f"perf gate FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate OK ({checked_identity} identity keys, "
+          f"tolerance {args.tolerance})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    merge = sub.add_parser("merge")
+    merge.add_argument("report_dir")
+    merge.add_argument("-o", "--output", required=True)
+    merge.add_argument("--baseline")
+    merge.set_defaults(func=cmd_merge)
+    compare = sub.add_parser("compare")
+    compare.add_argument("current")
+    compare.add_argument("baseline")
+    compare.add_argument("--tolerance", type=float, default=0.15)
+    compare.add_argument("--require", action="append",
+                         help="KEY>=RATIO minimum speedup, repeatable")
+    compare.set_defaults(func=cmd_compare)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-regression harness (docs/PERFORMANCE.md).
+#
+# Builds the no-tracing bench preset, runs bench_scaling / bench_threads /
+# bench_micro with machine-readable reports, merges them into BENCH_PR3.json
+# at the repo root, and gates against the committed baseline.
+#
+#   scripts/perf_regression.sh              # run + merge + compare
+#   scripts/perf_regression.sh --baseline   # additionally refresh
+#                                           # bench/BENCH_BASELINE.json
+#
+# Tunables: MCLG_BENCH_SCALE (default 1.0), MCLG_BENCH_REPS (default 3),
+# MCLG_PERF_REQUIRE (extra --require gates for the compare step).
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="$ROOT/build-notrace"
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+cmake --preset bench >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" \
+  --target bench_scaling bench_threads bench_micro >/dev/null
+
+echo "== bench_scaling =="
+MCLG_BENCH_REPORT="$OUT" "$BUILD/bench/bench_scaling"
+echo "== bench_threads =="
+MCLG_BENCH_REPORT="$OUT" "$BUILD/bench/bench_threads"
+echo "== bench_micro =="
+"$BUILD/bench/bench_micro" \
+  --benchmark_filter='BM_(MglLegalize|FixedRowOrder|NetworkSimplex|CurveSumMinimize|SparseAssignment)' \
+  --benchmark_format=console \
+  --benchmark_out_format=json --benchmark_out="$OUT/bench_micro.json"
+
+python3 "$ROOT/scripts/perf_gate.py" merge "$OUT" \
+  -o "$ROOT/BENCH_PR3.json" --baseline "$ROOT/bench/BENCH_BASELINE.json"
+
+if [[ "${1:-}" == "--baseline" ]]; then
+  cp "$ROOT/BENCH_PR3.json" "$ROOT/bench/BENCH_BASELINE.json"
+  echo "baseline refreshed: bench/BENCH_BASELINE.json"
+  exit 0
+fi
+
+# shellcheck disable=SC2086
+python3 "$ROOT/scripts/perf_gate.py" compare \
+  "$ROOT/BENCH_PR3.json" "$ROOT/bench/BENCH_BASELINE.json" \
+  ${MCLG_PERF_REQUIRE:-}

@@ -73,4 +73,20 @@ double hpwlIncreaseRatio(const Design& design) {
   return (after - before) / before;
 }
 
+std::uint64_t placementHash(const Design& design) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  for (const auto& cell : design.cells) {
+    mix(cell.placed ? 1 : 0);
+    mix(static_cast<std::uint64_t>(cell.x));
+    mix(static_cast<std::uint64_t>(cell.y));
+  }
+  return h;
+}
+
 }  // namespace mclg

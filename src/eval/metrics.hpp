@@ -27,4 +27,9 @@ double hpwl(const Design& design, bool useGp);
 /// (the S_hpwl term of Eq. 10); 0 when the design has no nets.
 double hpwlIncreaseRatio(const Design& design);
 
+/// FNV-1a hash of every cell's (placed, x, y) in cell-id order. Two designs
+/// hash equal iff their placements are byte-identical, which is how the
+/// perf-regression harness proves optimizations are quality-neutral.
+std::uint64_t placementHash(const Design& design);
+
 }  // namespace mclg

@@ -7,7 +7,10 @@ namespace mclg {
 std::optional<std::vector<int>> solveAssignment(
     int numLeft, int numRight, const std::vector<AssignmentEdge>& edges) {
   MCLG_ASSERT(numLeft <= numRight, "assignment needs numLeft <= numRight");
-  McfProblem problem;
+  // The matching stage solves one problem per chunk; rebuilding into a
+  // retained problem keeps the arc vector's capacity across chunks.
+  thread_local McfProblem problem;
+  problem.clear();
   const int source = problem.addNode();
   const int sink = problem.addNode();
   const int leftBase = problem.addNodes(numLeft);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 namespace mclg {
@@ -51,6 +52,13 @@ class McfProblem {
 
   void addSupply(int node, FlowValue s) { supply_[node] += s; }
 
+  /// Drop all nodes, arcs, and supplies but keep the allocated capacity —
+  /// for callers that build many problems of similar size in a loop.
+  void clear() {
+    arcs_.clear();
+    supply_.clear();
+  }
+
   int numNodes() const { return static_cast<int>(supply_.size()); }
   int numArcs() const { return static_cast<int>(arcs_.size()); }
   const Arc& arc(int a) const { return arcs_[a]; }
@@ -79,9 +87,57 @@ struct McfSolution {
 };
 
 /// Network simplex with the first-eligible (round-robin) pivot rule.
+///
+/// The static entry point keeps one solver instance per thread, so repeated
+/// solves (the per-chunk matchings of §3.2, the per-component duals of §3.3)
+/// reuse the internal arenas instead of reallocating them per problem.
 class NetworkSimplex {
  public:
   static McfSolution solve(const McfProblem& problem);
+};
+
+/// A network simplex instance whose working arrays persist across solves.
+///
+/// `solve` is a cold solve from the artificial-root basis — bit-identical to
+/// `NetworkSimplex::solve` (same pivot sequence, same optimal vertex), just
+/// without the per-call allocations.
+///
+/// `solveWarm` restarts from the basis retained by the previous successful
+/// solve on this instance. It requires the identical network topology
+/// (node/arc counts, per-arc endpoints and capacities) and supplies; only
+/// arc costs may differ. The retained tree/flow basis stays primal feasible
+/// and strongly feasible under a pure cost change, so only the potentials
+/// are recomputed (from the tree) before pivoting resumes. When validation
+/// fails, no basis is retained, or the warm pivot count exceeds a safety
+/// bound, it falls back to a cold solve.
+///
+/// A warm solve reaches the same optimal objective but possibly a different
+/// optimal vertex than a cold solve, so the legalization pipeline (which
+/// promises bit-identical output at any thread count) uses cold solves; warm
+/// starts are for iterated re-solves with perturbed costs (ablation sweeps,
+/// parameter search).
+class NetworkSimplexSolver {
+ public:
+  NetworkSimplexSolver();
+  ~NetworkSimplexSolver();
+  NetworkSimplexSolver(NetworkSimplexSolver&&) noexcept;
+  NetworkSimplexSolver& operator=(NetworkSimplexSolver&&) noexcept;
+
+  McfSolution solve(const McfProblem& problem);
+  McfSolution solveWarm(const McfProblem& problem);
+
+  struct Stats {
+    long long coldSolves = 0;
+    long long coldPivots = 0;
+    long long warmSolves = 0;    // warm solves that used the retained basis
+    long long warmPivots = 0;
+    long long warmRejected = 0;  // fell back cold (validation / pivot bound)
+  };
+  const Stats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Successive shortest paths with Dijkstra + node potentials. Negative-cost

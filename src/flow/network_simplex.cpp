@@ -12,6 +12,14 @@
 // The spanning tree is stored as parent/pred-arc plus first-child/
 // next-sibling lists; a pivot re-roots and re-potentials only the subtree
 // that moves, so the per-pivot cost is proportional to that subtree.
+//
+// The solver lives in NetworkSimplexSolver::Impl so its ~15 working arrays
+// survive between solves; the legalizer solves hundreds of small problems
+// back to back and the per-solve allocations used to dominate. The retained
+// state doubles as the warm-start basis: after a successful solve the
+// spanning tree, flows, and arc states describe an optimal strongly feasible
+// basis, which stays primal feasible for any re-solve that changes only the
+// arc costs (see solveWarm).
 
 #include <algorithm>
 #include <cmath>
@@ -47,38 +55,62 @@ constexpr int kStateTree = 0;
 constexpr int kStateLower = 1;
 constexpr int kStateUpper = -1;
 
-class Simplex {
- public:
-  explicit Simplex(const McfProblem& problem) : p_(problem) {}
+}  // namespace
 
-  McfSolution run() {
-    build();
-    McfSolution sol;
-    const McfStatus status = optimize();
-    sol.status = status;
-    if (status != McfStatus::Optimal) return sol;
-    sol.flow.assign(flow_.begin(), flow_.begin() + p_.numArcs());
-    sol.potential.assign(pi_.begin(), pi_.begin() + p_.numNodes());
-    sol.totalCost = McfSolution::costOf(p_, sol.flow);
-    return sol;
+struct NetworkSimplexSolver::Impl {
+  enum class PivotResult { Optimal, Unbounded, LimitExceeded };
+
+  McfSolution runCold(const McfProblem& p) {
+    build(p);
+    long long pivots = 0;
+    const PivotResult r = pivotLoop(-1, &pivots);
+    ++stats_.coldSolves;
+    stats_.coldPivots += pivots;
+    flushCounters(pivots, /*warm=*/false);
+    return extract(p, r);
   }
 
- private:
-  void build() {
-    n_ = p_.numNodes();
-    m_ = p_.numArcs();
+  McfSolution runWarm(const McfProblem& p) {
+    if (!warmApplicable(p)) {
+      ++stats_.warmRejected;
+      if (obs::metricsEnabled()) obs::counter("mcf.simplex.warm.rejected").add();
+      return runCold(p);
+    }
+    rewarm(p);
+    // Safety bound: a warm basis near the new optimum needs few pivots. A
+    // pathological cost change can make resuming slower than restarting, so
+    // past this bound we abandon the basis and solve cold.
+    const long long limit = 2LL * (m_ + n_) + 64;
+    long long pivots = 0;
+    const PivotResult r = pivotLoop(limit, &pivots);
+    if (r == PivotResult::LimitExceeded) {
+      ++stats_.warmRejected;
+      if (obs::metricsEnabled()) obs::counter("mcf.simplex.warm.rejected").add();
+      return runCold(p);
+    }
+    ++stats_.warmSolves;
+    stats_.warmPivots += pivots;
+    flushCounters(pivots, /*warm=*/true);
+    return extract(p, r);
+  }
+
+  // --- setup ---------------------------------------------------------------
+
+  void build(const McfProblem& p) {
+    n_ = p.numNodes();
+    m_ = p.numArcs();
     root_ = n_;
     const int allArcs = m_ + n_;
-    src_.resize(allArcs);
-    dst_.resize(allArcs);
-    cap_.resize(allArcs);
-    cost_.resize(allArcs);
-    flow_.assign(allArcs, 0);
-    state_.assign(allArcs, kStateLower);
+    src_.resize(static_cast<std::size_t>(allArcs));
+    dst_.resize(static_cast<std::size_t>(allArcs));
+    cap_.resize(static_cast<std::size_t>(allArcs));
+    cost_.resize(static_cast<std::size_t>(allArcs));
+    flow_.assign(static_cast<std::size_t>(allArcs), 0);
+    state_.assign(static_cast<std::size_t>(allArcs), kStateLower);
 
     CostValue maxCost = 1;
     for (int a = 0; a < m_; ++a) {
-      const auto& arc = p_.arc(a);
+      const auto& arc = p.arc(a);
       src_[a] = arc.src;
       dst_[a] = arc.dst;
       cap_[a] = arc.cap;
@@ -88,17 +120,17 @@ class Simplex {
     // Big-M cost for artificial arcs: larger than any simple-path cost.
     artCost_ = (maxCost + 1) * static_cast<CostValue>(n_ + 1);
 
-    parent_.assign(n_ + 1, root_);
-    predArc_.assign(n_ + 1, -1);
-    firstChild_.assign(n_ + 1, -1);
-    nextSibling_.assign(n_ + 1, -1);
-    prevSibling_.assign(n_ + 1, -1);
-    pi_.assign(n_ + 1, 0);
+    parent_.assign(static_cast<std::size_t>(n_) + 1, root_);
+    predArc_.assign(static_cast<std::size_t>(n_) + 1, -1);
+    firstChild_.assign(static_cast<std::size_t>(n_) + 1, -1);
+    nextSibling_.assign(static_cast<std::size_t>(n_) + 1, -1);
+    prevSibling_.assign(static_cast<std::size_t>(n_) + 1, -1);
+    pi_.assign(static_cast<std::size_t>(n_) + 1, 0);
     parent_[root_] = -1;
 
     for (int v = 0; v < n_; ++v) {
       const int a = m_ + v;
-      const FlowValue b = p_.supply(v);
+      const FlowValue b = p.supply(v);
       if (b >= 0) {
         src_[a] = v;
         dst_[a] = root_;
@@ -116,8 +148,70 @@ class Simplex {
       predArc_[v] = a;
       attachChild(root_, v);
     }
+    // succNum is only needed for LCA; pivots maintain it incrementally.
+    succNum_.assign(static_cast<std::size_t>(n_) + 1, 1);
+    succNum_[root_] = n_ + 1;
     nextScan_ = 0;
   }
+
+  /// A retained basis stays valid for a new problem iff the network is the
+  /// same graph with the same capacities and supplies (primal feasibility of
+  /// the old flow depends on exactly those; costs are free to change).
+  bool warmApplicable(const McfProblem& p) const {
+    if (!hasBasis_) return false;
+    if (p.numNodes() != n_ || p.numArcs() != m_) return false;
+    for (int a = 0; a < m_; ++a) {
+      const auto& arc = p.arc(a);
+      if (arc.src != src_[a] || arc.dst != dst_[a] || arc.cap != cap_[a]) {
+        return false;
+      }
+    }
+    for (int v = 0; v < n_; ++v) {
+      if (p.supply(v) != supplySnap_[static_cast<std::size_t>(v)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Load the new costs onto the retained basis and make the basis dual
+  /// consistent again: potentials are recomputed from the tree so every tree
+  /// arc has zero reduced cost, and subtree sizes are rebuilt (O(n)). Flows,
+  /// arc states, and the tree itself are untouched — they are exactly the
+  /// previous optimal basis, which is still primal and strongly feasible.
+  void rewarm(const McfProblem& p) {
+    CostValue maxCost = 1;
+    for (int a = 0; a < m_; ++a) {
+      cost_[a] = p.arc(a).cost;
+      maxCost = std::max<CostValue>(maxCost, std::llabs(cost_[a]));
+    }
+    artCost_ = (maxCost + 1) * static_cast<CostValue>(n_ + 1);
+    for (int v = 0; v < n_; ++v) cost_[m_ + v] = artCost_;
+
+    // Pre-order over the retained tree: child potentials follow from the
+    // parent through the (zero-reduced-cost) tree arc.
+    path_.clear();
+    stack_.clear();
+    stack_.push_back(root_);
+    pi_[root_] = 0;
+    while (!stack_.empty()) {
+      const int w = stack_.back();
+      stack_.pop_back();
+      path_.push_back(w);
+      for (int c = firstChild_[w]; c != -1; c = nextSibling_[c]) {
+        const int a = predArc_[c];
+        pi_[c] = src_[a] == c ? pi_[w] - cost_[a] : pi_[w] + cost_[a];
+        stack_.push_back(c);
+      }
+    }
+    succNum_.assign(static_cast<std::size_t>(n_) + 1, 1);
+    for (std::size_t i = path_.size(); i-- > 1;) {
+      succNum_[parent_[path_[i]]] += succNum_[path_[i]];
+    }
+    nextScan_ = 0;
+  }
+
+  // --- simplex core --------------------------------------------------------
 
   void attachChild(int parent, int child) {
     parent_[child] = parent;
@@ -153,12 +247,19 @@ class Simplex {
   }
 
   /// First-eligible pivot rule: resume the scan where the last one stopped.
+  /// Two plain ranges instead of one modulo walk — this scan is the solver's
+  /// innermost loop and the per-arc division was measurable.
   int findEnteringArc() {
     const int allArcs = m_ + n_;
-    for (int step = 0; step < allArcs; ++step) {
-      const int a = (nextScan_ + step) % allArcs;
+    for (int a = nextScan_; a < allArcs; ++a) {
       if (eligible(a)) {
-        nextScan_ = (a + 1) % allArcs;
+        nextScan_ = a + 1 == allArcs ? 0 : a + 1;
+        return a;
+      }
+    }
+    for (int a = 0; a < nextScan_; ++a) {
+      if (eligible(a)) {
+        nextScan_ = a + 1;
         return a;
       }
     }
@@ -168,93 +269,100 @@ class Simplex {
   /// true iff arc predArc_[u] points from u to its parent.
   bool forward(int u) const { return src_[predArc_[u]] == u; }
 
-  int findJoin(int u, int v) const {
-    // Subtree sizes strictly increase toward the root, so repeatedly lifting
-    // the smaller-subtree endpoint converges to the lowest common ancestor.
+  /// One tree-path step of the pivot cycle, recorded while climbing to the
+  /// lowest common ancestor so the leaving-arc search and the augmentation
+  /// can replay the paths from flat arrays instead of re-chasing parent
+  /// pointers (the walks are the pivot's cache-miss hotspot).
+  struct CycleStep {
+    int arc;
+    int node;  // the child endpoint of `arc` (the walked-from node)
+    bool fwd;  // src_[arc] == node
+  };
+
+  /// Climb both endpoints to their LCA, recording each side's path bottom-up.
+  /// Subtree sizes strictly increase toward the root, so repeatedly lifting
+  /// the smaller-subtree endpoint converges to the lowest common ancestor.
+  int findJoin(int u, int v) {
+    pathU_.clear();
+    pathV_.clear();
     while (u != v) {
-      if (subtreeSize(u) < subtreeSize(v)) {
+      if (succNum_[u] < succNum_[v]) {
+        const int a = predArc_[u];
+        pathU_.push_back({a, u, src_[a] == u});
         u = parent_[u];
       } else {
+        const int a = predArc_[v];
+        pathV_.push_back({a, v, src_[a] == v});
         v = parent_[v];
       }
     }
     return u;
   }
 
-  int subtreeSize(int u) const { return succNum_[u]; }
-
-  void recomputeSubtreeSizes() {
-    // succNum is only needed for LCA; maintain it incrementally in pivots.
-    succNum_.assign(n_ + 1, 1);
-    // initial tree: all nodes children of root
-    succNum_[root_] = n_ + 1;
-  }
-
-  McfStatus optimize() {
-    recomputeSubtreeSizes();
-    // Pivots are counted locally and flushed once per solve, keeping the
-    // inner loop free of atomics.
+  PivotResult pivotLoop(long long pivotLimit, long long* pivotsOut) {
     long long pivots = 0;
-    McfStatus status = McfStatus::Optimal;
+    PivotResult result = PivotResult::Optimal;
     for (;;) {
       const int inArc = findEnteringArc();
       if (inArc < 0) break;
+      if (pivotLimit >= 0 && pivots >= pivotLimit) {
+        result = PivotResult::LimitExceeded;
+        break;
+      }
       ++pivots;
       if (!pivot(inArc)) {
-        status = McfStatus::Unbounded;
+        result = PivotResult::Unbounded;
         break;
       }
     }
-    if (status == McfStatus::Optimal) {
-      for (int v = 0; v < n_; ++v) {
-        if (flow_[m_ + v] != 0) {
-          status = McfStatus::Infeasible;
-          break;
-        }
-      }
-    }
-    if (obs::metricsEnabled()) {
-      obs::counter("mcf.simplex.solves").add();
-      obs::counter("mcf.simplex.pivots").add(pivots);
-    }
-    return status;
+    *pivotsOut = pivots;
+    return result;
   }
 
   /// Returns false iff the pivot reveals an uncapacitated negative cycle.
   bool pivot(int inArc) {
     const int u = src_[inArc];
     const int v = dst_[inArc];
-    const int first = state_[inArc] == kStateLower ? u : v;
-    const int second = state_[inArc] == kStateLower ? v : u;
-    const int join = findJoin(u, v);
+    const bool lower = state_[inArc] == kStateLower;
+    const int first = lower ? u : v;
+    const int second = lower ? v : u;
+    findJoin(u, v);
+    // pathU_/pathV_ now hold the cycle's two tree paths bottom-up; the
+    // "first" path (strict '<' in the leaving rule) starts at the entering
+    // arc's tail when it enters from its lower bound, at its head otherwise.
+    const auto& firstPath = lower ? pathU_ : pathV_;
+    const auto& secondPath = lower ? pathV_ : pathU_;
 
     // --- find leaving arc (strongly feasible rule) ---
     FlowValue delta =
         cap_[inArc] >= kInfiniteCap ? kInfiniteCap : cap_[inArc];
     int result = 0;  // 0: bound flip, 1: leave on first path, 2: second path
     int uOut = -1;
-    for (int w = first; w != join; w = parent_[w]) {
-      const int a = predArc_[w];
+    std::size_t uOutIdx = 0;
+    for (std::size_t i = 0; i < firstPath.size(); ++i) {
+      const CycleStep& s = firstPath[i];
       const FlowValue d =
-          forward(w) ? flow_[a]
-                     : (cap_[a] >= kInfiniteCap ? kInfiniteCap
-                                                : cap_[a] - flow_[a]);
+          s.fwd ? flow_[s.arc]
+                : (cap_[s.arc] >= kInfiniteCap ? kInfiniteCap
+                                               : cap_[s.arc] - flow_[s.arc]);
       if (d < delta) {
         delta = d;
         result = 1;
-        uOut = w;
+        uOut = s.node;
+        uOutIdx = i;
       }
     }
-    for (int w = second; w != join; w = parent_[w]) {
-      const int a = predArc_[w];
+    for (std::size_t i = 0; i < secondPath.size(); ++i) {
+      const CycleStep& s = secondPath[i];
       const FlowValue d =
-          forward(w) ? (cap_[a] >= kInfiniteCap ? kInfiniteCap
-                                                : cap_[a] - flow_[a])
-                     : flow_[a];
+          s.fwd ? (cap_[s.arc] >= kInfiniteCap ? kInfiniteCap
+                                               : cap_[s.arc] - flow_[s.arc])
+                : flow_[s.arc];
       if (d <= delta) {
         delta = d;
         result = 2;
-        uOut = w;
+        uOut = s.node;
+        uOutIdx = i;
       }
     }
     if (delta >= kInfiniteCap) return false;  // unbounded
@@ -263,11 +371,11 @@ class Simplex {
     if (delta > 0) {
       const FlowValue val = static_cast<FlowValue>(state_[inArc]) * delta;
       flow_[inArc] += val;
-      for (int w = src_[inArc]; w != join; w = parent_[w]) {
-        flow_[predArc_[w]] += forward(w) ? -val : val;
+      for (const CycleStep& s : pathU_) {
+        flow_[s.arc] += s.fwd ? -val : val;
       }
-      for (int w = dst_[inArc]; w != join; w = parent_[w]) {
-        flow_[predArc_[w]] += forward(w) ? val : -val;
+      for (const CycleStep& s : pathV_) {
+        flow_[s.arc] += s.fwd ? val : -val;
       }
     }
 
@@ -288,10 +396,19 @@ class Simplex {
     const int newRoot = result == 1 ? first : second;
     const int newParent = result == 1 ? second : first;
 
-    // Update subtree sizes along the old path uOut..root before surgery.
+    // Update subtree sizes. T2 moves from under uOut's old parent to under
+    // newParent; both ancestor chains pass through the join, and above it
+    // the -movedSize / +movedSize walks cancel exactly, so only the two
+    // disjoint below-join segments change — and those are sub-ranges of the
+    // recorded cycle paths (no parent-pointer walks to the root).
     const int movedSize = succNum_[uOut];
-    for (int w = parent_[uOut]; w != -1; w = parent_[w]) {
-      succNum_[w] -= movedSize;
+    const auto& outPath = result == 1 ? firstPath : secondPath;
+    const auto& inPath = result == 1 ? secondPath : firstPath;
+    for (std::size_t i = uOutIdx + 1; i < outPath.size(); ++i) {
+      succNum_[outPath[i].node] -= movedSize;
+    }
+    for (const CycleStep& s : inPath) {
+      succNum_[s.node] += movedSize;
     }
     detachChild(uOut);
 
@@ -303,9 +420,6 @@ class Simplex {
     attachChild(newParent, newRoot);
     predArc_[newRoot] = inArc;
     state_[inArc] = kStateTree;
-    for (int w = newParent; w != -1; w = parent_[w]) {
-      succNum_[w] += movedSize;
-    }
 
     // Update potentials of all nodes in T2 so the entering arc's reduced
     // cost becomes zero (sigma computed with the *old* potentials).
@@ -372,7 +486,41 @@ class Simplex {
     }
   }
 
-  const McfProblem& p_;
+  // --- result extraction ---------------------------------------------------
+
+  McfSolution extract(const McfProblem& p, PivotResult r) {
+    McfSolution sol;
+    McfStatus status = McfStatus::Optimal;
+    if (r == PivotResult::Unbounded) {
+      status = McfStatus::Unbounded;
+    } else {
+      for (int v = 0; v < n_; ++v) {
+        if (flow_[m_ + v] != 0) {
+          status = McfStatus::Infeasible;
+          break;
+        }
+      }
+    }
+    sol.status = status;
+    hasBasis_ = status == McfStatus::Optimal;
+    if (status != McfStatus::Optimal) return sol;
+    supplySnap_.assign(p.supplies().begin(), p.supplies().end());
+    sol.flow.assign(flow_.begin(), flow_.begin() + m_);
+    sol.potential.assign(pi_.begin(), pi_.begin() + n_);
+    sol.totalCost = McfSolution::costOf(p, sol.flow);
+    return sol;
+  }
+
+  void flushCounters(long long pivots, bool warm) {
+    if (!obs::metricsEnabled()) return;
+    obs::counter("mcf.simplex.solves").add();
+    obs::counter("mcf.simplex.pivots").add(pivots);
+    if (warm) {
+      obs::counter("mcf.simplex.warm.solves").add();
+      obs::counter("mcf.simplex.warm.pivots").add(pivots);
+    }
+  }
+
   int n_ = 0, m_ = 0, root_ = 0;
   CostValue artCost_ = 0;
   std::vector<int> src_, dst_;
@@ -384,21 +532,58 @@ class Simplex {
   std::vector<int> succNum_;
   std::vector<int> path_, stack_;
   std::vector<int> oldSizes_;
+  std::vector<CycleStep> pathU_, pathV_;
   int nextScan_ = 0;
+  bool hasBasis_ = false;
+  std::vector<FlowValue> supplySnap_;
+  NetworkSimplexSolver::Stats stats_;
 };
+
+NetworkSimplexSolver::NetworkSimplexSolver() : impl_(new Impl) {}
+NetworkSimplexSolver::~NetworkSimplexSolver() = default;
+NetworkSimplexSolver::NetworkSimplexSolver(NetworkSimplexSolver&&) noexcept =
+    default;
+NetworkSimplexSolver& NetworkSimplexSolver::operator=(
+    NetworkSimplexSolver&&) noexcept = default;
+
+namespace {
+
+bool suppliesBalanced(const McfProblem& problem) {
+  FlowValue total = 0;
+  for (int v = 0; v < problem.numNodes(); ++v) total += problem.supply(v);
+  return total == 0;
+}
 
 }  // namespace
 
-McfSolution NetworkSimplex::solve(const McfProblem& problem) {
-  FlowValue total = 0;
-  for (int v = 0; v < problem.numNodes(); ++v) total += problem.supply(v);
-  if (total != 0) {
+McfSolution NetworkSimplexSolver::solve(const McfProblem& problem) {
+  if (!suppliesBalanced(problem)) {
     McfSolution sol;
     sol.status = McfStatus::Infeasible;
     return sol;
   }
-  Simplex simplex(problem);
-  return simplex.run();
+  return impl_->runCold(problem);
+}
+
+McfSolution NetworkSimplexSolver::solveWarm(const McfProblem& problem) {
+  if (!suppliesBalanced(problem)) {
+    McfSolution sol;
+    sol.status = McfStatus::Infeasible;
+    return sol;
+  }
+  return impl_->runWarm(problem);
+}
+
+const NetworkSimplexSolver::Stats& NetworkSimplexSolver::stats() const {
+  return impl_->stats_;
+}
+
+McfSolution NetworkSimplex::solve(const McfProblem& problem) {
+  // One retained solver per thread: cold solves are pure functions of the
+  // problem, so reuse is invisible to callers — including the thread pools
+  // that solve independent subproblems concurrently.
+  thread_local NetworkSimplexSolver solver;
+  return solver.solve(problem);
 }
 
 bool verifyMcfOptimality(const McfProblem& problem, const McfSolution& sol) {

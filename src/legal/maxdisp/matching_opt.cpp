@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "flow/bipartite_matching.hpp"
@@ -34,11 +35,27 @@ double dispAt(const Design& design, CellId cell, const Position& p) {
 
 /// Compute the optimal permutation moves for one group of same-type,
 /// same-fence cells (read-only; application happens serially).
+/// Per-thread buffers reused across chunks: the stage solves dozens to
+/// hundreds of assignment problems back to back and the per-chunk container
+/// churn was a measurable share of its runtime. Every field is fully
+/// rebuilt per chunk, so reuse cannot leak state between chunks.
+struct GroupScratch {
+  std::vector<Position> positions;
+  std::vector<CostValue> denseCost;
+  std::vector<double> posX, posY;  // position coords, flat doubles
+  std::vector<int> orderX;         // position indices sorted by (x, index)
+  std::vector<double> sortedX;     // posX permuted by orderX
+  std::vector<std::pair<double, int>> ranked;
+  std::vector<AssignmentEdge> edges;
+};
+
 std::vector<std::pair<CellId, Position>> computeGroupMoves(
     const Design& design, const MaxDispConfig& config,
     const std::vector<CellId>& group) {
+  thread_local GroupScratch scratch;
   const int n = static_cast<int>(group.size());
-  std::vector<Position> positions;
+  auto& positions = scratch.positions;
+  positions.clear();
   positions.reserve(group.size());
   for (const CellId c : group) {
     positions.push_back({design.cells[c].x, design.cells[c].y});
@@ -55,7 +72,8 @@ std::vector<std::pair<CellId, Position>> computeGroupMoves(
 
   // Small groups: exact dense Hungarian over the full matrix.
   if (n <= config.denseSolverThreshold) {
-    std::vector<CostValue> cost(static_cast<std::size_t>(n) * n);
+    auto& cost = scratch.denseCost;
+    cost.assign(static_cast<std::size_t>(n) * n, 0);
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         cost[static_cast<std::size_t>(i) * n + j] = phiOf(i, j);
@@ -74,27 +92,96 @@ std::vector<std::pair<CellId, Position>> computeGroupMoves(
 
   // Sparse candidate edges: own position (guarantees a perfect matching
   // exists) plus the nearest K positions per cell.
-  std::vector<AssignmentEdge> edges;
+  auto& edges = scratch.edges;
+  edges.clear();
   edges.reserve(static_cast<std::size_t>(n) *
                 static_cast<std::size_t>(config.candidatesPerCell + 1));
-  std::vector<std::pair<double, int>> ranked(positions.size());
+  // Flat coordinate arrays plus an x-sorted view of the chunk's positions.
+  // The x-term of the displacement alone lower-bounds the full weighted-L1
+  // distance, so expanding outward from a cell's global-placement x lets the
+  // nearest-K search stop as soon as that bound exceeds the current K-th
+  // best — exact, but examining only a small x-neighborhood instead of all
+  // n positions (the stage's former n² hot loop).
+  auto& posX = scratch.posX;
+  auto& posY = scratch.posY;
+  posX.resize(positions.size());
+  posY.resize(positions.size());
+  for (int j = 0; j < n; ++j) {
+    posX[static_cast<std::size_t>(j)] =
+        static_cast<double>(positions[static_cast<std::size_t>(j)].x);
+    posY[static_cast<std::size_t>(j)] =
+        static_cast<double>(positions[static_cast<std::size_t>(j)].y);
+  }
+  auto& orderX = scratch.orderX;
+  orderX.resize(positions.size());
+  for (int j = 0; j < n; ++j) orderX[static_cast<std::size_t>(j)] = j;
+  std::sort(orderX.begin(), orderX.end(), [&](int a, int b) {
+    const double xa = posX[static_cast<std::size_t>(a)];
+    const double xb = posX[static_cast<std::size_t>(b)];
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+  auto& sortedX = scratch.sortedX;
+  sortedX.resize(positions.size());
+  for (int t = 0; t < n; ++t) {
+    sortedX[static_cast<std::size_t>(t)] =
+        posX[static_cast<std::size_t>(orderX[static_cast<std::size_t>(t)])];
+  }
+  auto& ranked = scratch.ranked;
+  const double swf = design.siteWidthFactor;
+  const double kInf = std::numeric_limits<double>::infinity();
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      ranked[static_cast<std::size_t>(j)] = {
-          dispAt(design, group[static_cast<std::size_t>(i)],
-                 positions[static_cast<std::size_t>(j)]),
-          j};
-    }
+    const auto& ci = design.cells[group[static_cast<std::size_t>(i)]];
+    const double gx = ci.gpX;
+    const double gy = ci.gpY;
     const int keep = std::min(n, config.candidatesPerCell);
-    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end());
+    // Bounded insertion selection over (distance, index) pairs: pairs are
+    // all distinct (the index breaks distance ties), so the kept set is
+    // exactly the prefix a partial_sort over all pairs would produce,
+    // regardless of visit order.
+    ranked.clear();
+    auto consider = [&](int t) {
+      const int j = orderX[static_cast<std::size_t>(t)];
+      const double d = swf * std::abs(posX[static_cast<std::size_t>(j)] - gx) +
+                       std::abs(posY[static_cast<std::size_t>(j)] - gy);
+      const std::pair<double, int> e{d, j};
+      if (static_cast<int>(ranked.size()) == keep) {
+        if (!(e < ranked.back())) return;
+        ranked.pop_back();
+      }
+      ranked.insert(std::upper_bound(ranked.begin(), ranked.end(), e), e);
+    };
+    if (keep > 0) {
+      int hi = static_cast<int>(
+          std::lower_bound(sortedX.begin(), sortedX.begin() + n, gx) -
+          sortedX.begin());
+      int lo = hi - 1;
+      while (lo >= 0 || hi < n) {
+        // swf*|x - gx| <= full distance (rounding is monotone and the y-term
+        // is non-negative), so once both frontiers exceed the current K-th
+        // best, no unvisited position can displace a kept pair — even on a
+        // distance tie, since the bound comparison is strict.
+        const double lbLo =
+            lo >= 0 ? swf * (gx - sortedX[static_cast<std::size_t>(lo)]) : kInf;
+        const double lbHi =
+            hi < n ? swf * (sortedX[static_cast<std::size_t>(hi)] - gx) : kInf;
+        if (static_cast<int>(ranked.size()) == keep &&
+            std::min(lbLo, lbHi) > ranked.back().first) {
+          break;
+        }
+        if (lbLo <= lbHi) {
+          consider(lo);
+          --lo;
+        } else {
+          consider(hi);
+          ++hi;
+        }
+      }
+    }
     bool ownIncluded = false;
-    for (int k = 0; k < keep; ++k) {
-      const int j = ranked[static_cast<std::size_t>(k)].second;
+    for (const auto& [d, j] : ranked) {
       if (j == i) ownIncluded = true;
-      const double phi =
-          std::min(config.phiClamp,
-                   phiCost(ranked[static_cast<std::size_t>(k)].first,
-                           config.delta0));
+      const double phi = std::min(config.phiClamp, phiCost(d, config.delta0));
       edges.push_back(
           {i, j, static_cast<CostValue>(std::llround(phi * config.costScale))});
     }

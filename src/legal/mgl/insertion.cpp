@@ -44,6 +44,71 @@ bool InsertionSearcher::isLocal(CellId c, const Rect& window) const {
   return window.containsRect(box);
 }
 
+void InsertionSearcher::beginWindow() {
+  ++windowEpoch_;
+  const auto& design = state_.design();
+  if (rowSnaps_.size() < static_cast<std::size_t>(design.numRows)) {
+    rowSnaps_.resize(static_cast<std::size_t>(design.numRows));
+  }
+  if (cellCurve_.size() < static_cast<std::size_t>(design.numCells())) {
+    cellCurve_.resize(static_cast<std::size_t>(design.numCells()));
+  }
+  dupSkipped_ = 0;
+}
+
+const InsertionSearcher::RowSnap& InsertionSearcher::rowSnap(
+    std::int64_t r, const Rect& window) const {
+  RowSnap& snap = rowSnaps_[static_cast<std::size_t>(r)];
+  if (snap.epoch == windowEpoch_) return snap;
+  snap.epoch = windowEpoch_;
+  snap.winBegin = 0;
+  snap.x.clear();
+  snap.center.clear();
+  snap.cell.clear();
+  snap.width.clear();
+  snap.local.clear();
+  const auto& design = state_.design();
+  const auto& rowMap = state_.rowCells(r);
+  // Cells left of the window are never local, so a left chain stops at the
+  // first one: keep a single wall candidate below window.xlo, everything in
+  // [window.xlo, window.xhi), and a single wall candidate at/after
+  // window.xhi (same argument on the right).
+  auto it = rowMap.lower_bound(window.xlo);
+  if (it != rowMap.begin()) {
+    --it;
+    snap.winBegin = 1;
+  }
+  for (; it != rowMap.end(); ++it) {
+    const CellId j = it->second;
+    const int wj = design.widthOf(j);
+    snap.x.push_back(it->first);
+    snap.cell.push_back(j);
+    snap.width.push_back(wj);
+    snap.center.push_back(static_cast<double>(it->first) + wj * 0.5);
+    snap.local.push_back(isLocal(j, window) ? 1 : 0);
+    if (it->first >= window.xhi) break;
+  }
+  return snap;
+}
+
+const InsertionSearcher::CellCurveData& InsertionSearcher::curveData(
+    CellId j) const {
+  CellCurveData& d = cellCurve_[static_cast<std::size_t>(j)];
+  if (d.epoch == windowEpoch_) {
+    ++curveHits_;
+    return d;
+  }
+  ++curveMisses_;
+  d.epoch = windowEpoch_;
+  const auto& design = state_.design();
+  const auto& cell = design.cells[j];
+  d.cur = static_cast<double>(cell.x);
+  d.gp = config_.gpObjective ? cell.gpX : d.cur;
+  d.scale = design.siteWidthFactor *
+            (config_.contestWeights ? design.metricWeight(j) : 1.0);
+  return d;
+}
+
 bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
                                      std::int64_t y, std::int64_t seed,
                                      Candidate& out) const {
@@ -52,7 +117,6 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
   const auto& type = design.typeOf(c);
   const int h = type.height;
   const int w = type.width;
-  const double seedCenter = static_cast<double>(seed) + w * 0.5;
 
   std::int64_t lo = window.xlo;
   std::int64_t hi = window.xhi - w;
@@ -73,67 +137,59 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
   };
 
   for (std::int64_t r = y; r < y + h; ++r) {
-    const Segment* seg = segments_.find(r, seed);
+    const RowCtx& rc = rowCtxScratch_[static_cast<std::size_t>(r - y)];
+    const Segment* seg = rc.seg;
     if (seg == nullptr || seg->fence != target.fence) {
       bumpReject("mgl.insert.reject.fence");
       return false;
     }
     const std::int64_t rowLo = std::max(seg->x.lo, window.xlo);
     const std::int64_t rowHi = std::min(seg->x.hi, window.xhi);
+    const RowSnap& snap = *rc.snap;
 
-    const auto& rowMap = state_.rowCells(r);
-    // Left chain: cells with center <= seedCenter, walked right-to-left.
+    // Left chain: cells with center <= seedCenter (snapshot indices below
+    // the partition boundary), walked right-to-left.
     {
       std::int64_t acc = 0;
       TypeId prevType = target.type;
-      auto it = rowMap.lower_bound(seed + w);  // anything further is right
       bool wallFound = false;
-      while (it != rowMap.begin()) {
-        --it;
-        const CellId j = it->second;
-        if (it->first < seg->x.lo) break;  // outside the segment
-        const double center = static_cast<double>(it->first) +
-                              design.widthOf(j) * 0.5;
-        if (center > seedCenter) continue;  // belongs to the right side
+      for (std::int32_t i = rc.boundary - 1; i >= 0; --i) {
+        if (snap.x[i] < seg->x.lo) break;  // outside the segment
+        const CellId j = snap.cell[i];
         const int sp = edgeSpacing(design.typeOf(j).rightEdge,
                                           design.types[prevType].leftEdge);
-        if (isLocal(j, window)) {
-          const std::int64_t off = acc + sp + design.widthOf(j);
+        if (snap.local[i]) {
+          const std::int64_t off = acc + sp + snap.width[i];
           addEntry(j, off, /*left=*/true);
           acc = off;
           prevType = design.cells[j].type;
         } else {
-          lo = std::max(lo, it->first + design.widthOf(j) + sp + acc);
+          lo = std::max(lo, snap.x[i] + snap.width[i] + sp + acc);
           wallFound = true;
           break;
         }
       }
       if (!wallFound) lo = std::max(lo, rowLo + acc);
     }
-    // Right chain: cells with center > seedCenter, walked left-to-right.
-    // Right-side cells satisfy j.x > seedCenter - w_j/2, so starting the
-    // scan maxCellWidth sites left of the seed cannot miss any.
+    // Right chain: cells with center > seedCenter (snapshot indices from the
+    // boundary up), walked left-to-right.
     {
       std::int64_t acc = w;
       TypeId prevType = target.type;
-      auto it = rowMap.lower_bound(
-          std::max(seg->x.lo, seed - design.maxCellWidth()));
       bool wallFound = false;
-      for (; it != rowMap.end() && it->first < seg->x.hi; ++it) {
-        const CellId j = it->second;
-        const double center = static_cast<double>(it->first) +
-                              design.widthOf(j) * 0.5;
-        if (center <= seedCenter) continue;  // left side
+      const auto n = static_cast<std::int32_t>(snap.x.size());
+      for (std::int32_t i = rc.boundary; i < n && snap.x[i] < seg->x.hi; ++i) {
+        const CellId j = snap.cell[i];
         const int sp = edgeSpacing(design.types[prevType].rightEdge,
                                           design.typeOf(j).leftEdge);
-        if (isLocal(j, window)) {
+        if (snap.local[i]) {
           const std::int64_t off = acc + sp;
           addEntry(j, off, /*left=*/false);
-          acc = off + design.widthOf(j);
+          acc = off + snap.width[i];
           prevType = design.cells[j].type;
         } else {
           // Chain must fit left of the wall: x + acc + sp <= j.x.
-          hi = std::min(hi, it->first - sp - acc);
+          hi = std::min(hi, snap.x[i] - sp - acc);
           wallFound = true;
           break;
         }
@@ -144,13 +200,12 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
   }
 
   // Displacement curves (Fig. 4) summed over the target and local cells.
+  // Per-cell curve parameters come from the window-epoch arena.
   const double swf = design.siteWidthFactor;
-  auto weight = [&](CellId j) {
-    return config_.contestWeights ? design.metricWeight(j) : 1.0;
-  };
   CurveSum& sum = sumScratch_;
   sum.clear();
-  const double wT = weight(c);
+  const double wT =
+      config_.contestWeights ? design.metricWeight(c) : 1.0;
   sum.add(DispCurve::targetV(target.gpX).scaled(swf * wT));
   sum.add(DispCurve::constant(
       std::abs(static_cast<double>(y) - target.gpY) * wT));
@@ -161,16 +216,15 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
   // zero-based in MLL mode, where gp == cur).
   double baseline = 0.0;
   for (const auto& entry : entries) {
-    const auto& cell = design.cells[entry.cell];
-    const double cur = static_cast<double>(cell.x);
-    const double gp = config_.gpObjective ? cell.gpX : cur;
-    const double scale = swf * weight(entry.cell);
-    baseline += scale * std::abs(cur - gp);
+    const CellCurveData& cd = curveData(entry.cell);
+    baseline += cd.scale * std::abs(cd.cur - cd.gp);
     sum.add(entry.left
-                ? DispCurve::leftPush(cur, gp, static_cast<double>(entry.off))
-                      .scaled(scale)
-                : DispCurve::rightPush(cur, gp, static_cast<double>(entry.off))
-                      .scaled(scale));
+                ? DispCurve::leftPush(cd.cur, cd.gp,
+                                      static_cast<double>(entry.off))
+                      .scaled(cd.scale)
+                : DispCurve::rightPush(cd.cur, cd.gp,
+                                       static_cast<double>(entry.off))
+                      .scaled(cd.scale));
   }
   if (obs::metricsEnabled()) {
     obs::counter("mgl.disp_curve.breakpoints").add(sum.totalBreakpoints());
@@ -181,9 +235,15 @@ bool InsertionSearcher::evaluateSeed(CellId c, const Rect& window,
   best.value -= baseline;
 
   if (config_.routability) {
-    // Dodge vertical-rail conflicts: move to the nearest clean site.
-    const auto forbidden =
-        verticalRailForbiddenX(design, target.type, y);
+    // Dodge vertical-rail conflicts: move to the nearest clean site. The
+    // forbidden intervals depend only on (type, row), so they are computed
+    // once per row per window and reused across seeds.
+    if (forbiddenEpoch_ != windowEpoch_ || forbiddenY_ != y) {
+      forbiddenScratch_ = verticalRailForbiddenX(design, target.type, y);
+      forbiddenEpoch_ = windowEpoch_;
+      forbiddenY_ = y;
+    }
+    const auto& forbidden = forbiddenScratch_;
     auto inForbidden = [&](std::int64_t x) -> const Interval* {
       for (const auto& iv : forbidden) {
         if (iv.contains(x)) return &iv;
@@ -244,7 +304,8 @@ void InsertionSearcher::evaluateRow(CellId c, const Rect& window,
   }
 
   // Candidate seeds: the GP x plus the gap edges of every cell crossing the
-  // row span, plus segment boundaries.
+  // row span, plus segment boundaries. Cell edges come from the row
+  // snapshots, not the ordered maps.
   auto& seeds = seedScratch_;
   seeds.clear();
   const auto gpSeed = static_cast<std::int64_t>(std::lround(target.gpX));
@@ -256,12 +317,12 @@ void InsertionSearcher::evaluateRow(CellId c, const Rect& window,
       seeds.push_back(std::max(seg.x.lo, window.xlo));
       seeds.push_back(std::min(seg.x.hi, window.xhi) - type.width);
     }
-    const auto& rowMap = state_.rowCells(r);
-    for (auto it = rowMap.lower_bound(window.xlo);
-         it != rowMap.end() && it->first < window.xhi; ++it) {
-      const std::int64_t wj = design.widthOf(it->second);
-      seeds.push_back(it->first + wj);           // right after the cell
-      seeds.push_back(it->first - type.width);   // right before the cell
+    const RowSnap& snap = rowSnap(r, window);
+    const auto n = static_cast<std::int32_t>(snap.x.size());
+    for (std::int32_t i = snap.winBegin; i < n && snap.x[i] < window.xhi;
+         ++i) {
+      seeds.push_back(snap.x[i] + snap.width[i]);  // right after the cell
+      seeds.push_back(snap.x[i] - type.width);     // right before the cell
     }
   }
   for (auto& seed : seeds) {
@@ -270,19 +331,55 @@ void InsertionSearcher::evaluateRow(CellId c, const Rect& window,
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
   if (static_cast<int>(seeds.size()) > config_.maxSeedsPerRow) {
-    // Keep the seeds nearest the GP x.
+    // Keep the seeds nearest the GP x; ties resolve left-first so the kept
+    // set never depends on library internals.
     std::nth_element(
         seeds.begin(), seeds.begin() + config_.maxSeedsPerRow, seeds.end(),
         [&](std::int64_t a, std::int64_t b) {
-          return std::abs(a - gpSeed) < std::abs(b - gpSeed);
+          const std::int64_t da = std::abs(a - gpSeed);
+          const std::int64_t db = std::abs(b - gpSeed);
+          if (da != db) return da < db;
+          return a < b;
         });
     seeds.resize(static_cast<std::size_t>(config_.maxSeedsPerRow));
     std::sort(seeds.begin(), seeds.end());
   }
 
+  // Per-seed partition contexts. Adjacent seeds that induce the same
+  // (segment, boundary) on every row of the span yield bit-identical
+  // evaluations, so only the first of each run is evaluated; skipped
+  // successes still count toward the window's candidate total (dupSkipped_)
+  // so the expansion early-break sees the same numbers as before.
+  const int h = type.height;
+  auto& ctx = rowCtxScratch_;
+  auto& prev = prevRowCtxScratch_;
+  prev.clear();
+  bool prevOk = false;
   for (const auto seed : seeds) {
+    const double seedCenter = static_cast<double>(seed) + type.width * 0.5;
+    ctx.clear();
+    for (std::int64_t r = y; r < y + h; ++r) {
+      RowCtx rc;
+      rc.snap = &rowSnap(r, window);
+      rc.seg = segments_.find(r, seed);
+      rc.boundary = static_cast<std::int32_t>(
+          std::upper_bound(rc.snap->center.begin(), rc.snap->center.end(),
+                           seedCenter) -
+          rc.snap->center.begin());
+      ctx.push_back(rc);
+    }
+    bool same = prev.size() == ctx.size();
+    for (std::size_t i = 0; same && i < ctx.size(); ++i) {
+      same = ctx[i].seg == prev[i].seg && ctx[i].boundary == prev[i].boundary;
+    }
+    if (same) {
+      if (prevOk) ++dupSkipped_;
+      continue;
+    }
     Candidate cand;
-    if (evaluateSeed(c, window, y, seed, cand)) out.push_back(cand);
+    prevOk = evaluateSeed(c, window, y, seed, cand);
+    if (prevOk) out.push_back(cand);
+    std::swap(ctx, prev);
   }
 }
 
@@ -292,6 +389,7 @@ bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
   MCLG_ASSERT(!target.placed && !target.fixed, "target must be unplaced");
   bumpReject("mgl.insert.attempted");
   const int h = design.heightOf(c);
+  beginWindow();
 
   auto& candidates = candidateScratch_;
   candidates.clear();
@@ -301,7 +399,8 @@ bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
   // cover hundreds of rows; distant rows pay their y-distance in every
   // candidate, so once enough candidates exist AND the y-cost of the next
   // row alone exceeds the best found cost (plus a margin for the rare
-  // negative pull of type C/D curves), further rows cannot win.
+  // negative pull of type C/D curves), further rows cannot win. Skipped
+  // duplicate seeds count toward the candidate total.
   const auto gpRow = static_cast<std::int64_t>(std::lround(target.gpY));
   const double wT =
       config_.contestWeights ? design.metricWeight(c) : 1.0;
@@ -318,31 +417,63 @@ bool InsertionSearcher::tryInsert(CellId c, const Rect& window) {
     for (std::size_t i = sizeBefore; i < candidates.size(); ++i) {
       bestCost = std::min(bestCost, candidates[i].cost);
     }
-    if (static_cast<int>(candidates.size()) >= config_.maxCommitAttempts &&
+    if (static_cast<int>(candidates.size() + dupSkipped_) >=
+            config_.maxCommitAttempts &&
         wT * static_cast<double>(dy + 1) > bestCost + 2.0 * wT) {
       break;
     }
   }
+  if (obs::metricsEnabled()) {
+    obs::counter("mgl.insert.seed_dedup").add(dupSkipped_);
+    obs::counter("mgl.curve_cache.hit").add(curveHits_);
+    obs::counter("mgl.curve_cache.miss").add(curveMisses_);
+    obs::histogram("mgl.window.candidates")
+        .observe(static_cast<double>(candidates.size() + dupSkipped_));
+  }
+  curveHits_ = 0;
+  curveMisses_ = 0;
   if (candidates.empty()) {
     bumpReject("mgl.insert.window_failed");
     return false;
   }
 
+  // Total-order comparator (cost, |y - gpY|, y, x, seed): every key chain is
+  // unique, so the selected order never depends on the sort implementation.
   const double gpY = target.gpY;
-  std::sort(candidates.begin(), candidates.end(),
-            [&](const Candidate& a, const Candidate& b) {
-              if (a.cost != b.cost) return a.cost < b.cost;
-              const double dya = std::abs(static_cast<double>(a.y) - gpY);
-              const double dyb = std::abs(static_cast<double>(b.y) - gpY);
-              if (dya != dyb) return dya < dyb;
-              if (a.y != b.y) return a.y < b.y;
-              return a.x < b.x;
-            });
+  const auto cheaper = [gpY](const Candidate& a, const Candidate& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    const double dya = std::abs(static_cast<double>(a.y) - gpY);
+    const double dyb = std::abs(static_cast<double>(b.y) - gpY);
+    if (dya != dyb) return dya < dyb;
+    if (a.y != b.y) return a.y < b.y;
+    if (a.x != b.x) return a.x < b.x;
+    return a.seed < b.seed;
+  };
+  // Lazy bounded selection: most windows commit the first candidate, so
+  // sorting the whole vector is wasted work. partial_sort the cheapest
+  // prefix and extend it (doubling) only when the commit loop outruns it;
+  // the visited sequence is identical to a full sort.
+  std::size_t sorted = 0;
+  std::size_t chunk = 16;
+  auto ensureSorted = [&](std::size_t upTo) {
+    upTo = std::min(upTo, candidates.size());
+    if (upTo <= sorted) return;
+    std::partial_sort(candidates.begin() + static_cast<std::ptrdiff_t>(sorted),
+                      candidates.begin() + static_cast<std::ptrdiff_t>(upTo),
+                      candidates.end(), cheaper);
+    sorted = upTo;
+  };
   // Attempt commits in cost order, skipping duplicate (x, y) targets
-  // (different seeds can coincide).
-  std::unordered_set<std::uint64_t> seen;
+  // (different partitions can coincide on the same position).
+  auto& seen = seenScratch_;
+  seen.clear();
   int attempts = 0;
-  for (const auto& cand : candidates) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i >= sorted) {
+      ensureSorted(i + chunk);
+      chunk *= 2;
+    }
+    const Candidate& cand = candidates[i];
     if (cand.cost >= config_.costCeiling) break;  // sorted ascending
     const std::uint64_t key =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cand.x)) << 32) |
@@ -380,8 +511,8 @@ bool InsertionSearcher::commit(CellId c, const Candidate& cand,
 
   // Two vector-backed FIFO work lists (head index instead of pop_front).
   auto& leftQ = queueScratch_;
+  auto& rightQ = rightQueueScratch_;
   leftQ.clear();
-  std::vector<PushReq> rightQ;
   rightQ.clear();
 
   // Seed the push requirements from the target's row span.
@@ -468,7 +599,8 @@ bool InsertionSearcher::commit(CellId c, const Candidate& cand,
     }
   }
 
-  // Split the accepted moves by direction, preserving chain order.
+  // Split the accepted moves by direction; (position, cell id) keys make
+  // the application order a total order, independent of map iteration.
   for (const auto& [j, nx] : newX) {
     if (nx < design.cells[j].x) {
       leftShifts.emplace_back(j, nx);
@@ -477,9 +609,15 @@ bool InsertionSearcher::commit(CellId c, const Candidate& cand,
     }
   }
   std::sort(leftShifts.begin(), leftShifts.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
   std::sort(rightShifts.begin(), rightShifts.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
 
   // Exactly measured weighted regional delta, and the undo record.
   const double swf = design.siteWidthFactor;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "db/placement_state.hpp"
@@ -69,6 +70,10 @@ class InsertionSearcher {
   /// in this window could be committed.
   bool tryInsert(CellId c, const Rect& window);
 
+  /// Adjust the commit gate between searches; lets callers that vary the
+  /// ceiling per cell (rip-up refinement) reuse one searcher and its caches.
+  void setCostCeiling(double ceiling) { config_.costCeiling = ceiling; }
+
   /// Diagnostics of the last successful commit: position, the curve
   /// model's estimated cost, the exactly measured cost (both are weighted
   /// regional displacement deltas; they agree unless multi-row chains
@@ -112,10 +117,75 @@ class InsertionSearcher {
   int edgeSpacing(int rightEdgeClass, int leftEdgeClass) const;
   int spacingBetween(CellId left, CellId right) const;
 
+  // --- Window-epoch caches -------------------------------------------------
+  //
+  // One search window is fixed for the whole of a tryInsert call and the
+  // placement does not mutate until the final commit, so everything derived
+  // from (occupancy, window) can be computed once per (row, window) and
+  // reused by every seed evaluation. The epoch counter is bumped at the top
+  // of tryInsert; stale cache slots are detected by epoch mismatch, never
+  // cleared eagerly.
+
+  /// Flattened occupancy of one row, restricted to the cells a chain walk
+  /// can reach: everything with x in [window.xlo, window.xhi) plus at most
+  /// one wall candidate on each side (cells outside the window are never
+  /// local, so chains stop at the first one).
+  struct RowSnap {
+    std::uint64_t epoch = 0;
+    std::int32_t winBegin = 0;  // index of first cell with x >= window.xlo
+    std::vector<std::int64_t> x;       // left edges, ascending
+    std::vector<double> center;        // x + width/2, ascending
+    std::vector<CellId> cell;
+    std::vector<std::int32_t> width;
+    std::vector<unsigned char> local;  // isLocal(cell, window)
+  };
+
+  /// Per-(row, seed) context: the segment under the seed and the partition
+  /// boundary (first snapshot index whose center exceeds the seed center).
+  /// Two seeds with identical contexts on every row of the span produce
+  /// bit-identical candidates, so evaluateRow skips the duplicates.
+  struct RowCtx {
+    const RowSnap* snap = nullptr;
+    const Segment* seg = nullptr;
+    std::int32_t boundary = 0;
+  };
+
+  /// Cached displacement-curve parameters of one local cell (Fig. 4 inputs);
+  /// valid for one window epoch.
+  struct CellCurveData {
+    std::uint64_t epoch = 0;
+    double cur = 0.0;    // current x
+    double gp = 0.0;     // objective anchor (gpX, or cur in MLL mode)
+    double scale = 0.0;  // siteWidthFactor * metric weight
+  };
+
+  /// Build (or fetch) the snapshot of row r for the current epoch.
+  const RowSnap& rowSnap(std::int64_t r, const Rect& window) const;
+
+  /// Fetch the curve parameters of cell j, filling the arena slot on miss.
+  const CellCurveData& curveData(CellId j) const;
+
+  /// Bump the epoch and lazily size the arenas; called on tryInsert entry.
+  void beginWindow();
+
   PlacementState& state_;
   const SegmentMap& segments_;
   InsertionConfig config_;
   CommitInfo lastCommit_;
+
+  mutable std::uint64_t windowEpoch_ = 0;
+  mutable std::vector<RowSnap> rowSnaps_;        // indexed by row
+  mutable std::vector<CellCurveData> cellCurve_;  // indexed by cell
+  mutable std::vector<RowCtx> rowCtxScratch_;     // current seed's contexts
+  mutable std::vector<RowCtx> prevRowCtxScratch_;  // previous seed's contexts
+  // verticalRailForbiddenX cache, keyed by (epoch, row).
+  mutable std::vector<Interval> forbiddenScratch_;
+  mutable std::uint64_t forbiddenEpoch_ = 0;
+  mutable std::int64_t forbiddenY_ = 0;
+  // Aggregated locally, flushed to the metrics registry once per window.
+  mutable std::size_t dupSkipped_ = 0;
+  mutable std::size_t curveHits_ = 0;
+  mutable std::size_t curveMisses_ = 0;
 
   // Reused scratch buffers — the search runs millions of evaluations and
   // commit attempts, and per-call container construction dominated the
@@ -135,8 +205,10 @@ class InsertionSearcher {
   mutable CurveSum sumScratch_;
   mutable std::vector<std::int64_t> seedScratch_;
   std::vector<Candidate> candidateScratch_;
+  std::unordered_set<std::uint64_t> seenScratch_;
   std::unordered_map<CellId, std::int64_t> newXScratch_;
   std::vector<PushReq> queueScratch_;
+  std::vector<PushReq> rightQueueScratch_;
   std::vector<std::pair<CellId, std::int64_t>> leftShiftScratch_;
   std::vector<std::pair<CellId, std::int64_t>> rightShiftScratch_;
 };

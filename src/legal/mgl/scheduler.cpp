@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
@@ -23,16 +24,23 @@ MglStats MglScheduler::run() {
   MglStats stats;
   ThreadPool pool(numThreads_);
 
+  // One searcher per batch slot, reused across batches: the searchers carry
+  // window-epoch caches and scratch arenas that are expensive to rebuild.
+  // A slot runs at most one task per batch, so this stays data-race-free.
+  std::vector<std::unique_ptr<InsertionSearcher>> searchers(
+      static_cast<std::size_t>(batchCap_));
+
   std::vector<Pending> batch;
   std::vector<Rect> windows;
   std::vector<char> success;
+  std::vector<Pending> skipped;
   while (!queue.empty()) {
     // Safe cancellation point: no batch in flight, state consistent.
     if (config.checkpoint) config.checkpoint();
     // Assemble a batch of row-disjoint windows, preserving queue order.
     batch.clear();
     windows.clear();
-    std::vector<Pending> skipped;
+    skipped.clear();
     while (!queue.empty() && static_cast<int>(batch.size()) < batchCap_) {
       const Pending p = queue.front();
       queue.pop_front();
@@ -77,11 +85,14 @@ MglStats MglScheduler::run() {
                {"level", static_cast<double>(
                     batch[static_cast<std::size_t>(i)].level)}});
           if (config.taskHook) config.taskHook(i);
-          InsertionSearcher searcher(state, legalizer_.segments_,
-                                     config.insertion);
+          auto& searcher = searchers[static_cast<std::size_t>(i)];
+          if (!searcher) {
+            searcher = std::make_unique<InsertionSearcher>(
+                state, legalizer_.segments_, config.insertion);
+          }
           success[static_cast<std::size_t>(i)] =
-              searcher.tryInsert(batch[static_cast<std::size_t>(i)].cell,
-                                 windows[static_cast<std::size_t>(i)])
+              searcher->tryInsert(batch[static_cast<std::size_t>(i)].cell,
+                                  windows[static_cast<std::size_t>(i)])
                   ? 1
                   : 0;
         });

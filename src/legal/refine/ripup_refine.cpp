@@ -20,6 +20,9 @@ RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
                        const RipupConfig& config) {
   auto& design = state.design();
   RipupStats stats;
+  // One searcher for all passes; the per-cell commit gate is set through
+  // setCostCeiling so the searcher's caches and scratch survive.
+  InsertionSearcher searcher(state, segments, config.insertion);
 
   for (int pass = 0; pass < config.passes; ++pass) {
     // Candidates: most displaced first.
@@ -49,9 +52,7 @@ RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
           weightedDisplacement(design, c, config.insertion.contestWeights);
 
       state.remove(c);
-      InsertionConfig insertion = config.insertion;
-      insertion.costCeiling = freed - config.minGain;
-      InsertionSearcher searcher(state, segments, insertion);
+      searcher.setCostCeiling(freed - config.minGain);
       const Rect window =
           Rect{static_cast<std::int64_t>(std::llround(cell.gpX)) -
                    config.windowW,

@@ -17,7 +17,13 @@
 
 namespace mclg::obs {
 
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2 (PR 3): adds the perf-overhaul metric families to the metrics block —
+/// `mgl.curve_cache.*`, `mgl.insert.seed_dedup`, the `mgl.window.candidates`
+/// histogram and `mcf.simplex.warm.*` — and the "perf_suite" document kind
+/// written by scripts/perf_gate.py. Purely additive: v1 consumers that
+/// ignore unknown fields keep working, and the in-tree readers
+/// (scripts/perf_gate.py, tests/cli_end_to_end.cmake) accept both versions.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// Where the run came from: everything needed to reproduce it.
 struct RunProvenance {

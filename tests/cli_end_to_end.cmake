@@ -49,8 +49,9 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(report_err)
     message(FATAL_ERROR "run.json is not a valid run report: ${report_err}")
   endif()
-  if(NOT schema EQUAL 1)
-    message(FATAL_ERROR "run.json schema_version ${schema}, expected 1")
+  # Accept both known schema versions (v2 is additive over v1).
+  if(NOT schema EQUAL 1 AND NOT schema EQUAL 2)
+    message(FATAL_ERROR "run.json schema_version ${schema}, expected 1 or 2")
   endif()
   string(JSON mgl_placed ERROR_VARIABLE report_err
          GET "${report_text}" pipeline mgl placed)
