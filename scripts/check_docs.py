@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Documentation link checker (registered as the `docs_links` ctest).
+
+Two gates over the repository's markdown:
+
+  1. Every intra-repo link target in every tracked .md file must exist
+     (inline links and images; anchors are stripped; external schemes are
+     skipped).
+  2. Every file under docs/ must be reachable from README.md by following
+     markdown links — no orphaned documentation.
+
+Usage: scripts/check_docs.py [repo-root]   (default: the repo containing
+this script). Exits 0 when both gates pass, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Directories never scanned: build trees, VCS metadata, vendored/related
+# sources, editor state.
+SKIP_DIRS = (".git", ".claude", "related", "node_modules", "__pycache__")
+
+# [text](target) and ![alt](target); target may be wrapped in <>.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?\s*(?:\"[^\"]*\")?\)")
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def should_skip(dirname):
+    return (dirname in SKIP_DIRS or dirname.startswith(".")
+            or dirname.startswith("build"))
+
+
+def markdown_files(root):
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if not should_skip(d)]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def links_of(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Fenced code blocks routinely show link-like syntax in examples; they
+    # are not navigation, so they are not checked.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return LINK_RE.findall(text)
+
+
+def resolve(source, target, root):
+    """Intra-repo filesystem path a link points to, or None if external."""
+    if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+        return None
+    target = target.split("#", 1)[0]
+    if not target:
+        return None
+    if target.startswith("/"):
+        return os.path.normpath(os.path.join(root, target.lstrip("/")))
+    return os.path.normpath(os.path.join(os.path.dirname(source), target))
+
+
+def main():
+    script_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    root = os.path.abspath(sys.argv[1]) if len(sys.argv) > 1 else script_root
+    readme = os.path.join(root, "README.md")
+    if not os.path.exists(readme):
+        print(f"check_docs: no README.md under {root}", file=sys.stderr)
+        return 1
+
+    failures = []
+    graph = {}
+    checked_links = 0
+    for md in markdown_files(root):
+        rel = os.path.relpath(md, root)
+        edges = set()
+        for target in links_of(md):
+            resolved = resolve(md, target, root)
+            if resolved is None:
+                continue
+            checked_links += 1
+            if not os.path.exists(resolved):
+                failures.append(f"{rel}: broken link -> {target}")
+                continue
+            if resolved.endswith(".md"):
+                edges.add(os.path.normpath(resolved))
+        graph[os.path.normpath(md)] = edges
+
+    # BFS over the markdown link graph from README.md.
+    reachable = set()
+    frontier = [os.path.normpath(readme)]
+    while frontier:
+        node = frontier.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        frontier.extend(graph.get(node, ()))
+
+    docs_dir = os.path.join(root, "docs")
+    for md in markdown_files(docs_dir) if os.path.isdir(docs_dir) else []:
+        if os.path.normpath(md) not in reachable:
+            failures.append(
+                f"{os.path.relpath(md, root)}: not reachable from README.md")
+
+    if failures:
+        for failure in failures:
+            print(f"check_docs FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"check_docs OK: {checked_links} intra-repo links, "
+          f"{len(reachable)} markdown files reachable from README.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,11 +17,14 @@ Two subcommands:
         * bench_threads determinism flags must all be 1;
         * timing keys must not regress beyond --tolerance (default 0.15);
         * --require KEY>=RATIO asserts a minimum speedup (baseline/current)
-          for a timing key, e.g. --require t1.mgl_seconds>=1.5.
+          for a timing key, e.g. --require t1.mgl_seconds>=1.5;
+        * --ratio BENCH.A/B>=R asserts a ratio *within the current suite*,
+          e.g. --ratio bench_eco.full_seconds/eco_seconds>=3.0 (the PR 4
+          ECO speedup floor — see docs/ECO.md).
       Exits 0 when every gate passes, 1 otherwise.
 
 Both documents use the run-report envelope (docs/OBSERVABILITY.md); this
-reader accepts schema_version 1 and 2.
+reader accepts schema_version 1 through 3.
 """
 
 import argparse
@@ -29,7 +32,9 @@ import json
 import os
 import sys
 
-ACCEPTED_SCHEMAS = (1, 2)
+ACCEPTED_SCHEMAS = (1, 2, 3)
+
+DEFAULT_MERGE_BENCHES = ("bench_scaling", "bench_threads")
 
 # Keys treated as timings (gated on regression / speedup); everything else in
 # the bench_scaling values block is an identity key (must match exactly).
@@ -64,12 +69,12 @@ def load_micro(path):
 
 def cmd_merge(args):
     suite = {
-        "schema_version": 2,
+        "schema_version": 3,
         "kind": "perf_suite",
         "generated_by": "scripts/perf_regression.sh",
         "benches": {},
     }
-    for name in ("bench_scaling", "bench_threads"):
+    for name in (args.bench or DEFAULT_MERGE_BENCHES):
         path = os.path.join(args.report_dir, name + ".json")
         if not os.path.exists(path):
             print(f"merge: missing {path}", file=sys.stderr)
@@ -153,6 +158,20 @@ def cmd_compare(args):
         else:
             print(f"require {requirement}: ok (speedup {ref / val:.3f})")
 
+    for assertion in args.ratio or []:
+        spec, _, ratio_text = assertion.partition(">=")
+        ratio = float(ratio_text)
+        bench, _, keys = spec.partition(".")
+        num_key, _, den_key = keys.partition("/")
+        values = cur.get("benches", {}).get(bench, {})
+        num, den = values.get(num_key), values.get(den_key)
+        if num is None or den is None or den <= 0:
+            failures.append(f"ratio {assertion}: key not present")
+        elif num / den < ratio:
+            failures.append(f"ratio {assertion}: {num / den:.3f} < {ratio}")
+        else:
+            print(f"ratio {assertion}: ok ({num / den:.3f})")
+
     if failures:
         for failure in failures:
             print(f"perf gate FAIL: {failure}", file=sys.stderr)
@@ -169,6 +188,9 @@ def main():
     merge.add_argument("report_dir")
     merge.add_argument("-o", "--output", required=True)
     merge.add_argument("--baseline")
+    merge.add_argument("--bench", action="append",
+                       help="bench report to collect (repeatable; default: "
+                            + ", ".join(DEFAULT_MERGE_BENCHES))
     merge.set_defaults(func=cmd_merge)
     compare = sub.add_parser("compare")
     compare.add_argument("current")
@@ -176,6 +198,8 @@ def main():
     compare.add_argument("--tolerance", type=float, default=0.15)
     compare.add_argument("--require", action="append",
                          help="KEY>=RATIO minimum speedup, repeatable")
+    compare.add_argument("--ratio", action="append",
+                         help="BENCH.A/B>=R within-current ratio, repeatable")
     compare.set_defaults(func=cmd_compare)
     args = parser.parse_args()
     sys.exit(args.func(args))

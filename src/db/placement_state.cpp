@@ -38,6 +38,7 @@ void PlacementState::place(CellId c, std::int64_t x, std::int64_t y) {
   cell.y = y;
   cell.placed = true;
   ++numPlaced_;
+  if (listener_ != nullptr) listener_->onPlace(c);
 }
 
 void PlacementState::remove(CellId c) {
@@ -53,6 +54,7 @@ void PlacementState::remove(CellId c) {
   }
   cell.placed = false;
   --numPlaced_;
+  if (listener_ != nullptr) listener_->onRemove(c);
 }
 
 void PlacementState::shiftX(CellId c, std::int64_t newX) {
@@ -72,6 +74,7 @@ void PlacementState::shiftX(CellId c, std::int64_t newX) {
     rowMap.emplace(newX, c);
   }
   cell.x = newX;
+  if (listener_ != nullptr) listener_->onShift(c);
 }
 
 PlacementSnapshot PlacementState::snapshot() const {

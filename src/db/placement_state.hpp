@@ -17,6 +17,23 @@
 
 namespace mclg {
 
+/// Observer of placement mutations. A registered listener is notified after
+/// every successful place()/remove()/shiftX() — the hook the ECO
+/// DeltaTracker (legal/eco/) uses to record which cells an incremental
+/// stage touched.
+///
+/// Thread-safety: the MGL scheduler mutates row-disjoint windows from
+/// several threads, so implementations must tolerate concurrent callbacks
+/// for *different* cells. restore() deliberately does not notify (a
+/// snapshot rollback is outside the delta model; callers re-diff instead).
+class PlacementListener {
+ public:
+  virtual ~PlacementListener() = default;
+  virtual void onPlace(CellId c) = 0;
+  virtual void onRemove(CellId c) = 0;
+  virtual void onShift(CellId c) = 0;
+};
+
 /// Value snapshot of a PlacementState: per-cell coordinates/placed flags of
 /// the movable cells plus the row occupancy maps. Captured before a
 /// pipeline stage runs so the stage can be rolled back transactionally
@@ -80,13 +97,20 @@ class PlacementState {
 
   /// Roll back to a snapshot taken on this state. Restores movable cells'
   /// x/y/placed and the occupancy index exactly; fixed cells are untouched
-  /// (they never move).
+  /// (they never move). Does not notify the listener.
   void restore(const PlacementSnapshot& snap);
+
+  /// Register (or clear, with nullptr) the mutation listener. The listener
+  /// outlives the registration window; notifications fire after the
+  /// mutation has been applied.
+  void setListener(PlacementListener* listener) { listener_ = listener; }
+  PlacementListener* listener() const { return listener_; }
 
  private:
   Design* design_;
   std::vector<std::map<std::int64_t, CellId>> rows_;
   std::atomic<int> numPlaced_{0};
+  PlacementListener* listener_ = nullptr;
 };
 
 }  // namespace mclg

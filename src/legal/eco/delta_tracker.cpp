@@ -1,0 +1,162 @@
+#include "legal/eco/delta_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mclg {
+namespace {
+
+bool sameRect(const Rect& a, const Rect& b) {
+  return a.xlo == b.xlo && a.xhi == b.xhi && a.ylo == b.ylo && a.yhi == b.yhi;
+}
+
+bool sameTypeTable(const Design& a, const Design& b) {
+  if (a.types.size() != b.types.size()) return false;
+  for (std::size_t t = 0; t < a.types.size(); ++t) {
+    const CellType& ta = a.types[t];
+    const CellType& tb = b.types[t];
+    if (ta.width != tb.width || ta.height != tb.height ||
+        ta.parity != tb.parity || ta.leftEdge != tb.leftEdge ||
+        ta.rightEdge != tb.rightEdge) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameFences(const Design& a, const Design& b) {
+  if (a.fences.size() != b.fences.size()) return false;
+  for (std::size_t f = 0; f < a.fences.size(); ++f) {
+    const auto& ra = a.fences[f].rects;
+    const auto& rb = b.fences[f].rects;
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (!sameRect(ra[i], rb[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CellId> DeltaSet::dirtyCells() const {
+  std::vector<CellId> out;
+  out.reserve(moved.size() + resized.size() + added.size());
+  out.insert(out.end(), moved.begin(), moved.end());
+  out.insert(out.end(), resized.begin(), resized.end());
+  out.insert(out.end(), added.begin(), added.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void DeltaTracker::reset(int numCells) {
+  size_ = numCells;
+  events_.store(0, std::memory_order_relaxed);
+  if (numCells <= 0) {
+    flags_.reset();
+    return;
+  }
+  flags_ = std::make_unique<std::atomic<unsigned char>[]>(
+      static_cast<std::size_t>(numCells));
+  for (int i = 0; i < numCells; ++i) {
+    flags_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+void DeltaTracker::mark(CellId c) {
+  if (c < 0 || c >= size_) return;
+  flags_[static_cast<std::size_t>(c)].store(1, std::memory_order_relaxed);
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<CellId> DeltaTracker::touched() const {
+  std::vector<CellId> out;
+  for (int c = 0; c < size_; ++c) {
+    if (flags_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool DeltaTracker::isTouched(CellId c) const {
+  if (c < 0 || c >= size_) return false;
+  return flags_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed) !=
+         0;
+}
+
+DeltaSet DeltaTracker::diff(const Design& current, const Design& snapshot) {
+  DeltaSet delta;
+  auto structural = [&delta](const char* reason) {
+    delta.structural = true;
+    delta.structuralReason = reason;
+    delta.moved.clear();
+    delta.resized.clear();
+    delta.added.clear();
+    return delta;
+  };
+
+  if (current.numSitesX != snapshot.numSitesX ||
+      current.numRows != snapshot.numRows) {
+    return structural("core dimensions differ");
+  }
+  if (current.siteWidthFactor != snapshot.siteWidthFactor) {
+    return structural("site width factor differs");
+  }
+  if (!sameTypeTable(current, snapshot)) {
+    return structural("cell type table differs");
+  }
+  if (!sameFences(current, snapshot)) {
+    return structural("fence regions differ");
+  }
+  if (current.numEdgeClasses != snapshot.numEdgeClasses ||
+      current.edgeSpacingTable != snapshot.edgeSpacingTable) {
+    return structural("edge-spacing table differs");
+  }
+  if (current.hRails.size() != snapshot.hRails.size() ||
+      current.vRails.size() != snapshot.vRails.size()) {
+    return structural("P/G rail set differs");
+  }
+  if (current.numCells() < snapshot.numCells()) {
+    return structural("cells were removed");
+  }
+
+  for (CellId c = 0; c < snapshot.numCells(); ++c) {
+    const Cell& cur = current.cells[c];
+    const Cell& old = snapshot.cells[c];
+    if (cur.fixed != old.fixed) return structural("fixed flag changed");
+    if (cur.fixed) {
+      if (cur.x != old.x || cur.y != old.y || cur.type != old.type) {
+        return structural("fixed cell edited");
+      }
+      continue;
+    }
+    if (cur.fence != old.fence) {
+      // A fence reassignment invalidates the cell's legal position but not
+      // the rest of the design: treat it as a move.
+      delta.moved.push_back(c);
+      continue;
+    }
+    if (cur.type != old.type) {
+      delta.resized.push_back(c);
+      continue;
+    }
+    if (cur.gpX != old.gpX || cur.gpY != old.gpY) {
+      delta.moved.push_back(c);
+      continue;
+    }
+    // Same target, but the legal position was lost or edited directly.
+    if (cur.placed != old.placed ||
+        (cur.placed && (cur.x != old.x || cur.y != old.y))) {
+      delta.moved.push_back(c);
+    }
+  }
+  for (CellId c = snapshot.numCells(); c < current.numCells(); ++c) {
+    if (current.cells[c].fixed) return structural("fixed cell added");
+    delta.added.push_back(c);
+  }
+  return delta;
+}
+
+}  // namespace mclg

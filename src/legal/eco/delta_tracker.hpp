@@ -1,0 +1,87 @@
+// Delta model of the incremental ECO re-legalization subsystem.
+//
+// Two complementary sources feed the dirty set:
+//
+//  1. DeltaTracker::diff() compares the *current* design against the last
+//     known-legal snapshot (a Design loaded from `--eco-from` or kept
+//     in memory by an ECO loop) and classifies each movable cell as clean,
+//     moved (GP or legal position differs), resized (different cell type),
+//     or added (id beyond the snapshot). Edits the delta model cannot
+//     express — removed cells, changed fixed cells/fences/rails/core — are
+//     reported as `structural`, which degrades the ECO driver to a full
+//     re-legalization.
+//
+//  2. A live DeltaTracker registered as the PlacementState listener records
+//     every cell the incremental stages themselves touch (displacement
+//     spill: a dirty cell's insertion chain-pushes clean neighbors), so
+//     stage 3 re-optimizes exactly the regions stage 1 disturbed.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "db/design.hpp"
+#include "db/placement_state.hpp"
+
+namespace mclg {
+
+/// Classified difference between a current design and its legal snapshot.
+struct DeltaSet {
+  std::vector<CellId> moved;    ///< GP or legal position differs
+  std::vector<CellId> resized;  ///< cell type (footprint) differs
+  std::vector<CellId> added;    ///< ids beyond the snapshot's cell count
+  /// The designs differ in a way the delta model cannot express (cells
+  /// removed, fixed cells / fences / rails / core / type table changed).
+  /// The ECO driver falls back to a full run when set.
+  bool structural = false;
+  std::string structuralReason;  ///< first incompatibility found
+
+  bool empty() const {
+    return moved.empty() && resized.empty() && added.empty() && !structural;
+  }
+  /// All dirty cell ids, ascending, deduplicated.
+  std::vector<CellId> dirtyCells() const;
+};
+
+/// Thread-safe touched-cell recorder, attachable to a PlacementState.
+///
+/// mark() is lock-free (one relaxed atomic flag per cell), so the MGL
+/// scheduler may notify from several threads; takeTouched() returns ids in
+/// ascending order, making the collected set independent of thread
+/// interleaving (determinism note: the *set* of touched cells is determined
+/// by the deterministic scheduler, only the marking order varies).
+class DeltaTracker final : public PlacementListener {
+ public:
+  explicit DeltaTracker(int numCells = 0) { reset(numCells); }
+
+  /// Clear all marks and resize to `numCells` slots.
+  void reset(int numCells);
+
+  void onPlace(CellId c) override { mark(c); }
+  void onRemove(CellId c) override { mark(c); }
+  void onShift(CellId c) override { mark(c); }
+  /// Explicit mark for edits the listener cannot observe (ECO cell adds,
+  /// GP-position updates applied directly to the Design).
+  void mark(CellId c);
+
+  /// Ids marked since the last reset, ascending. Does not clear.
+  std::vector<CellId> touched() const;
+  bool isTouched(CellId c) const;
+  /// Total notification events (marks, including re-marks) — a metrics aid.
+  long long events() const { return events_.load(std::memory_order_relaxed); }
+
+  /// Classify `current` against the legal `snapshot`. Pure function of the
+  /// two designs; see DeltaSet for the categories and the structural rules.
+  /// \pre  none — any pair of designs is accepted.
+  /// \post result.structural implies the ECO driver must not trust the
+  ///       per-cell lists (they are left empty on structural mismatch).
+  static DeltaSet diff(const Design& current, const Design& snapshot);
+
+ private:
+  std::unique_ptr<std::atomic<unsigned char>[]> flags_;
+  int size_ = 0;
+  std::atomic<long long> events_{0};
+};
+
+}  // namespace mclg

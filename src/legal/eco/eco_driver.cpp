@@ -1,0 +1,276 @@
+#include "legal/eco/eco_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "eval/checkers.hpp"
+#include "eval/score.hpp"
+#include "legal/eco/delta_tracker.hpp"
+#include "legal/eco/eco_planner.hpp"
+#include "legal/guard/invariants.hpp"
+#include "legal/maxdisp/matching_opt.hpp"
+#include "legal/mcfopt/fixed_row_order.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "legal/refine/ripup_refine.hpp"
+#include "obs/obs.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace mclg {
+namespace {
+
+/// Remove every placed movable cell, returning the state to "all unplaced"
+/// — the precondition of a full pipeline run.
+void unplaceAllMovable(PlacementState& state) {
+  const Design& design = state.design();
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    const Cell& cell = design.cells[c];
+    if (!cell.fixed && cell.placed) state.remove(c);
+  }
+}
+
+/// True iff cell c of `design` can be placed at (x, y) right now: in core,
+/// parity-legal, and the span is free. Mirrors the MCLG_ASSERT checks of
+/// PlacementState::place so a corrupt snapshot degrades instead of aborting.
+bool placeable(const PlacementState& state, CellId c, std::int64_t x,
+               std::int64_t y) {
+  const Design& design = state.design();
+  const int h = design.heightOf(c);
+  const int w = design.widthOf(c);
+  if (y < 0 || y + h > design.numRows) return false;
+  if (x < 0 || x + w > design.numSitesX) return false;
+  if (!design.parityOk(design.cells[c].type, y)) return false;
+  return state.spanEmpty(y, h, x, w);
+}
+
+void fullRun(PlacementState& state, const SegmentMap& segments,
+             const EcoConfig& config, EcoStats* stats, const char* reason) {
+  stats->usedFullRun = true;
+  stats->fallbackReason = reason;
+  MCLG_LOG_INFO() << "eco: falling back to a full run (" << reason << ")";
+  unplaceAllMovable(state);
+  const PipelineStats pipe = legalize(state, segments, config.pipeline);
+  stats->mgl = pipe.mgl;
+}
+
+}  // namespace
+
+EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
+                       const Design& snapshot, const EcoConfig& config) {
+  Design& design = state.design();
+  EcoStats stats;
+  Timer incrementalTimer;
+  MCLG_TRACE_SCOPE("eco/relegalize");
+
+  // 1. Classify the edits.
+  const DeltaSet delta = DeltaTracker::diff(design, snapshot);
+  stats.movedCells = static_cast<int>(delta.moved.size());
+  stats.resizedCells = static_cast<int>(delta.resized.size());
+  stats.addedCells = static_cast<int>(delta.added.size());
+  const std::vector<CellId> dirty = delta.dirtyCells();
+  stats.dirtyCells = static_cast<int>(dirty.size());
+
+  if (delta.structural) {
+    fullRun(state, segments, config, &stats,
+            delta.structuralReason.c_str());
+    stats.secondsIncremental = incrementalTimer.seconds();
+    return stats;
+  }
+
+  // 2. Plan the dirty regions (reporting + the covers-core bailout).
+  const EcoPlan plan =
+      planEcoRegions(design, snapshot, dirty, config.pipeline.mgl.window,
+                     config.haloSites, config.haloRows);
+  stats.dirtyWindows = plan.dirtyWindows;
+  stats.reusedWindows = plan.reusedTiles;
+  if (plan.coversCore) {
+    fullRun(state, segments, config, &stats, "dirty region covers the core");
+    stats.secondsIncremental = incrementalTimer.seconds();
+    return stats;
+  }
+
+  // Seed: clean cells at their snapshot positions, dirty cells unplaced.
+  std::vector<char> isDirty(static_cast<std::size_t>(design.numCells()), 0);
+  for (const CellId c : dirty) isDirty[static_cast<std::size_t>(c)] = 1;
+  unplaceAllMovable(state);
+  for (CellId c = 0; c < snapshot.numCells(); ++c) {
+    const Cell& old = snapshot.cells[c];
+    if (old.fixed || !old.placed || isDirty[static_cast<std::size_t>(c)]) {
+      continue;
+    }
+    if (placeable(state, c, old.x, old.y)) {
+      state.place(c, old.x, old.y);
+    } else {
+      // The snapshot position is not replayable (corrupt file, overlap with
+      // an edited fixed region): let MGL find this cell a spot instead.
+      isDirty[static_cast<std::size_t>(c)] = 1;
+      ++stats.dirtyCells;
+    }
+  }
+
+  // 3. Stage 1 on the dirty set only (MGL legalizes the unplaced cells),
+  // with a tracker recording the spill onto clean neighbors.
+  DeltaTracker tracker(design.numCells());
+  state.setListener(&tracker);
+  {
+    MCLG_TRACE_SCOPE("eco/stage1");
+    MglLegalizer mgl(state, segments, config.pipeline.mgl);
+    stats.mgl = mgl.run();
+  }
+
+  // Focus mask for the recovery passes: the dirty cells plus every clean
+  // cell the incremental stages have displaced so far.
+  auto touchedFocus = [&]() {
+    std::vector<char> focus = isDirty;
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      if (tracker.isTouched(c)) focus[static_cast<std::size_t>(c)] = 1;
+    }
+    return focus;
+  };
+
+  // 3b. Rip-up & re-insert the worst-displaced touched cells: insertion
+  // into an almost-full placement strands some dirty cells far from their
+  // GP target; re-running the window search with the freed displacement as
+  // a cost ceiling recovers most of that tail (full-pipeline quality is the
+  // reference, and the full run re-places everything from scratch). The
+  // pass is focused on dirty-or-touched cells so it cannot churn clean
+  // regions, and the between-pass MCF re-solve is off — Stage 3 below runs
+  // warm-restarted per dirty component anyway.
+  {
+    MCLG_TRACE_SCOPE("eco/ripup");
+    RipupConfig ripup = config.pipeline.ripup;
+    ripup.insertion = config.pipeline.mgl.insertion;
+    ripup.displacementThreshold = config.ripupThreshold;
+    ripup.mcfResolve = false;
+    // Half the standalone refiner's search window: the incremental
+    // insertion already searched (and expanded) full MGL windows, so the
+    // rip-up only needs to catch nearby spots that freed up since — and the
+    // pass has to stay cheap relative to the dirty set for the ECO speedup
+    // to survive at scale.
+    ripup.windowW = config.pipeline.ripup.windowW / 2;
+    ripup.windowH = config.pipeline.ripup.windowH / 2;
+    const std::vector<char> focus = touchedFocus();
+    stats.ripupImproved =
+        ripupRefine(state, segments, ripup, &focus).improved;
+  }
+
+  // 3c. Stage 2 (§3.2 matching) focused on the still-stranded tail: the
+  // touched cells whose displacement stayed above the rip-up threshold,
+  // i.e. the ones the greedy re-insertion failed to recover. It runs last
+  // of the two because its φ(δ) cost explodes past δ0 and therefore
+  // crushes exactly the max-displacement tail — a stranded cell swaps
+  // positions with a same-type clean neighbor in its group. Restricting
+  // the focus to the tail (rather than everything touched) keeps the pass
+  // proportional to the damage, not to the dirty-region population. The
+  // listener stays attached throughout so every recovery move counts as
+  // spill and its component gets the Stage-3 treatment below.
+  if (config.pipeline.runMaxDisp) {
+    MCLG_TRACE_SCOPE("eco/stage2");
+    std::vector<char> focus = touchedFocus();
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      if (focus[static_cast<std::size_t>(c)] != 0 &&
+          design.displacement(c) <= config.ripupThreshold) {
+        focus[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+    stats.matchedCellsMoved =
+        optimizeMaxDisplacementFocused(state, config.pipeline.maxDisp, focus)
+            .cellsMoved;
+  }
+  state.setListener(nullptr);
+  const std::vector<CellId> touched = tracker.touched();
+  for (const CellId c : touched) {
+    if (!isDirty[static_cast<std::size_t>(c)]) ++stats.spilledCells;
+  }
+
+  // 4. Stage 3 per dirty constraint component, warm-restarted across
+  // passes. maxDispWeight couples all cells globally (§3.3.1), so the
+  // per-component solves force it off — an approximation vs. the full
+  // pipeline, covered by the score tolerance.
+  if (config.pipeline.runFixedRowOrder) {
+    MCLG_TRACE_SCOPE("eco/stage3");
+    FixedRowOrderConfig froConfig = config.pipeline.fixedRowOrder;
+    froConfig.maxDispWeight = 0.0;
+    froConfig.numThreads = 1;
+    auto isComponentDirty = [&](const std::vector<CellId>& component) {
+      for (const CellId c : component) {
+        if (isDirty[static_cast<std::size_t>(c)] || tracker.isTouched(c)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const std::vector<std::vector<CellId>> components =
+        fixedRowOrderComponents(state);
+    for (const auto& component : components) {
+      if (!isComponentDirty(component)) continue;
+      ++stats.dirtySegments;
+      FroSolverReuse reuse;
+      for (int pass = 0; pass < std::max(1, config.mcfPasses); ++pass) {
+        const auto froStats = optimizeFixedRowOrderSubset(
+            state, segments, froConfig, component, &reuse);
+        stats.mcfCellsMoved += froStats.cellsMoved;
+        if (froStats.cellsMoved == 0) break;
+      }
+      stats.warmRestarts += reuse.solver.stats().warmSolves;
+      stats.coldFallbacks += reuse.solver.stats().warmRejected;
+    }
+  }
+
+  // 5. Audit: any hard violation degrades to the full pipeline.
+  const LegalityReport audit = checkLegality(design, segments);
+  if (audit.overlaps > 0 || audit.outOfCore > 0 ||
+      audit.parityViolations > 0 || audit.fenceViolations > 0) {
+    fullRun(state, segments, config, &stats, "incremental audit failed");
+  }
+  stats.secondsIncremental = incrementalTimer.seconds();
+
+  // 6. Exactness: shadow full run on a scratch copy; adopt it in exact
+  // mode so the output is byte-identical to a full re-run.
+  if (config.exact || config.validate) {
+    Timer shadowTimer;
+    MCLG_TRACE_SCOPE("eco/shadow");
+    Design fullDesign = design;
+    for (auto& cell : fullDesign.cells) {
+      if (!cell.fixed) cell.placed = false;
+    }
+    SegmentMap fullSegments(fullDesign);
+    PlacementState fullState(fullDesign);
+    legalize(fullState, fullSegments, config.pipeline);
+    const InvariantResult equiv = checkEcoEquivalence(
+        design, fullDesign, segments, config.scoreTolerance, config.exact);
+    stats.scoreIncremental = equiv.score;
+    stats.scoreFull = evaluateScore(fullDesign, fullSegments).score;
+    if (config.exact) {
+      // Adopt the full placement wholesale: every movable cell takes the
+      // shadow run's position (or becomes unplaced where it failed).
+      unplaceAllMovable(state);
+      for (CellId c = 0; c < design.numCells(); ++c) {
+        const Cell& full = fullDesign.cells[c];
+        if (full.fixed || !full.placed) continue;
+        state.place(c, full.x, full.y);
+      }
+      stats.exactVerified = true;
+      stats.scoreIncremental = stats.scoreFull;
+    } else {
+      stats.exactVerified = equiv.ok;
+      if (!equiv.ok) {
+        MCLG_LOG_WARN() << "eco: equivalence check failed: "
+                        << equiv.violation;
+      }
+    }
+    stats.secondsShadow = shadowTimer.seconds();
+  }
+
+  if (obs::metricsEnabled()) {
+    obs::counter("eco.dirty_cells").add(stats.dirtyCells);
+    obs::counter("eco.spilled_cells").add(stats.spilledCells);
+    obs::counter("eco.dirty_windows").add(stats.dirtyWindows);
+    obs::counter("eco.warm_restarts").add(stats.warmRestarts);
+    obs::counter("eco.cold_fallbacks").add(stats.coldFallbacks);
+  }
+  return stats;
+}
+
+}  // namespace mclg

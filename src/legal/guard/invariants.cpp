@@ -3,6 +3,7 @@
 #include <string>
 
 #include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
 #include "eval/score.hpp"
 
 namespace mclg {
@@ -63,6 +64,47 @@ InvariantResult checkStageInvariants(const Design& design,
                          std::to_string(result.score) + " (tolerance " +
                          std::to_string(config.scoreTolerance) + ")";
     }
+  }
+  return result;
+}
+
+InvariantResult checkEcoEquivalence(const Design& incremental,
+                                    const Design& full,
+                                    const SegmentMap& segments,
+                                    double scoreTolerance, bool exact) {
+  InvariantResult result;
+  const LegalityReport legality = checkLegality(incremental, segments);
+  if (legality.overlaps > 0 || legality.outOfCore > 0 ||
+      legality.parityViolations > 0 || legality.fenceViolations > 0) {
+    result.ok = false;
+    result.violation = "incremental result is not legal";
+    return result;
+  }
+  // Unplaced cells are compared against the full run (an infeasible design
+  // leaves the same cells unplaced either way).
+  if (legality.unplacedCells > countUnplacedMovable(full)) {
+    result.ok = false;
+    result.violation =
+        "incremental run left " + std::to_string(legality.unplacedCells) +
+        " cells unplaced vs " + std::to_string(countUnplacedMovable(full)) +
+        " in the full run";
+    return result;
+  }
+  result.score = evaluateScore(incremental, segments).score;
+  if (exact) {
+    if (placementHash(incremental) != placementHash(full)) {
+      result.ok = false;
+      result.violation = "exact mode: placements differ";
+    }
+    return result;
+  }
+  // SegmentMap depends only on fixed geometry, identical in both designs.
+  const double fullScore = evaluateScore(full, segments).score;
+  if (result.score > fullScore * (1.0 + scoreTolerance) + 1e-9) {
+    result.ok = false;
+    result.violation = "ECO score " + std::to_string(result.score) +
+                       " exceeds full-run score " + std::to_string(fullScore) +
+                       " beyond tolerance " + std::to_string(scoreTolerance);
   }
   return result;
 }

@@ -37,4 +37,14 @@ InvariantResult checkStageInvariants(const Design& design,
                                      PipelineStage stage, int unplacedBefore,
                                      double scoreBefore);
 
+/// EcoEquivalence invariant (legal/eco/): the incremental result must be
+/// fully legal, leave no movable cell unplaced that the full run placed,
+/// and score (Eq. 10) within `scoreTolerance` relative of the full re-run;
+/// with `exact` the two placements must additionally hash identically.
+/// Returns the incremental score in `score`.
+InvariantResult checkEcoEquivalence(const Design& incremental,
+                                    const Design& full,
+                                    const SegmentMap& segments,
+                                    double scoreTolerance, bool exact);
+
 }  // namespace mclg

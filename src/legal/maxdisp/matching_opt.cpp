@@ -225,8 +225,14 @@ void applyMoves(PlacementState& state,
 
 }  // namespace
 
-MaxDispStats optimizeMaxDisplacement(PlacementState& state,
-                                     const MaxDispConfig& config) {
+namespace {
+
+/// Shared body of the full and focused entry points: when `focus` is
+/// non-null, chunks without a focused cell are dropped after grouping (and
+/// the stats count only the surviving chunks).
+MaxDispStats optimizeMaxDisplacementImpl(PlacementState& state,
+                                         const MaxDispConfig& config,
+                                         const std::vector<char>* focus) {
   auto& design = state.design();
   MaxDispStats stats;
 
@@ -276,6 +282,17 @@ MaxDispStats optimizeMaxDisplacement(PlacementState& state,
                           cells.begin() + static_cast<std::ptrdiff_t>(end));
     }
   }
+  if (focus != nullptr) {
+    std::erase_if(chunks, [&](const std::vector<CellId>& chunk) {
+      return std::none_of(chunk.begin(), chunk.end(), [&](CellId c) {
+        return (*focus)[static_cast<std::size_t>(c)] != 0;
+      });
+    });
+    stats.cellsConsidered = 0;
+    for (const auto& chunk : chunks) {
+      stats.cellsConsidered += static_cast<int>(chunk.size());
+    }
+  }
   stats.groups = static_cast<int>(chunks.size());
 
   // Assignment problems are independent and read-only: solve in parallel,
@@ -301,6 +318,19 @@ MaxDispStats optimizeMaxDisplacement(PlacementState& state,
     obs::counter("maxdisp.cells_moved").add(stats.cellsMoved);
   }
   return stats;
+}
+
+}  // namespace
+
+MaxDispStats optimizeMaxDisplacement(PlacementState& state,
+                                     const MaxDispConfig& config) {
+  return optimizeMaxDisplacementImpl(state, config, nullptr);
+}
+
+MaxDispStats optimizeMaxDisplacementFocused(PlacementState& state,
+                                            const MaxDispConfig& config,
+                                            const std::vector<char>& focus) {
+  return optimizeMaxDisplacementImpl(state, config, &focus);
 }
 
 }  // namespace mclg

@@ -16,6 +16,8 @@
 // tail — the paper's Table 3 effect.
 #pragma once
 
+#include <vector>
+
 #include "db/placement_state.hpp"
 
 namespace mclg {
@@ -57,8 +59,24 @@ struct MaxDispStats {
 /// φ of Eq. 3 (exposed for tests and the φ-threshold ablation bench).
 double phiCost(double delta, double delta0);
 
-/// Run the optimization on a legal placement. Never degrades legality.
+/// Run the optimization on a legal placement.
+/// \pre  `state` holds a legal placement (the matching only permutes cells
+///       over their group's existing positions, so it cannot repair — nor
+///       create — violations).
+/// \post Legality is never degraded; moves are applied in deterministic
+///       group order, so results are thread-count invariant.
 MaxDispStats optimizeMaxDisplacement(PlacementState& state,
                                      const MaxDispConfig& config);
+
+/// Focused variant for incremental ECO re-legalization (docs/ECO.md): only
+/// the matching chunks containing at least one cell with `focus[c] != 0`
+/// are re-solved; all other groups keep their placement untouched.
+/// \pre  `focus.size() >= state.design().numCells()`; same legality
+///       precondition as above.
+/// \post Same guarantees as optimizeMaxDisplacement, restricted to the
+///       focused chunks (stats count only those).
+MaxDispStats optimizeMaxDisplacementFocused(PlacementState& state,
+                                            const MaxDispConfig& config,
+                                            const std::vector<char>& focus);
 
 }  // namespace mclg

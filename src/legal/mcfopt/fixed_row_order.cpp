@@ -187,10 +187,12 @@ FroNetwork buildFixedRowOrderNetwork(const PlacementState& state,
 
 namespace {
 
-/// Solve one subset's network and append its moves.
+/// Solve one subset's network and append its moves. With `reuse`, the solve
+/// goes through the persistent solver (cold on first use, warm after).
 void solveSubset(const PlacementState& state, const SegmentMap& segments,
                  const FixedRowOrderConfig& config, std::vector<CellId> subset,
-                 std::vector<std::pair<CellId, std::int64_t>>* moves) {
+                 std::vector<std::pair<CellId, std::int64_t>>* moves,
+                 FroSolverReuse* reuse = nullptr) {
   const auto& design = state.design();
   MCLG_TRACE_SCOPE("mcfopt/component",
                    {{"cells", static_cast<double>(subset.size())}});
@@ -202,7 +204,14 @@ void solveSubset(const PlacementState& state, const SegmentMap& segments,
     obs::counter("mcfopt.nodes").add(net.problem.numNodes());
     obs::counter("mcfopt.arcs").add(net.problem.numArcs());
   }
-  const McfSolution sol = NetworkSimplex::solve(net.problem);
+  McfSolution sol;
+  if (reuse != nullptr) {
+    sol = reuse->hasBasis ? reuse->solver.solveWarm(net.problem)
+                          : reuse->solver.solve(net.problem);
+    reuse->hasBasis = true;
+  } else {
+    sol = NetworkSimplex::solve(net.problem);
+  }
   MCLG_ASSERT(sol.status == McfStatus::Optimal,
               "fixed-row-order MCF must be optimal (zero flow is feasible)");
   // Read positions back from the potentials: x_i = pi(v_z) - pi(v_i).
@@ -218,7 +227,77 @@ void solveSubset(const PlacementState& state, const SegmentMap& segments,
   }
 }
 
+/// Apply moves transactionally: remove every moved cell first, then
+/// re-place left-to-right (the MCF respects the separations, so sorted
+/// placement never collides).
+void applyMoves(PlacementState& state,
+                std::vector<std::pair<CellId, std::int64_t>>& moves) {
+  const auto& design = state.design();
+  for (const auto& [c, x] : moves) {
+    (void)x;
+    state.remove(c);
+  }
+  std::sort(moves.begin(), moves.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [c, x] : moves) {
+    state.place(c, x, design.cells[c].y);
+  }
+}
+
+void finishStats(const Design& design, const std::vector<CellId>& cells,
+                 const FixedRowOrderConfig& config, int moved,
+                 FixedRowOrderStats* stats) {
+  stats->cellsMoved = moved;
+  if (obs::metricsEnabled()) {
+    obs::counter("mcfopt.cells_moved").add(moved);
+  }
+  stats->objectiveAfter =
+      weightedObjective(design, cells, config.contestWeights);
+  if (stats->objectiveAfter > stats->objectiveBefore + 1e-6) {
+    // Only possible through the integer rounding of GP positions and
+    // weights; should stay within rounding noise.
+    MCLG_LOG_WARN() << "fixed-row-order objective regressed: "
+                    << stats->objectiveBefore << " -> "
+                    << stats->objectiveAfter;
+  }
+}
+
 }  // namespace
+
+std::vector<std::vector<CellId>> fixedRowOrderComponents(
+    const PlacementState& state) {
+  const auto& design = state.design();
+  // Union-find over the neighbor constraint graph.
+  std::vector<CellId> parent(static_cast<std::size_t>(design.numCells()));
+  for (CellId c = 0; c < design.numCells(); ++c) parent[static_cast<std::size_t>(c)] = c;
+  std::function<CellId(CellId)> find = [&](CellId c) {
+    while (parent[static_cast<std::size_t>(c)] != c) {
+      parent[static_cast<std::size_t>(c)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(c)])];
+      c = parent[static_cast<std::size_t>(c)];
+    }
+    return c;
+  };
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    CellId prev = kInvalidCell;
+    for (const auto& [x, c] : state.rowCells(y)) {
+      (void)x;
+      if (prev != kInvalidCell) {
+        parent[static_cast<std::size_t>(find(prev))] = find(c);
+      }
+      prev = c;
+    }
+  }
+  std::unordered_map<CellId, std::size_t> componentIndex;
+  std::vector<std::vector<CellId>> components;
+  for (const CellId c : placedMovableCells(design)) {
+    const CellId root = find(c);
+    auto [it, inserted] = componentIndex.emplace(root, components.size());
+    if (inserted) components.emplace_back();
+    components[it->second].push_back(c);
+  }
+  return components;
+}
 
 FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
                                          const SegmentMap& segments,
@@ -235,35 +314,8 @@ FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
   // The §3.3.1 max-displacement term couples every cell, so component
   // decomposition is only exact for the plain objective.
   if (config.numThreads > 1 && config.maxDispWeight == 0.0) {
-    // Union-find over the neighbor constraint graph.
-    std::vector<CellId> parent(static_cast<std::size_t>(design.numCells()));
-    for (CellId c = 0; c < design.numCells(); ++c) parent[static_cast<std::size_t>(c)] = c;
-    std::function<CellId(CellId)> find = [&](CellId c) {
-      while (parent[static_cast<std::size_t>(c)] != c) {
-        parent[static_cast<std::size_t>(c)] =
-            parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(c)])];
-        c = parent[static_cast<std::size_t>(c)];
-      }
-      return c;
-    };
-    for (std::int64_t y = 0; y < design.numRows; ++y) {
-      CellId prev = kInvalidCell;
-      for (const auto& [x, c] : state.rowCells(y)) {
-        (void)x;
-        if (prev != kInvalidCell) {
-          parent[static_cast<std::size_t>(find(prev))] = find(c);
-        }
-        prev = c;
-      }
-    }
-    std::unordered_map<CellId, std::size_t> componentIndex;
-    std::vector<std::vector<CellId>> components;
-    for (const CellId c : all) {
-      const CellId root = find(c);
-      auto [it, inserted] = componentIndex.emplace(root, components.size());
-      if (inserted) components.emplace_back();
-      components[it->second].push_back(c);
-    }
+    const std::vector<std::vector<CellId>> components =
+        fixedRowOrderComponents(state);
     std::vector<std::vector<std::pair<CellId, std::int64_t>>> perComponent(
         components.size());
     ThreadPool pool(config.numThreads);
@@ -279,27 +331,27 @@ FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
     solveSubset(state, segments, config, all, &moves);
   }
 
-  // Apply: remove all moved cells first, then re-place left-to-right.
-  for (const auto& [c, x] : moves) {
-    (void)x;
-    state.remove(c);
-  }
-  std::sort(moves.begin(), moves.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
-  for (const auto& [c, x] : moves) {
-    state.place(c, x, design.cells[c].y);
-  }
-  stats.cellsMoved = static_cast<int>(moves.size());
-  if (obs::metricsEnabled()) {
-    obs::counter("mcfopt.cells_moved").add(stats.cellsMoved);
-  }
-  stats.objectiveAfter = weightedObjective(design, all, config.contestWeights);
-  if (stats.objectiveAfter > stats.objectiveBefore + 1e-6) {
-    // Only possible through the integer rounding of GP positions and
-    // weights; should stay within rounding noise.
-    MCLG_LOG_WARN() << "fixed-row-order objective regressed: "
-                    << stats.objectiveBefore << " -> " << stats.objectiveAfter;
-  }
+  applyMoves(state, moves);
+  finishStats(design, all, config, static_cast<int>(moves.size()), &stats);
+  return stats;
+}
+
+FixedRowOrderStats optimizeFixedRowOrderSubset(
+    PlacementState& state, const SegmentMap& segments,
+    const FixedRowOrderConfig& config, std::vector<CellId> subset,
+    FroSolverReuse* reuse) {
+  auto& design = state.design();
+  FixedRowOrderStats stats;
+  if (subset.empty()) return stats;
+  stats.objectiveBefore =
+      weightedObjective(design, subset, config.contestWeights);
+
+  std::vector<std::pair<CellId, std::int64_t>> moves;
+  const std::vector<CellId> cells = subset;  // keep a copy for the stats
+  solveSubset(state, segments, config, std::move(subset), &moves, reuse);
+
+  applyMoves(state, moves);
+  finishStats(design, cells, config, static_cast<int>(moves.size()), &stats);
   return stats;
 }
 

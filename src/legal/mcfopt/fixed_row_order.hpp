@@ -64,11 +64,51 @@ struct FixedRowOrderStats {
   double objectiveAfter = 0.0;
 };
 
-/// Run the optimization on a legal placement. Never degrades legality; the
-/// weighted objective never increases.
+/// Run the optimization on a legal placement.
+/// \pre  state holds a legal placement (no overlaps; MCLG_ASSERT-enforced).
+/// \post Legality is preserved; the weighted objective never increases
+///       (modulo integer-rounding noise, which is logged).
+/// Determinism: output is invariant under config.numThreads (component
+/// solves are independent and applied in a fixed order).
 FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
                                          const SegmentMap& segments,
                                          const FixedRowOrderConfig& config);
+
+/// Persistent network-simplex state for iterated re-solves of one component
+/// whose costs drift between passes (ECO stage-3 passes, ripup refine
+/// re-solves). First use is a cold solve that retains the basis; later uses
+/// go through NetworkSimplexSolver::solveWarm, which validates the topology
+/// and silently falls back to a cold solve when it changed. Read
+/// solver.stats() for the warm/cold/rejected counters.
+struct FroSolverReuse {
+  NetworkSimplexSolver solver;
+  bool hasBasis = false;
+};
+
+/// Connected components of the neighbor-constraint graph over the placed
+/// movable cells (cells linked by a same-row adjacency, transitively).
+/// Deterministic: components ordered by their lowest-id cell's first
+/// appearance in ascending cell-id order; cells ascend within a component's
+/// discovery order.
+std::vector<std::vector<CellId>> fixedRowOrderComponents(
+    const PlacementState& state);
+
+/// Run the optimization on `subset` only, optionally through a persistent
+/// warm-startable solver.
+/// \pre  `subset` is closed under the neighbor relation (a union of
+///       fixedRowOrderComponents entries, or all placed movable cells) —
+///       otherwise boundary constraints are dropped and the result may
+///       overlap a cell outside the subset (caught by placement asserts).
+/// \pre  With a reuse whose basis was retained on a previous call, the
+///       subset and its row order must be unchanged (only GP targets /
+///       clamped separations, i.e. arc costs, may differ); a mismatch is
+///       safe — solveWarm detects it and re-solves cold.
+/// \post Same guarantees as optimizeFixedRowOrder, restricted to `subset`.
+FixedRowOrderStats optimizeFixedRowOrderSubset(PlacementState& state,
+                                               const SegmentMap& segments,
+                                               const FixedRowOrderConfig& config,
+                                               std::vector<CellId> subset,
+                                               FroSolverReuse* reuse = nullptr);
 
 /// The flow network of the optimization, exposed for the formulation-size
 /// comparison and for tests that check both structures reach one optimum.

@@ -17,11 +17,22 @@ namespace mclg {
 
 class MglScheduler {
  public:
+  /// \param legalizer  the single-threaded MGL engine whose queue this
+  ///                   scheduler drives; must outlive the scheduler.
+  /// \param numThreads worker count (>= 2 — the serial path lives in
+  ///                   MglLegalizer::run, not here).
+  /// \param batchCap   max cells per parallel batch; 0 picks
+  ///                   2 * numThreads. Results depend on the cap (batch
+  ///                   composition changes), so comparisons across thread
+  ///                   counts must pin it explicitly.
   MglScheduler(MglLegalizer& legalizer, int numThreads, int batchCap)
       : legalizer_(legalizer),
         numThreads_(numThreads),
         batchCap_(batchCap > 0 ? batchCap : 2 * numThreads) {}
 
+  /// Legalize every unplaced movable cell (same contract as
+  /// MglLegalizer::run). \post results are byte-identical for any thread
+  /// count >= 2 at a fixed batch cap.
   MglStats run();
 
  private:

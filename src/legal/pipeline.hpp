@@ -63,6 +63,12 @@ struct PipelineStats {
 };
 
 /// Legalize all unplaced movable cells of the design behind `state`.
+/// \pre  every placed cell (fixed or previously legalized) is overlap-free;
+///       unplaced movable cells carry their GP targets in gpX/gpY.
+/// \post all movable cells are placed and legal unless the design is
+///       infeasible (stats.mgl.failed > 0, or guard degradation when
+///       config.guard.enabled). Deterministic for a fixed config; thread-
+///       count invariant for numThreads >= 2 at a fixed mgl.batchCap.
 PipelineStats legalize(PlacementState& state, const SegmentMap& segments,
                        const PipelineConfig& config);
 

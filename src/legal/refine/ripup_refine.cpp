@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "legal/mcfopt/fixed_row_order.hpp"
 #include "util/assert.hpp"
 
 namespace mclg {
@@ -17,12 +18,25 @@ double weightedDisplacement(const Design& design, CellId c,
 }  // namespace
 
 RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
-                       const RipupConfig& config) {
+                       const RipupConfig& config,
+                       const std::vector<char>* focus) {
   auto& design = state.design();
   RipupStats stats;
   // One searcher for all passes; the per-cell commit gate is set through
   // setCostCeiling so the searcher's caches and scratch survive.
   InsertionSearcher searcher(state, segments, config.insertion);
+
+  // One persistent simplex instance for the between-pass MCF re-solves: the
+  // rip-ups only perturb arc costs when the cell set and row order survive a
+  // pass, so the second and later re-solves warm-restart from the retained
+  // basis (solveWarm validates and falls back cold on a topology change).
+  FroSolverReuse mcfReuse;
+  FixedRowOrderConfig mcfConfig;
+  mcfConfig.contestWeights = config.insertion.contestWeights;
+  mcfConfig.routability = config.insertion.routability;
+  mcfConfig.respectEdgeSpacing = config.insertion.respectEdgeSpacing;
+  mcfConfig.maxDispWeight = 0.0;  // pure displacement, matching stats.gain
+  mcfConfig.numThreads = 1;
 
   for (int pass = 0; pass < config.passes; ++pass) {
     // Candidates: most displaced first.
@@ -30,6 +44,9 @@ RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
     for (CellId c = 0; c < design.numCells(); ++c) {
       const auto& cell = design.cells[c];
       if (cell.fixed || !cell.placed) continue;
+      if (focus != nullptr && (*focus)[static_cast<std::size_t>(c)] == 0) {
+        continue;
+      }
       const double disp = design.displacement(c);
       if (disp > config.displacementThreshold) worst.emplace_back(disp, c);
     }
@@ -83,6 +100,27 @@ RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
     }
     stats.improved += improvedThisPass;
     if (improvedThisPass == 0) break;
+
+    if (config.mcfResolve) {
+      // The accepted re-insertions shifted neighbors; re-optimize every
+      // cell's x under the fixed rows and order before the next pass ranks
+      // candidates by displacement.
+      std::vector<CellId> all;
+      for (CellId c = 0; c < design.numCells(); ++c) {
+        const auto& cell = design.cells[c];
+        if (!cell.fixed && cell.placed) all.push_back(c);
+      }
+      const auto solverBefore = mcfReuse.solver.stats();
+      const auto froStats = optimizeFixedRowOrderSubset(
+          state, segments, mcfConfig, std::move(all), &mcfReuse);
+      const auto solverAfter = mcfReuse.solver.stats();
+      ++stats.mcfResolves;
+      stats.mcfCellsMoved += froStats.cellsMoved;
+      stats.mcfGain += froStats.objectiveBefore - froStats.objectiveAfter;
+      stats.warmSolves += solverAfter.warmSolves - solverBefore.warmSolves;
+      stats.coldFallbacks +=
+          solverAfter.warmRejected - solverBefore.warmRejected;
+    }
   }
   return stats;
 }

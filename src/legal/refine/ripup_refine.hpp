@@ -29,6 +29,13 @@ struct RipupConfig {
   int windowW = 64;
   int windowH = 24;
   InsertionConfig insertion;  // objective/routability flags
+  /// Re-run the fixed-row/fixed-order MCF after each improving pass: the
+  /// rip-ups shift cells inside their rows, perturbing the network's clamped
+  /// separations (costs) while the topology usually survives, so the
+  /// re-solves run through one persistent NetworkSimplexSolver — cold the
+  /// first time, warm-restarted afterwards (automatic cold fallback on
+  /// topology change).
+  bool mcfResolve = true;
 };
 
 struct RipupStats {
@@ -36,9 +43,23 @@ struct RipupStats {
   int improved = 0;
   /// Total weighted displacement removed (same units as the MGL objective).
   double gain = 0.0;
+  /// Between-pass MCF re-solve activity (zero when mcfResolve is off).
+  int mcfResolves = 0;
+  int mcfCellsMoved = 0;
+  double mcfGain = 0.0;
+  long long warmSolves = 0;    ///< re-solves that reused the retained basis
+  long long coldFallbacks = 0; ///< warm attempts rejected (topology changed)
 };
 
+/// Refine a legal placement by ripping up the most-displaced cells. When
+/// `focus` is non-null (size >= numCells), only cells with `(*focus)[c]`
+/// set are rip-up candidates — the incremental ECO driver (docs/ECO.md)
+/// uses this to confine the pass to the dirty neighborhoods.
+/// \pre  state is legal; \post legality preserved, weighted displacement
+/// never increases (every accepted move is measured, not estimated).
+/// Determinism: single-threaded, fixed candidate order — bit-reproducible.
 RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
-                       const RipupConfig& config);
+                       const RipupConfig& config,
+                       const std::vector<char>* focus = nullptr);
 
 }  // namespace mclg

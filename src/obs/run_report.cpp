@@ -72,7 +72,8 @@ bool writeStringToFile(const std::string& path, const std::string& text) {
 
 std::string renderRunReport(const RunProvenance& provenance,
                             const PipelineStats& stats,
-                            const ScoreBreakdown* score, bool includeMetrics) {
+                            const ScoreBreakdown* score, bool includeMetrics,
+                            const EcoStats* eco) {
   JsonWriter w;
   w.beginObject();
   w.field("schema_version", kRunReportSchemaVersion);
@@ -125,6 +126,35 @@ std::string renderRunReport(const RunProvenance& provenance,
   w.field("infeasible_cells", stats.guard.infeasibleCells);
   w.endObject();
 
+  if (eco != nullptr) {
+    w.key("eco").beginObject();
+    w.field("moved_cells", eco->movedCells);
+    w.field("resized_cells", eco->resizedCells);
+    w.field("added_cells", eco->addedCells);
+    w.field("dirty_cells", eco->dirtyCells);
+    w.field("spilled_cells", eco->spilledCells);
+    w.field("dirty_windows", eco->dirtyWindows);
+    w.field("reused_windows", static_cast<std::int64_t>(eco->reusedWindows));
+    w.field("matched_cells_moved", eco->matchedCellsMoved);
+    w.field("ripup_improved", eco->ripupImproved);
+    w.field("dirty_segments", eco->dirtySegments);
+    w.field("warm_restarts", static_cast<std::int64_t>(eco->warmRestarts));
+    w.field("cold_fallbacks", static_cast<std::int64_t>(eco->coldFallbacks));
+    w.field("mcf_cells_moved", eco->mcfCellsMoved);
+    w.field("used_full_run", eco->usedFullRun);
+    if (!eco->fallbackReason.empty()) {
+      w.field("fallback_reason", eco->fallbackReason);
+    }
+    w.field("exact_verified", eco->exactVerified);
+    if (eco->scoreIncremental >= 0.0) {
+      w.field("score_incremental", eco->scoreIncremental);
+    }
+    if (eco->scoreFull >= 0.0) w.field("score_full", eco->scoreFull);
+    w.field("seconds_incremental", eco->secondsIncremental);
+    w.field("seconds_shadow", eco->secondsShadow);
+    w.endObject();
+  }
+
   if (score != nullptr) {
     w.key("quality").beginObject();
     w.field("legal", score->legality.legal());
@@ -150,9 +180,9 @@ std::string renderRunReport(const RunProvenance& provenance,
 
 bool writeRunReport(const std::string& path, const RunProvenance& provenance,
                     const PipelineStats& stats, const ScoreBreakdown* score,
-                    bool includeMetrics) {
+                    bool includeMetrics, const EcoStats* eco) {
   return writeStringToFile(
-      path, renderRunReport(provenance, stats, score, includeMetrics));
+      path, renderRunReport(provenance, stats, score, includeMetrics, eco));
 }
 
 std::string renderBenchReport(

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "eval/score.hpp"
+#include "legal/eco/eco_driver.hpp"
 #include "legal/pipeline.hpp"
 
 namespace mclg::obs {
@@ -23,7 +24,13 @@ namespace mclg::obs {
 /// written by scripts/perf_gate.py. Purely additive: v1 consumers that
 /// ignore unknown fields keep working, and the in-tree readers
 /// (scripts/perf_gate.py, tests/cli_end_to_end.cmake) accept both versions.
-inline constexpr int kRunReportSchemaVersion = 2;
+///
+/// v3 (PR 4): adds the optional top-level `eco` block emitted by the
+/// `--eco-from` incremental mode (`eco.dirty_windows`, `eco.reused_windows`,
+/// `eco.warm_restarts`, `eco.cold_fallbacks`, plus the delta/fallback/
+/// exactness fields — see docs/ECO.md). Additive as before; absent on full
+/// runs.
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// Where the run came from: everything needed to reproduce it.
 struct RunProvenance {
@@ -38,14 +45,15 @@ struct RunProvenance {
 
 /// Render the "kind":"legalize" report. `score` may be null (quality block
 /// omitted); the metrics block snapshots the registry when
-/// `includeMetrics` is set.
+/// `includeMetrics` is set. `eco` may be null (block omitted — full runs).
 std::string renderRunReport(const RunProvenance& provenance,
                             const PipelineStats& stats,
-                            const ScoreBreakdown* score, bool includeMetrics);
+                            const ScoreBreakdown* score, bool includeMetrics,
+                            const EcoStats* eco = nullptr);
 
 bool writeRunReport(const std::string& path, const RunProvenance& provenance,
                     const PipelineStats& stats, const ScoreBreakdown* score,
-                    bool includeMetrics);
+                    bool includeMetrics, const EcoStats* eco = nullptr);
 
 /// Render the "kind":"bench" report: same envelope (schema_version,
 /// provenance, metrics registry), with the benchmark's named values in

@@ -49,9 +49,10 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(report_err)
     message(FATAL_ERROR "run.json is not a valid run report: ${report_err}")
   endif()
-  # Accept both known schema versions (v2 is additive over v1).
-  if(NOT schema EQUAL 1 AND NOT schema EQUAL 2)
-    message(FATAL_ERROR "run.json schema_version ${schema}, expected 1 or 2")
+  # Accept all known schema versions (v2 and v3 are additive over v1).
+  if(NOT schema EQUAL 1 AND NOT schema EQUAL 2 AND NOT schema EQUAL 3)
+    message(FATAL_ERROR
+            "run.json schema_version ${schema}, expected 1, 2, or 3")
   endif()
   string(JSON mgl_placed ERROR_VARIABLE report_err
          GET "${report_text}" pipeline mgl placed)
@@ -65,6 +66,23 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   endif()
 endif()
 run_cli(svg --in ${WORKDIR}/legal.mclg --out ${WORKDIR}/legal.svg)
+
+# Incremental ECO mode: re-legalizing the legal result against itself is the
+# trivial delta (nothing dirty) and must stay legal; the v3 report carries
+# the eco block.
+run_cli(legalize --in ${WORKDIR}/legal.mclg --eco-from ${WORKDIR}/legal.mclg
+        --report-out ${WORKDIR}/eco.json --out ${WORKDIR}/eco_legal.mclg)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ ${WORKDIR}/eco.json eco_text)
+  string(JSON eco_dirty ERROR_VARIABLE eco_err
+         GET "${eco_text}" eco dirty_cells)
+  if(eco_err)
+    message(FATAL_ERROR "eco.json has no eco block: ${eco_err}")
+  endif()
+  if(NOT eco_dirty EQUAL 0)
+    message(FATAL_ERROR "self-ECO reported ${eco_dirty} dirty cells")
+  endif()
+endif()
 
 # violations: exit status reflects whether any exist; just require output.
 execute_process(COMMAND ${CLI} violations --in ${WORKDIR}/legal.mclg

@@ -1,0 +1,268 @@
+// Property tests for the incremental ECO re-legalization driver
+// (src/legal/eco/, docs/ECO.md): random edit bursts — GP moves, same-type
+// GP swaps, appended cells — on generated designs must leave the
+// incremental result legal, within the score tolerance of a full re-run,
+// deterministic per thread count, and byte-identical to the full re-run
+// under exact mode at 1/4/8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/checkers.hpp"
+#include "eval/metrics.hpp"
+#include "eval/score.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/eco/delta_tracker.hpp"
+#include "legal/eco/eco_driver.hpp"
+#include "legal/pipeline.hpp"
+
+namespace mclg {
+namespace {
+
+Design legalSnapshot(std::uint64_t seed) {
+  GenSpec spec;
+  spec.name = "eco_test";
+  spec.cellsPerHeight = {500, 60, 25, 15};
+  spec.density = 0.6;
+  spec.numFences = 2;
+  spec.seed = seed;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  return design;
+}
+
+std::vector<CellId> movableCells(const Design& design) {
+  std::vector<CellId> out;
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    if (!design.cells[c].fixed) out.push_back(c);
+  }
+  return out;
+}
+
+/// A clustered ECO burst: GP jitter + same-type GP swaps around one
+/// hotspot, plus `adds` appended copies of existing movable cells.
+Design applyEditBurst(const Design& snapshot, std::uint64_t seed, int moves,
+                      int swaps, int adds) {
+  Design edited = snapshot;
+  std::mt19937_64 rng(seed);
+  std::vector<CellId> movable = movableCells(edited);
+  const double hx = 0.35 * edited.numSitesX, hy = 0.4 * edited.numRows;
+  std::sort(movable.begin(), movable.end(), [&](CellId a, CellId b) {
+    const auto dist = [&](CellId c) {
+      const double dx = (edited.cells[c].gpX - hx) * edited.siteWidthFactor;
+      const double dy = edited.cells[c].gpY - hy;
+      return dx * dx + dy * dy;
+    };
+    const double da = dist(a), db = dist(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::uniform_int_distribution<int> dx(-16, 16), dy(-4, 4);
+  int next = 0;
+  for (int i = 0; i < moves && next < static_cast<int>(movable.size());
+       ++i, ++next) {
+    Cell& cell = edited.cells[movable[next]];
+    cell.gpX = std::clamp(cell.gpX + dx(rng), 0.0,
+                          static_cast<double>(edited.numSitesX - 1));
+    cell.gpY = std::clamp(cell.gpY + dy(rng), 0.0,
+                          static_cast<double>(edited.numRows - 1));
+  }
+  for (int i = 0; i < swaps && next + 1 < static_cast<int>(movable.size());
+       ++i, next += 2) {
+    Cell& a = edited.cells[movable[next]];
+    Cell& b = edited.cells[movable[next + 1]];
+    std::swap(a.gpX, b.gpX);
+    std::swap(a.gpY, b.gpY);
+  }
+  for (int i = 0; i < adds && !movable.empty(); ++i) {
+    Cell fresh = edited.cells[movable[i % movable.size()]];
+    fresh.placed = false;
+    fresh.x = -1;
+    fresh.y = -1;
+    fresh.gpX = std::clamp(hx + dx(rng), 0.0,
+                           static_cast<double>(edited.numSitesX - 1));
+    fresh.gpY = std::clamp(hy + dy(rng), 0.0,
+                           static_cast<double>(edited.numRows - 1));
+    edited.cells.push_back(fresh);
+  }
+  edited.invalidateCaches();
+  return edited;
+}
+
+void unplaceMovable(PlacementState& state) {
+  const Design& design = state.design();
+  for (CellId c = 0; c < design.numCells(); ++c) {
+    if (!design.cells[c].fixed && design.cells[c].placed) state.remove(c);
+  }
+}
+
+void fullRescoreReference(const Design& edited, const PipelineConfig& config,
+                          double* scoreOut, std::uint64_t* hashOut) {
+  Design design = edited;
+  SegmentMap segments(design);
+  PlacementState state(design);
+  unplaceMovable(state);
+  legalize(state, segments, config);
+  if (scoreOut != nullptr) *scoreOut = evaluateScore(design, segments).score;
+  if (hashOut != nullptr) *hashOut = placementHash(design);
+}
+
+TEST(Eco, RandomBurstsStayLegalWithinTolerance) {
+  const Design snapshot = legalSnapshot(901);
+  for (const std::uint64_t burstSeed : {11u, 22u, 33u}) {
+    Design edited = applyEditBurst(snapshot, burstSeed, /*moves=*/24,
+                                   /*swaps=*/4, /*adds=*/6);
+    SegmentMap segments(edited);
+    PlacementState state(edited);
+    EcoConfig config;
+    config.pipeline = PipelineConfig::contest();
+    const EcoStats stats = ecoRelegalize(state, segments, snapshot, config);
+    EXPECT_EQ(stats.dirtyCells, stats.movedCells + stats.resizedCells +
+                                    stats.addedCells);
+    EXPECT_TRUE(checkLegality(edited, segments).legal())
+        << "burst seed " << burstSeed
+        << " fallback=" << stats.fallbackReason;
+
+    // Within 5% (Eq. 10) of re-legalizing the edited design from scratch.
+    double fullScore = 0.0;
+    fullRescoreReference(edited, PipelineConfig::contest(), &fullScore,
+                         nullptr);
+    const double ecoScore = evaluateScore(edited, segments).score;
+    EXPECT_LE(ecoScore, fullScore * 1.05 + 1e-9)
+        << "burst seed " << burstSeed;
+  }
+}
+
+TEST(Eco, IncrementalPathIsDeterministic) {
+  const Design snapshot = legalSnapshot(902);
+  const Design edited =
+      applyEditBurst(snapshot, 77, /*moves=*/30, /*swaps=*/5, /*adds=*/4);
+  std::uint64_t hashes[2] = {0, 1};
+  bool usedFull[2] = {false, false};
+  for (int run = 0; run < 2; ++run) {
+    Design design = edited;
+    SegmentMap segments(design);
+    PlacementState state(design);
+    EcoConfig config;
+    config.pipeline = PipelineConfig::contest();
+    usedFull[run] = ecoRelegalize(state, segments, snapshot, config)
+                        .usedFullRun;
+    hashes[run] = placementHash(design);
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(usedFull[0], usedFull[1]);
+  EXPECT_FALSE(usedFull[0]) << "clustered burst should stay incremental";
+}
+
+TEST(Eco, ExactModeByteIdenticalToFullRunAtEachThreadCount) {
+  const Design snapshot = legalSnapshot(903);
+  const Design edited =
+      applyEditBurst(snapshot, 55, /*moves=*/20, /*swaps=*/3, /*adds=*/5);
+  for (const int threads : {1, 4, 8}) {
+    PipelineConfig pipeline = PipelineConfig::contest();
+    pipeline.mgl.numThreads = threads;
+    pipeline.maxDisp.numThreads = threads;
+    pipeline.fixedRowOrder.numThreads = threads;
+    // The guarantee is byte-identity with a from-scratch legalize() under
+    // the *same* PipelineConfig (full-pipeline results are thread-count
+    // invariant only under the §3.5 scheduler's fixed-batch conditions).
+    std::uint64_t referenceHash = 0;
+    fullRescoreReference(edited, pipeline, nullptr, &referenceHash);
+    Design design = edited;
+    SegmentMap segments(design);
+    PlacementState state(design);
+    EcoConfig config;
+    config.pipeline = pipeline;
+    config.exact = true;
+    const EcoStats stats = ecoRelegalize(state, segments, snapshot, config);
+    EXPECT_TRUE(stats.exactVerified) << "threads=" << threads;
+    EXPECT_EQ(placementHash(design), referenceHash) << "threads=" << threads;
+    EXPECT_TRUE(checkLegality(design, segments).legal());
+  }
+}
+
+TEST(Eco, ValidateModeAuditsEquivalence) {
+  const Design snapshot = legalSnapshot(904);
+  Design edited =
+      applyEditBurst(snapshot, 88, /*moves=*/16, /*swaps=*/2, /*adds=*/3);
+  SegmentMap segments(edited);
+  PlacementState state(edited);
+  EcoConfig config;
+  config.pipeline = PipelineConfig::contest();
+  config.validate = true;
+  config.scoreTolerance = 0.05;
+  const EcoStats stats = ecoRelegalize(state, segments, snapshot, config);
+  EXPECT_TRUE(stats.exactVerified);
+  EXPECT_GE(stats.scoreIncremental, 0.0);
+  EXPECT_GE(stats.scoreFull, 0.0);
+  EXPECT_GT(stats.secondsShadow, 0.0);
+}
+
+TEST(Eco, AddedCellsArePlaced) {
+  const Design snapshot = legalSnapshot(905);
+  Design edited =
+      applyEditBurst(snapshot, 99, /*moves=*/0, /*swaps=*/0, /*adds=*/12);
+  SegmentMap segments(edited);
+  PlacementState state(edited);
+  EcoConfig config;
+  config.pipeline = PipelineConfig::contest();
+  const EcoStats stats = ecoRelegalize(state, segments, snapshot, config);
+  EXPECT_EQ(stats.addedCells, 12);
+  for (CellId c = snapshot.numCells(); c < edited.numCells(); ++c) {
+    EXPECT_TRUE(edited.cells[c].placed) << "added cell " << c;
+  }
+  EXPECT_TRUE(checkLegality(edited, segments).legal());
+}
+
+TEST(Eco, StructuralDiffFallsBackToFullRun) {
+  const Design snapshot = legalSnapshot(906);
+  Design edited = snapshot;
+  edited.cells.pop_back();  // cell removal is outside the delta model
+  edited.invalidateCaches();
+  SegmentMap segments(edited);
+  PlacementState state(edited);
+  EcoConfig config;
+  config.pipeline = PipelineConfig::contest();
+  const EcoStats stats = ecoRelegalize(state, segments, snapshot, config);
+  EXPECT_TRUE(stats.usedFullRun);
+  EXPECT_FALSE(stats.fallbackReason.empty());
+  EXPECT_TRUE(checkLegality(edited, segments).legal());
+}
+
+TEST(Eco, TrivialDeltaTouchesNothing) {
+  const Design snapshot = legalSnapshot(907);
+  Design edited = snapshot;
+  SegmentMap segments(edited);
+  PlacementState state(edited);
+  EcoConfig config;
+  config.pipeline = PipelineConfig::contest();
+  const EcoStats stats = ecoRelegalize(state, segments, snapshot, config);
+  EXPECT_EQ(stats.dirtyCells, 0);
+  EXPECT_FALSE(stats.usedFullRun);
+  EXPECT_EQ(placementHash(edited), placementHash(snapshot));
+}
+
+TEST(Eco, DeltaTrackerClassifiesBurst) {
+  const Design snapshot = legalSnapshot(908);
+  const Design edited =
+      applyEditBurst(snapshot, 44, /*moves=*/10, /*swaps=*/2, /*adds=*/3);
+  const DeltaSet delta = DeltaTracker::diff(edited, snapshot);
+  EXPECT_FALSE(delta.structural);
+  EXPECT_EQ(static_cast<int>(delta.added.size()), 3);
+  // moves + both sides of each swap, minus any jitter that landed exactly
+  // back on the original target.
+  EXPECT_GE(static_cast<int>(delta.moved.size()), 10);
+  EXPECT_LE(static_cast<int>(delta.moved.size()), 14);
+  EXPECT_TRUE(delta.resized.empty());
+}
+
+}  // namespace
+}  // namespace mclg

@@ -107,7 +107,34 @@ TEST(Ripup, GainMatchesMeasuredImprovement) {
   const auto stats = ripupRefine(state, segments, config);
   const double after = displacementStats(design).totalSites *
                        design.siteWidthFactor;
-  EXPECT_NEAR(before - after, stats.gain, 1e-6);
+  // Total improvement = rip-up gains + the between-pass MCF re-solve gains.
+  EXPECT_NEAR(before - after, stats.gain + stats.mcfGain, 1e-6);
+}
+
+TEST(Ripup, McfResolveWarmRestartsAndNeverDegrades) {
+  // With several improving passes the re-solve hits the same network with
+  // perturbed costs, so the second and later solves must go warm.
+  GenSpec spec;
+  spec.cellsPerHeight = {500, 60, 20, 10};
+  spec.density = 0.75;
+  spec.numFences = 2;
+  spec.seed = 134;
+  Design design = generate(spec);
+  SegmentMap segments(design);
+  PlacementState state(design);
+  legalize(state, segments, PipelineConfig::contest());
+  const auto before = displacementStats(design);
+
+  RipupConfig config;
+  config.displacementThreshold = 2.0;
+  config.passes = 4;
+  const auto stats = ripupRefine(state, segments, config);
+  EXPECT_TRUE(checkLegality(design, segments).legal());
+  EXPECT_LE(displacementStats(design).average, before.average + 1e-9);
+  EXPECT_GE(stats.mcfGain, -1e-6);
+  if (stats.mcfResolves >= 2) {
+    EXPECT_GE(stats.warmSolves + stats.coldFallbacks, 1);
+  }
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 //   4  structured parse error in an input file
 //   5  internal error (unrecoverable stage failure or unexpected exception)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,7 @@
 #include "gen/benchmark_gen.hpp"
 #include "gen/global_placer.hpp"
 #include "gen/fillers.hpp"
+#include "legal/eco/eco_driver.hpp"
 #include "legal/guard/guard.hpp"
 #include "legal/pipeline.hpp"
 #include "legal/pipeline_config.hpp"
@@ -122,6 +124,17 @@ const char kHelp[] =
     "              [--report-out r.json]  versioned machine-readable run\n"
     "                                     report (stats + metrics + quality\n"
     "                                     + provenance)\n"
+    "              incremental ECO mode (see docs/ECO.md):\n"
+    "              [--eco-from legal.mclg] re-legalize only the cells that\n"
+    "                                     changed vs. this legal snapshot\n"
+    "              [--eco-exact]          shadow full run + adopt its result\n"
+    "                                     (byte-identical to a full re-run)\n"
+    "              [--eco-validate]       shadow full run, check the\n"
+    "                                     EcoEquivalence invariant only\n"
+    "              [--eco-halo SITES]     spill halo around dirty windows\n"
+    "              [--eco-tolerance T]    allowed relative score regression\n"
+    "              [--eco-ripup-threshold D] rip up touched cells displaced\n"
+    "                                     more than D row heights\n"
     "  evaluate    --in legal.mclg\n"
     "  violations  --in legal.mclg [--limit N]\n"
     "  stats       --in design.mclg\n"
@@ -268,13 +281,53 @@ int cmdLegalize(const Args& args) {
 
   SegmentMap segments(*design);
   PlacementState state(*design);
-  const auto stats = legalize(state, segments, config);
-  std::printf(
-      "MGL %.2fs (placed %d, fallback %d, failed %d) | matching %.2fs "
-      "(moved %d) | MCF %.2fs (moved %d)\n",
-      stats.secondsMgl, stats.mgl.placed, stats.mgl.fallbackPlaced,
-      stats.mgl.failed, stats.secondsMaxDisp, stats.maxDisp.cellsMoved,
-      stats.secondsFixedRowOrder, stats.fixedRowOrder.cellsMoved);
+  PipelineStats stats;
+  std::optional<EcoStats> ecoStats;
+  if (const auto ecoFrom = args.get("--eco-from")) {
+    ParseError error;
+    const auto snapshot = loadDesign(*ecoFrom, &error);
+    if (!snapshot) {
+      std::fprintf(stderr, "parse error in --eco-from: %s\n",
+                   error.str().c_str());
+      return kExitParseError;
+    }
+    EcoConfig eco;
+    eco.pipeline = config;
+    eco.exact = args.has("--eco-exact");
+    eco.validate = args.has("--eco-validate");
+    eco.haloSites = static_cast<int>(args.getInt("--eco-halo", eco.haloSites));
+    eco.haloRows = std::max(2, eco.haloSites / 4);
+    eco.scoreTolerance =
+        args.getDouble("--eco-tolerance", eco.scoreTolerance);
+    eco.ripupThreshold =
+        args.getDouble("--eco-ripup-threshold", eco.ripupThreshold);
+    ecoStats = ecoRelegalize(state, segments, *snapshot, eco);
+    stats.mgl = ecoStats->mgl;
+    std::printf(
+        "ECO %.2fs (dirty %d, spilled %d, windows %d dirty / %lld reused, "
+        "segments %d, warm %lld, cold-fallback %lld)%s\n",
+        ecoStats->secondsIncremental, ecoStats->dirtyCells,
+        ecoStats->spilledCells, ecoStats->dirtyWindows,
+        static_cast<long long>(ecoStats->reusedWindows),
+        ecoStats->dirtySegments,
+        static_cast<long long>(ecoStats->warmRestarts),
+        static_cast<long long>(ecoStats->coldFallbacks),
+        ecoStats->usedFullRun ? " [fell back to a full run]" : "");
+    if (eco.exact || eco.validate) {
+      std::printf("ECO shadow run %.2fs (scores: eco %.4f, full %.4f)%s\n",
+                  ecoStats->secondsShadow, ecoStats->scoreIncremental,
+                  ecoStats->scoreFull,
+                  eco.exact ? " [adopted the full result]" : "");
+    }
+  } else {
+    stats = legalize(state, segments, config);
+    std::printf(
+        "MGL %.2fs (placed %d, fallback %d, failed %d) | matching %.2fs "
+        "(moved %d) | MCF %.2fs (moved %d)\n",
+        stats.secondsMgl, stats.mgl.placed, stats.mgl.fallbackPlaced,
+        stats.mgl.failed, stats.secondsMaxDisp, stats.maxDisp.cellsMoved,
+        stats.secondsFixedRowOrder, stats.fixedRowOrder.cellsMoved);
+  }
 
   if (args.has("--ripup")) {
     RipupConfig ripup;
@@ -303,7 +356,7 @@ int cmdLegalize(const Args& args) {
   }
 
   const GuardReport& guard = stats.guard;
-  if (config.guard.enabled) {
+  if (config.guard.enabled && !ecoStats) {
     std::printf("pipeline guard:\n%s", guard.summary().c_str());
     if (guard.degraded) {
       std::printf("guard: degraded run (see the table above)\n");
@@ -336,7 +389,8 @@ int cmdLegalize(const Args& args) {
     provenance.guardEnabled = config.guard.enabled;
     provenance.configText = configToText(config);
     if (!obs::writeRunReport(*reportOut, provenance, stats, &score,
-                             /*includeMetrics=*/true)) {
+                             /*includeMetrics=*/true,
+                             ecoStats ? &*ecoStats : nullptr)) {
       std::fprintf(stderr, "cannot write %s\n", reportOut->c_str());
       return kExitUsage;
     }
@@ -354,6 +408,9 @@ int cmdLegalize(const Args& args) {
   if (guard.infeasibleCells > 0 || !score.legality.legal()) {
     return kExitInfeasible;
   }
+  // An ECO run that had to fall back to the full pipeline is the incremental
+  // mode's form of degradation.
+  if (ecoStats && ecoStats->usedFullRun) return kExitDegraded;
   return guard.degraded ? kExitDegraded : kExitLegal;
 }
 
