@@ -3,7 +3,9 @@
 #
 # Builds the no-tracing bench preset, runs bench_scaling / bench_threads /
 # bench_micro with machine-readable reports, merges them into BENCH_PR3.json
-# at the repo root, and gates against the committed baseline.
+# at the repo root, and gates against the committed baseline. Also runs the
+# executor/batch-driver suite (bench_executor) into BENCH_PR5.json and gates
+# its throughput + determinism claims (see bench/bench_executor.cpp).
 #
 #   scripts/perf_regression.sh              # run + merge + compare
 #   scripts/perf_regression.sh --baseline   # additionally refresh
@@ -20,7 +22,7 @@ trap 'rm -rf "$OUT"' EXIT
 
 cmake --preset bench >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
-  --target bench_scaling bench_threads bench_micro >/dev/null
+  --target bench_scaling bench_threads bench_micro bench_executor >/dev/null
 
 echo "== bench_scaling =="
 MCLG_BENCH_REPORT="$OUT" "$BUILD/bench/bench_scaling"
@@ -45,3 +47,16 @@ fi
 python3 "$ROOT/scripts/perf_gate.py" compare \
   "$ROOT/BENCH_PR3.json" "$ROOT/bench/BENCH_BASELINE.json" \
   ${MCLG_PERF_REQUIRE:-}
+
+# Executor/batch-driver suite: its own report dir so the PR 5 document only
+# carries bench_executor, then gate the machine-adaptive throughput floor
+# and the batch-vs-solo byte-identity flags (auto-gated .identical keys).
+EXEC_OUT=$(mktemp -d)
+trap 'rm -rf "$OUT" "$EXEC_OUT"' EXIT
+echo "== bench_executor =="
+MCLG_BENCH_REPORT="$EXEC_OUT" "$BUILD/bench/bench_executor"
+python3 "$ROOT/scripts/perf_gate.py" merge "$EXEC_OUT" \
+  -o "$ROOT/BENCH_PR5.json" --bench bench_executor
+python3 "$ROOT/scripts/perf_gate.py" compare \
+  "$ROOT/BENCH_PR5.json" "$ROOT/BENCH_PR5.json" \
+  --ratio 'bench_executor.throughput_ratio/throughput_target>=1.0'

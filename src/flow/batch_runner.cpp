@@ -1,0 +1,190 @@
+#include "flow/batch_runner.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/metrics.hpp"
+#include "eval/score.hpp"
+#include "obs/obs.hpp"
+#include "parsers/simple_format.hpp"
+#include "util/timer.hpp"
+
+namespace mclg {
+namespace {
+
+PipelineConfig perDesignConfig(const BatchRunConfig& config) {
+  PipelineConfig pipeline = config.pipeline;
+  pipeline.setThreads(std::max(1, config.threadsPerDesign));
+  pipeline.executor = config.executor;
+  return pipeline;
+}
+
+void legalizeOne(const std::string& name, Design& design,
+                 const PipelineConfig& pipeline, bool evaluateScores,
+                 BatchDesignResult* result) {
+  result->name = name;
+  try {
+    Timer timer;
+    SegmentMap segments(design);
+    PlacementState state(design);
+    result->stats = legalize(state, segments, pipeline);
+    result->seconds = timer.seconds();
+    result->placementHash = placementHash(design);
+    if (evaluateScores) result->score = evaluateScore(design, segments).score;
+    result->ok = result->stats.mgl.failed == 0;
+    if (!result->ok) {
+      result->error = std::to_string(result->stats.mgl.failed) +
+                      " cells could not be placed";
+    }
+  } catch (const std::exception& e) {
+    result->ok = false;
+    result->error = e.what();
+  } catch (...) {
+    result->ok = false;
+    result->error = "unknown error";
+  }
+}
+
+/// Submit one task per design with admission control: the coordinator
+/// blocks while `maxInFlight` designs are running and wakes as they retire.
+/// `run(i)` must not throw (per-design failures are recorded in results).
+template <typename Run>
+void driveBatch(int count, int maxInFlight, ExecutorRef executor,
+                const Run& run) {
+  Executor& exec = executor.get();
+  const int cap = maxInFlight > 0
+                      ? maxInFlight
+                      : std::max(1, exec.numWorkers());
+  std::mutex mutex;
+  std::condition_variable cv;
+  int inFlight = 0;
+  for (int i = 0; i < count; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return inFlight < cap; });
+      ++inFlight;
+      if (obs::metricsEnabled()) {
+        obs::gauge("executor.designs_in_flight")
+            .max(static_cast<double>(inFlight));
+      }
+    }
+    exec.submit([&, i] {
+      run(i);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --inFlight;
+      }
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return inFlight == 0; });
+}
+
+std::string manifestNameOf(const std::string& inputPath) {
+  const auto slash = inputPath.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? inputPath : inputPath.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.erase(dot);
+  return base;
+}
+
+}  // namespace
+
+std::vector<BatchDesignResult> runBatch(
+    const std::vector<std::pair<std::string, Design*>>& designs,
+    const BatchRunConfig& config) {
+  std::vector<BatchDesignResult> results(designs.size());
+  if (designs.empty()) return results;
+  const PipelineConfig pipeline = perDesignConfig(config);
+  driveBatch(static_cast<int>(designs.size()), config.maxInFlight,
+             config.executor, [&](int i) {
+               const auto& item = designs[static_cast<std::size_t>(i)];
+               legalizeOne(item.first, *item.second, pipeline,
+                           config.evaluateScores,
+                           &results[static_cast<std::size_t>(i)]);
+             });
+  return results;
+}
+
+bool loadBatchManifest(const std::string& path,
+                       std::vector<BatchManifestItem>* items,
+                       std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open manifest '" + path + "'";
+    return false;
+  }
+  char buffer[4096];
+  int lineNo = 0;
+  while (std::fgets(buffer, sizeof buffer, file) != nullptr) {
+    ++lineNo;
+    std::string line(buffer);
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Tokenize on whitespace.
+    std::vector<std::string> tokens;
+    std::string token;
+    for (const char c : line) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        if (!token.empty()) tokens.push_back(token);
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    if (!token.empty()) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    if (tokens.size() > 2) {
+      if (error != nullptr) {
+        *error = "manifest line " + std::to_string(lineNo) +
+                 ": expected 'input [output]'";
+      }
+      std::fclose(file);
+      return false;
+    }
+    BatchManifestItem item;
+    item.inputPath = tokens[0];
+    item.outputPath = tokens.size() > 1 ? tokens[1] : "";
+    item.name = manifestNameOf(item.inputPath);
+    items->push_back(std::move(item));
+  }
+  std::fclose(file);
+  return true;
+}
+
+std::vector<BatchDesignResult> runBatchManifest(
+    const std::vector<BatchManifestItem>& items,
+    const BatchRunConfig& config) {
+  std::vector<BatchDesignResult> results(items.size());
+  if (items.empty()) return results;
+  const PipelineConfig pipeline = perDesignConfig(config);
+  driveBatch(
+      static_cast<int>(items.size()), config.maxInFlight, config.executor,
+      [&](int i) {
+        const auto& item = items[static_cast<std::size_t>(i)];
+        BatchDesignResult& result = results[static_cast<std::size_t>(i)];
+        result.name = item.name;
+        ParseError parseError;
+        auto design = loadDesign(item.inputPath, &parseError);
+        if (!design) {
+          result.error = "parse error: " + parseError.str();
+          return;
+        }
+        legalizeOne(item.name, *design, pipeline, config.evaluateScores,
+                    &result);
+        if (result.ok && !item.outputPath.empty() &&
+            !saveDesign(*design, item.outputPath)) {
+          result.ok = false;
+          result.error = "cannot write '" + item.outputPath + "'";
+        }
+      });
+  return results;
+}
+
+}  // namespace mclg

@@ -57,7 +57,11 @@ void fullRun(PlacementState& state, const SegmentMap& segments,
 }  // namespace
 
 EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
-                       const Design& snapshot, const EcoConfig& config) {
+                       const Design& snapshot, const EcoConfig& userConfig) {
+  // Stage configs are copied out of config.pipeline below; propagating the
+  // executor here once covers all of them (and the full-run bailout path).
+  EcoConfig config = userConfig;
+  config.pipeline.propagateExecutor();
   Design& design = state.design();
   EcoStats stats;
   Timer incrementalTimer;

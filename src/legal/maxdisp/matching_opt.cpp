@@ -8,8 +8,8 @@
 #include "flow/bipartite_matching.hpp"
 #include "flow/hungarian.hpp"
 #include "obs/obs.hpp"
-#include "util/thread_pool.hpp"
 #include "util/assert.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
@@ -299,8 +299,8 @@ MaxDispStats optimizeMaxDisplacementImpl(PlacementState& state,
   // apply serially in chunk order (thread-count invariant results).
   std::vector<std::vector<std::pair<CellId, Position>>> allMoves(
       chunks.size());
-  ThreadPool pool(config.numThreads);
-  pool.parallelForBatch(static_cast<int>(chunks.size()), [&](int i) {
+  config.executor.parallelForBatch(
+      static_cast<int>(chunks.size()), config.numThreads, [&](int i) {
     // Spans land on the solving worker's thread track.
     MCLG_TRACE_SCOPE(
         "maxdisp/group",

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "db/placement_state.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
@@ -39,6 +40,9 @@ struct MaxDispConfig {
   /// Groups are independent; their assignment problems solve in parallel
   /// (moves are applied serially, so results are thread-count invariant).
   int numThreads = 1;
+  /// Lanes come from this executor when numThreads > 1 (default: the
+  /// process-wide work-stealing executor).
+  ExecutorRef executor{};
   /// Groups up to this size solve with the dense O(n³) Hungarian algorithm
   /// (full cost matrix); larger groups use the sparse MCF reduction with
   /// nearest-candidate edges. Both are exact on their respective edge sets.

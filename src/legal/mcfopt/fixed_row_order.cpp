@@ -9,8 +9,8 @@
 #include "legal/refine/feasible_range.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
+#include "util/executor/executor.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mclg {
 namespace {
@@ -318,12 +318,12 @@ FixedRowOrderStats optimizeFixedRowOrder(PlacementState& state,
         fixedRowOrderComponents(state);
     std::vector<std::vector<std::pair<CellId, std::int64_t>>> perComponent(
         components.size());
-    ThreadPool pool(config.numThreads);
-    pool.parallelForBatch(static_cast<int>(components.size()), [&](int i) {
-      solveSubset(state, segments, config,
-                  components[static_cast<std::size_t>(i)],
-                  &perComponent[static_cast<std::size_t>(i)]);
-    });
+    config.executor.parallelForBatch(
+        static_cast<int>(components.size()), config.numThreads, [&](int i) {
+          solveSubset(state, segments, config,
+                      components[static_cast<std::size_t>(i)],
+                      &perComponent[static_cast<std::size_t>(i)]);
+        });
     for (auto& part : perComponent) {
       moves.insert(moves.end(), part.begin(), part.end());
     }

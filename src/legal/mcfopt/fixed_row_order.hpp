@@ -26,6 +26,7 @@
 #include "db/segment_map.hpp"
 #include "flow/mcf.hpp"
 #include "geometry/interval.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
@@ -54,6 +55,9 @@ struct FixedRowOrderConfig {
   /// Exact same optimum — the LP separates over components — and
   /// thread-count invariant (moves apply serially in component order).
   int numThreads = 1;
+  /// Lanes come from this executor when numThreads > 1 (default: the
+  /// process-wide work-stealing executor).
+  ExecutorRef executor{};
 };
 
 struct FixedRowOrderStats {

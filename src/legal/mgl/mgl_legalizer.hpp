@@ -18,6 +18,7 @@
 #include "db/segment_map.hpp"
 #include "legal/mgl/insertion.hpp"
 #include "legal/mgl/window.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
@@ -27,6 +28,9 @@ struct MglConfig {
   int numThreads = 1;
   /// Max windows per parallel batch (0 = 2 * numThreads).
   int batchCap = 0;
+  /// Where batch tasks run when numThreads > 1. Defaults to the process-wide
+  /// work-stealing executor; the batch driver and tests can inject one.
+  ExecutorRef executor{};
   /// Cooperative-cancellation hook, called serially between batches. The
   /// pipeline guard installs a Deadline checkpoint here; a throw unwinds
   /// the scheduler and is caught at the transaction boundary.

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "obs/obs.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
@@ -22,7 +22,8 @@ MglStats MglScheduler::run() {
   for (const CellId c : legalizer_.orderCells()) queue.push_back({c, 0});
 
   MglStats stats;
-  ThreadPool pool(numThreads_);
+  // Batches borrow lanes from the shared executor (config.executor) instead
+  // of owning a pool; numThreads_ stays the lane budget per batch.
 
   // One searcher per batch slot, reused across batches: the searchers carry
   // window-epoch caches and scratch arenas that are expensive to rebuild.
@@ -74,8 +75,8 @@ MglStats MglScheduler::run() {
     success.assign(batch.size(), 0);
     MCLG_TRACE_SCOPE("mgl/batch",
                      {{"windows", static_cast<double>(batch.size())}});
-    pool.parallelForBatch(
-        static_cast<int>(batch.size()), [&](int i) {
+    config.executor.parallelForBatch(
+        static_cast<int>(batch.size()), numThreads_, [&](int i) {
           // Recorded from the worker thread so the trace shows the window
           // tasks on their own thread tracks.
           MCLG_TRACE_SCOPE(

@@ -19,8 +19,10 @@ class MglScheduler {
  public:
   /// \param legalizer  the single-threaded MGL engine whose queue this
   ///                   scheduler drives; must outlive the scheduler.
-  /// \param numThreads worker count (>= 2 — the serial path lives in
-  ///                   MglLegalizer::run, not here).
+  /// \param numThreads lane budget per batch. MglLegalizer::run only routes
+  ///                   here for >= 2 (its serial path has a different visit
+  ///                   order); 1 is still valid — batches run inline, with
+  ///                   results identical to any lane count at the same cap.
   /// \param batchCap   max cells per parallel batch; 0 picks
   ///                   2 * numThreads. Results depend on the cap (batch
   ///                   composition changes), so comparisons across thread
@@ -32,7 +34,7 @@ class MglScheduler {
 
   /// Legalize every unplaced movable cell (same contract as
   /// MglLegalizer::run). \post results are byte-identical for any thread
-  /// count >= 2 at a fixed batch cap.
+  /// count >= 1 at a fixed batch cap.
   MglStats run();
 
  private:

@@ -48,8 +48,25 @@ PipelineConfig PipelineConfig::totalDisplacement() {
   return config;
 }
 
+void PipelineConfig::setThreads(int numThreads) {
+  mgl.numThreads = numThreads;
+  maxDisp.numThreads = numThreads;
+  if (fixedRowOrder.maxDispWeight == 0.0) {
+    fixedRowOrder.numThreads = numThreads;
+  }
+}
+
+void PipelineConfig::propagateExecutor() {
+  mgl.executor = executor;
+  maxDisp.executor = executor;
+  fixedRowOrder.executor = executor;
+  ripup.executor = executor;
+}
+
 PipelineStats legalize(PlacementState& state, const SegmentMap& segments,
-                       const PipelineConfig& config) {
+                       const PipelineConfig& userConfig) {
+  PipelineConfig config = userConfig;
+  config.propagateExecutor();
   if (config.guard.enabled) return legalizeGuarded(state, segments, config);
 
   PipelineStats stats;

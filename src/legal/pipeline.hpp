@@ -32,6 +32,23 @@ struct PipelineConfig {
   /// Transactional stage guard (legal/guard/): snapshot / validate /
   /// rollback / degrade. Off by default in the library; the CLI enables it.
   GuardConfig guard;
+  /// Executor all stage parallelism borrows lanes from. Authoritative for
+  /// the whole flow: legalize() (and ecoRelegalize) copy it into every
+  /// stage config at entry, so the batch driver and tests redirect a run to
+  /// a private executor by setting just this field. Defaults to the
+  /// process-wide work-stealing executor.
+  ExecutorRef executor{};
+
+  /// Set every stage's thread budget the way the CLI's --threads does:
+  /// MGL and maxdisp always; the MCF only while its §3.3.1 coupling term is
+  /// off (maxDispWeight == 0 — component decomposition is only exact then),
+  /// so call this *before* changing maxDispWeight.
+  void setThreads(int numThreads);
+
+  /// Copy `executor` into the per-stage configs (mgl/maxDisp/fixedRowOrder/
+  /// ripup). legalize() does this on its local copy; only callers invoking
+  /// stages directly from a PipelineConfig need to call it themselves.
+  void propagateExecutor();
 
   /// Contest setup (Table 1): Eq. 2 weights, routability on.
   static PipelineConfig contest();

@@ -37,6 +37,7 @@ RipupStats ripupRefine(PlacementState& state, const SegmentMap& segments,
   mcfConfig.respectEdgeSpacing = config.insertion.respectEdgeSpacing;
   mcfConfig.maxDispWeight = 0.0;  // pure displacement, matching stats.gain
   mcfConfig.numThreads = 1;
+  mcfConfig.executor = config.executor;
 
   for (int pass = 0; pass < config.passes; ++pass) {
     // Candidates: most displaced first.

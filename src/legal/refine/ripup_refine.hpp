@@ -14,6 +14,7 @@
 #include "db/placement_state.hpp"
 #include "db/segment_map.hpp"
 #include "legal/mgl/insertion.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
@@ -36,6 +37,10 @@ struct RipupConfig {
   /// first time, warm-restarted afterwards (automatic cold fallback on
   /// topology change).
   bool mcfResolve = true;
+  /// Handed to the internal MCF re-solve config (the pass itself is serial;
+  /// the re-solves run single-threaded today, so this is plumbing for
+  /// consistency with the other stage configs).
+  ExecutorRef executor{};
 };
 
 struct RipupStats {

@@ -30,7 +30,16 @@ namespace mclg::obs {
 /// `eco.warm_restarts`, `eco.cold_fallbacks`, plus the delta/fallback/
 /// exactness fields — see docs/ECO.md). Additive as before; absent on full
 /// runs.
-inline constexpr int kRunReportSchemaVersion = 3;
+///
+/// v4 (PR 5): adds the work-stealing executor's metric families to the
+/// metrics block — `executor.steals`, `executor.chunk_grabs`,
+/// `executor.parks` / `executor.unparks`, `executor.batches`,
+/// `executor.submitted` counters and the `executor.queue_depth` /
+/// `executor.designs_in_flight` high-water gauges (see
+/// docs/PERFORMANCE.md). Additive: v2/v3 consumers that ignore unknown
+/// metric names keep working, and the in-tree readers
+/// (scripts/perf_gate.py, tests/cli_end_to_end.cmake) accept v1–v4.
+inline constexpr int kRunReportSchemaVersion = 4;
 
 /// Where the run came from: everything needed to reproduce it.
 struct RunProvenance {

@@ -1,0 +1,45 @@
+// Non-owning callable reference: the executor's batch API takes
+// FunctionRef<void(int)> instead of const std::function<void(int)>& so a
+// capturing lambda on the caller's stack is passed as two raw pointers —
+// no type-erased heap allocation per parallelForBatch call on the hot path.
+//
+// Lifetime contract: a FunctionRef never outlives the callable it was built
+// from. The executor honors this by construction — every batch joins before
+// parallelForBatch returns, and un-run helper tasks only *read through* the
+// reference after checking that the batch's index space is exhausted.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mclg {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& callable) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace mclg

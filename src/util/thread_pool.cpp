@@ -1,74 +1,29 @@
 #include "util/thread_pool.hpp"
 
-#include "util/assert.hpp"
+#include "util/executor/executor.hpp"
 
 namespace mclg {
 
-ThreadPool::ThreadPool(int numThreads) : numThreads_(numThreads < 1 ? 1 : numThreads) {
+ThreadPool::ThreadPool(int numThreads)
+    : numThreads_(numThreads < 1 ? 1 : numThreads) {
   if (numThreads_ > 1) {
-    workers_.reserve(numThreads_);
-    for (int i = 0; i < numThreads_; ++i) {
-      workers_.emplace_back([this] { workerLoop(); });
-    }
+    // The caller participates in every batch, so n-1 workers give the same
+    // n concurrent lanes as the old n-worker pool.
+    executor_ = std::make_unique<Executor>(numThreads_ - 1);
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  wakeWorkers_.notify_all();
-  for (auto& worker : workers_) worker.join();
-}
+ThreadPool::~ThreadPool() = default;
 
-void ThreadPool::parallelForBatch(int count, const std::function<void(int)>& fn) {
+void ThreadPool::parallelForBatch(int count,
+                                  const std::function<void(int)>& fn) {
   if (count <= 0) return;
-  if (workers_.empty()) {
+  if (executor_ == nullptr) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  MCLG_ASSERT(batchFn_ == nullptr, "nested parallelForBatch is not supported");
-  batchFn_ = &fn;
-  batchError_ = nullptr;
-  batchCount_ = count;
-  nextIndex_ = 0;
-  remaining_ = count;
-  wakeWorkers_.notify_all();
-  batchDone_.wait(lock, [this] { return remaining_ == 0; });
-  batchFn_ = nullptr;
-  if (batchError_ != nullptr) {
-    std::exception_ptr error = batchError_;
-    batchError_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
-}
-
-void ThreadPool::workerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    wakeWorkers_.wait(lock, [this] {
-      return shutdown_ || (batchFn_ != nullptr && nextIndex_ < batchCount_);
-    });
-    if (shutdown_) return;
-    while (batchFn_ != nullptr && nextIndex_ < batchCount_) {
-      const int index = nextIndex_++;
-      const auto* fn = batchFn_;
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        (*fn)(index);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lock.lock();
-      if (error != nullptr && batchError_ == nullptr) batchError_ = error;
-      if (--remaining_ == 0) batchDone_.notify_all();
-    }
-  }
+  executor_->parallelForBatch(count, numThreads_,
+                              [&fn](int i) { fn(i); });
 }
 
 }  // namespace mclg

@@ -1,20 +1,26 @@
-// Small fixed-size thread pool with a parallel-for-batch primitive.
+// Legacy fixed-size thread pool, now a thin shim over the work-stealing
+// executor (util/executor/). Kept so tests and out-of-tree callers keep
+// compiling; pipeline stages borrow Executor::global() through ExecutorRef
+// instead of constructing pools.
 //
-// The MGL scheduler (§3.5 of the paper) runs batches of non-overlapping
-// windows in parallel and synchronizes between batches; parallelForBatch()
-// is exactly that barrier-style primitive, so determinism is preserved as
-// long as the batch contents are deterministic.
+// The contract is unchanged: parallelForBatch(count, fn) runs fn(i) once
+// for every i in [0, count), acts as a barrier, drains the batch on task
+// exceptions and rethrows the first one in the calling thread. What changed
+// underneath is the task handout — indices are claimed in atomic chunks
+// (fetch_add) from the executor instead of through the old mutex-guarded
+// nextIndex_ counter.
+//
+// ThreadPool(n) owns a private Executor with n-1 workers; the calling
+// thread participates as the n-th lane, so parallelism matches the old
+// n-worker pool. numThreads <= 1 keeps the inline no-thread fast path.
 #pragma once
 
-#include <condition_variable>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+#include <memory>
 
 namespace mclg {
+
+class Executor;
 
 class ThreadPool {
  public:
@@ -35,19 +41,8 @@ class ThreadPool {
   void parallelForBatch(int count, const std::function<void(int)>& fn);
 
  private:
-  void workerLoop();
-
   int numThreads_;
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wakeWorkers_;
-  std::condition_variable batchDone_;
-  const std::function<void(int)>* batchFn_ = nullptr;
-  std::exception_ptr batchError_;
-  int batchCount_ = 0;
-  int nextIndex_ = 0;
-  int remaining_ = 0;
-  bool shutdown_ = false;
+  std::unique_ptr<Executor> executor_;  // null when numThreads_ <= 1
 };
 
 }  // namespace mclg

@@ -1,0 +1,323 @@
+// Work-stealing executor suite (`ctest -L executor`): FunctionRef and
+// Executor primitives, the ThreadPool shim on top of them, and the PR 5
+// determinism claims — odd lane counts (3, 7) and oversubscription (more
+// lanes than hardware cores) must produce byte-identical placements, in
+// solo and in batch mode. Doubles as the race stress test for sanitizer
+// runs (the asan-ubsan preset) and for machines without TSAN.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "db/placement_state.hpp"
+#include "db/segment_map.hpp"
+#include "eval/metrics.hpp"
+#include "flow/batch_runner.hpp"
+#include "gen/benchmark_gen.hpp"
+#include "legal/mgl/mgl_legalizer.hpp"
+#include "legal/mgl/scheduler.hpp"
+#include "legal/pipeline.hpp"
+#include "parsers/simple_format.hpp"
+#include "util/executor/executor.hpp"
+#include "util/executor/function_ref.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mclg {
+namespace {
+
+GenSpec spec(std::uint64_t seed, double density = 0.6) {
+  GenSpec s;
+  s.cellsPerHeight = {350, 45, 15, 8};
+  s.density = density;
+  s.numFences = 2;
+  s.seed = seed;
+  return s;
+}
+
+TEST(FunctionRef, InvokesTheReferencedCallable) {
+  int calls = 0;
+  auto lambda = [&calls](int delta) { calls += delta; };
+  FunctionRef<void(int)> ref = lambda;
+  ref(2);
+  ref(3);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(FunctionRef, ForwardsReturnValues) {
+  auto doubler = [](int v) { return 2 * v; };
+  FunctionRef<int(int)> ref = doubler;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(Executor, RunsAllIndicesExactlyOnce) {
+  Executor executor(4);
+  std::vector<std::atomic<int>> counts(1000);
+  executor.parallelForBatch(1000, 8,
+                            [&](int i) { counts[i].fetch_add(1); });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Executor, InlineWhenMaxParallelOne) {
+  Executor executor(4);
+  // Non-atomic accumulation: only correct if fn runs inline on this thread.
+  long long sum = 0;
+  executor.parallelForBatch(100, 1, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(Executor, ZeroCountIsNoop) {
+  Executor executor(2);
+  executor.parallelForBatch(0, 4, [](int) { FAIL(); });
+  executor.parallelForBatch(-3, 4, [](int) { FAIL(); });
+}
+
+TEST(Executor, ExceptionDrainsBatchAndRethrows) {
+  Executor executor(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      executor.parallelForBatch(64, 4,
+                                [&](int i) {
+                                  executed.fetch_add(1);
+                                  if (i == 5) throw std::runtime_error("boom");
+                                }),
+      std::runtime_error);
+  // Drain semantics: every index still ran despite the failure.
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(Executor, NestedBatchesComplete) {
+  // A batch task opening its own batch must not deadlock even when every
+  // worker is already busy — the caller participates in its own batch.
+  Executor executor(3);
+  std::atomic<int> inner{0};
+  executor.parallelForBatch(4, 4, [&](int) {
+    executor.parallelForBatch(50, 4, [&](int) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 200);
+}
+
+TEST(Executor, SubmitRunsEveryTask) {
+  Executor executor(3);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    executor.submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++done == 100) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done == 100; });
+  EXPECT_EQ(done, 100);
+  EXPECT_GE(executor.stats().submitted, 100);
+}
+
+TEST(Executor, StatsCountActivity) {
+  Executor executor(4);
+  executor.parallelForBatch(512, 4, [](int) {});
+  const Executor::Stats stats = executor.stats();
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_GE(stats.chunkGrabs, 1);
+}
+
+TEST(Executor, StressConcurrentBatchesFromManyThreads) {
+  // Race stress stand-in for TSAN: several external threads hammer one
+  // executor with overlapping batches; every batch must count exactly.
+  Executor executor(4);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        std::atomic<int> count{0};
+        executor.parallelForBatch(64, 4,
+                                  [&](int) { count.fetch_add(1); });
+        if (count.load() != 64) failed.store(true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(ThreadPoolShim, OversubscribedPoolRunsAllIndicesOnce) {
+  // Satellite: the legacy shim distributes by atomic chunked claiming now;
+  // heavy oversubscription (32 lanes on few cores) must stay exact.
+  ThreadPool pool(32);
+  std::vector<std::atomic<int>> counts(10000);
+  pool.parallelForBatch(10000, [&](int i) { counts[i].fetch_add(1); });
+  for (const auto& count : counts) ASSERT_EQ(count.load(), 1);
+}
+
+// ---- Determinism: solo mode ------------------------------------------------
+
+MglStats runScheduler(Design& design, int lanes, int batchCap) {
+  SegmentMap segments(design);
+  PlacementState state(design);
+  MglConfig config;
+  MglLegalizer legalizer(state, segments, config);
+  MglScheduler scheduler(legalizer, lanes, batchCap);
+  return scheduler.run();
+}
+
+TEST(ExecutorDeterminism, SchedulerOddAndOversubscribedLanesMatchOneLane) {
+  // The §3.5 invariant, extended to lanes == 1 (inline fast path): at a
+  // fixed batch cap the scheduler's result is byte-identical for any lane
+  // count — including odd ones and more lanes than hardware cores.
+  Design reference = generate(spec(501));
+  runScheduler(reference, 1, 8);
+  const int oversubscribed =
+      2 * static_cast<int>(std::thread::hardware_concurrency()) + 5;
+  for (const int lanes : {3, 7, oversubscribed}) {
+    Design design = generate(spec(501));
+    runScheduler(design, lanes, 8);
+    for (CellId c = 0; c < design.numCells(); ++c) {
+      ASSERT_EQ(design.cells[c].x, reference.cells[c].x)
+          << "lanes " << lanes << " cell " << c;
+      ASSERT_EQ(design.cells[c].y, reference.cells[c].y)
+          << "lanes " << lanes << " cell " << c;
+    }
+  }
+}
+
+std::uint64_t legalizeHash(Design& design, int threads, int batchCap) {
+  SegmentMap segments(design);
+  PlacementState state(design);
+  PipelineConfig config = PipelineConfig::contest();
+  config.setThreads(threads);
+  config.mgl.batchCap = batchCap;
+  legalize(state, segments, config);
+  return placementHash(design);
+}
+
+TEST(ExecutorDeterminism, PipelineOddAndOversubscribedThreadsMatch) {
+  // Full pipeline at a pinned mgl.batchCap: every parallel thread count —
+  // odd or past the core count — must agree (threads == 1 keeps the
+  // historical serial MGL visit order, so 2 is the parallel reference).
+  Design reference = generate(spec(502));
+  const std::uint64_t expected = legalizeHash(reference, 2, 8);
+  const int oversubscribed =
+      2 * static_cast<int>(std::thread::hardware_concurrency()) + 5;
+  for (const int threads : {3, 7, oversubscribed}) {
+    Design design = generate(spec(502));
+    EXPECT_EQ(legalizeHash(design, threads, 8), expected)
+        << "threads " << threads;
+  }
+}
+
+// ---- Determinism: batch mode -----------------------------------------------
+
+TEST(ExecutorDeterminism, BatchResultsMatchSoloRunsAtSameThreadCount) {
+  // Per-design batch results must be byte-identical to solo runs of the
+  // same designs — with serial designs (1 lane each, matching solo
+  // threads=1) and with stage-parallel designs (3 lanes, matching solo
+  // threads=3) — regardless of executor width or oversubscription.
+  constexpr int kDesigns = 4;
+  std::vector<std::uint64_t> solo1, solo3;
+  for (int d = 0; d < kDesigns; ++d) {
+    Design a = generate(spec(600 + static_cast<std::uint64_t>(d)));
+    solo1.push_back(legalizeHash(a, 1, 8));
+    Design b = generate(spec(600 + static_cast<std::uint64_t>(d)));
+    solo3.push_back(legalizeHash(b, 3, 8));
+  }
+
+  const int oversubscribed =
+      2 * static_cast<int>(std::thread::hardware_concurrency()) + 5;
+  for (const int workers : {3, oversubscribed}) {
+    for (const int threadsPerDesign : {1, 3}) {
+      Executor executor(workers);
+      std::vector<Design> designs;
+      designs.reserve(kDesigns);
+      for (int d = 0; d < kDesigns; ++d) {
+        designs.push_back(generate(spec(600 + static_cast<std::uint64_t>(d))));
+      }
+      std::vector<std::pair<std::string, Design*>> refs;
+      for (auto& design : designs) refs.emplace_back(design.name, &design);
+      BatchRunConfig config;
+      config.pipeline = PipelineConfig::contest();
+      config.pipeline.mgl.batchCap = 8;
+      config.threadsPerDesign = threadsPerDesign;
+      config.maxInFlight = kDesigns;
+      config.executor = ExecutorRef(&executor);
+      const auto results = runBatch(refs, config);
+      const auto& expected = threadsPerDesign == 1 ? solo1 : solo3;
+      for (int d = 0; d < kDesigns; ++d) {
+        EXPECT_TRUE(results[static_cast<std::size_t>(d)].ok)
+            << results[static_cast<std::size_t>(d)].error;
+        EXPECT_EQ(results[static_cast<std::size_t>(d)].placementHash,
+                  expected[static_cast<std::size_t>(d)])
+            << "workers " << workers << " lanes " << threadsPerDesign
+            << " design " << d;
+      }
+    }
+  }
+}
+
+TEST(BatchRunner, ManifestIsolatesPerDesignFailures) {
+  // A design that fails to load must come back ok == false with an error
+  // while its batch neighbor legalizes and saves normally.
+  Executor executor(2);
+  const std::string dir = ::testing::TempDir();
+  Design good = generate(spec(700));
+  ASSERT_TRUE(saveDesign(good, dir + "/good.mclg"));
+
+  std::vector<BatchManifestItem> items = {
+      {"good", dir + "/good.mclg", dir + "/good_legal.mclg"},
+      {"missing", dir + "/does_not_exist.mclg", ""}};
+  BatchRunConfig config;
+  config.pipeline = PipelineConfig::contest();
+  config.executor = ExecutorRef(&executor);
+  const auto results = runBatchManifest(items, config);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_GT(results[0].placementHash, 0u);
+  std::optional<Design> saved = loadDesign(dir + "/good_legal.mclg");
+  ASSERT_TRUE(saved.has_value());
+  EXPECT_EQ(placementHash(*saved), results[0].placementHash);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+}
+
+TEST(BatchRunner, ManifestParsing) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/manifest.txt";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("# comment line\n"
+             "designs/a.mclg out/a.mclg\n"
+             "\n"
+             "b.mclg   # trailing comment\n",
+             file);
+  std::fclose(file);
+
+  std::vector<BatchManifestItem> items;
+  std::string error;
+  ASSERT_TRUE(loadBatchManifest(path, &items, &error)) << error;
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].name, "a");
+  EXPECT_EQ(items[0].inputPath, "designs/a.mclg");
+  EXPECT_EQ(items[0].outputPath, "out/a.mclg");
+  EXPECT_EQ(items[1].name, "b");
+  EXPECT_EQ(items[1].outputPath, "");
+
+  std::FILE* badFile = std::fopen(path.c_str(), "w");
+  ASSERT_NE(badFile, nullptr);
+  std::fputs("a.mclg b.mclg c.mclg\n", badFile);
+  std::fclose(badFile);
+  items.clear();
+  EXPECT_FALSE(loadBatchManifest(path, &items, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mclg

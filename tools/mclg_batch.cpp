@@ -1,0 +1,179 @@
+// mclg_batch — multi-design throughput driver on the shared executor.
+//
+//   mclg_batch --manifest batch.txt [--jobs N] [--threads-per-design N]
+//              [--preset contest|totaldisp] [--executor-threads N]
+//              [--scores] [--report-out batch.json]
+//
+// The manifest lists one design per line: `input.mclg [output.mclg]`
+// (whitespace-separated, `#` comments). Designs legalize concurrently —
+// up to --jobs in flight — on the process executor (or a private one of
+// --executor-threads workers), each with --threads-per-design stage lanes.
+// Per-design results are byte-identical to solo `mclg_cli legalize` runs
+// at the same thread count.
+//
+// Exit status:
+//   0  every design legalized
+//   1  usage / IO error (bad flags, unreadable manifest or outputs)
+//   3  at least one design failed or is infeasible
+//   4  structured parse error in the manifest or an input design
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "flow/batch_runner.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+#include "util/executor/executor.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mclg;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitFailedDesigns = 3;
+constexpr int kExitParseError = 4;
+
+const char kHelp[] =
+    "usage: mclg_batch --manifest batch.txt [options]\n"
+    "\n"
+    "  --manifest FILE        one design per line: input.mclg [output.mclg]\n"
+    "  --jobs N               designs in flight at once (default: executor\n"
+    "                         width)\n"
+    "  --threads-per-design N stage-parallel lanes inside each design\n"
+    "                         (default 1 — best aggregate throughput for\n"
+    "                         small designs)\n"
+    "  --preset NAME          contest (default) or totaldisp\n"
+    "  --executor-threads N   run on a private executor of N workers\n"
+    "                         (default: the shared process executor)\n"
+    "  --scores               evaluate the contest score per design\n"
+    "  --report-out FILE      batch run report (JSON, kind \"bench\",\n"
+    "                         executor.* metrics included)\n";
+
+std::optional<std::string> argValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+bool argFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int argInt(int argc, char** argv, const char* name, int fallback) {
+  const auto v = argValue(argc, argv, name);
+  return v ? std::atoi(v->c_str()) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argFlag(argc, argv, "--help") || argFlag(argc, argv, "-h")) {
+    std::fputs(kHelp, stdout);
+    return kExitOk;
+  }
+  const auto manifestPath = argValue(argc, argv, "--manifest");
+  if (!manifestPath) {
+    std::fputs(kHelp, stderr);
+    return kExitUsage;
+  }
+
+  const auto reportOut = argValue(argc, argv, "--report-out");
+  if (reportOut) {
+    obs::setMetricsEnabled(true);
+    obs::metricsReset();
+  }
+
+  std::vector<BatchManifestItem> items;
+  std::string manifestError;
+  if (!loadBatchManifest(*manifestPath, &items, &manifestError)) {
+    std::fprintf(stderr, "%s\n", manifestError.c_str());
+    return kExitParseError;
+  }
+  if (items.empty()) {
+    std::fprintf(stderr, "manifest '%s' lists no designs\n",
+                 manifestPath->c_str());
+    return kExitUsage;
+  }
+
+  const std::string presetName =
+      argValue(argc, argv, "--preset").value_or("contest");
+  BatchRunConfig config;
+  if (presetName == "contest") {
+    config.pipeline = PipelineConfig::contest();
+  } else if (presetName == "totaldisp") {
+    config.pipeline = PipelineConfig::totalDisplacement();
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", presetName.c_str());
+    return kExitUsage;
+  }
+  config.threadsPerDesign = argInt(argc, argv, "--threads-per-design", 1);
+  config.maxInFlight = argInt(argc, argv, "--jobs", 0);
+  config.evaluateScores = argFlag(argc, argv, "--scores");
+
+  std::unique_ptr<Executor> privateExecutor;
+  const int executorThreads = argInt(argc, argv, "--executor-threads", 0);
+  if (executorThreads > 0) {
+    privateExecutor = std::make_unique<Executor>(executorThreads);
+    config.executor = ExecutorRef(privateExecutor.get());
+  }
+
+  Timer timer;
+  const std::vector<BatchDesignResult> results =
+      runBatchManifest(items, config);
+  const double seconds = timer.seconds();
+
+  int okCount = 0;
+  for (const auto& result : results) {
+    if (result.ok) {
+      ++okCount;
+      std::printf("%-24s ok    %7.3fs  hash %016llx\n", result.name.c_str(),
+                  result.seconds,
+                  static_cast<unsigned long long>(result.placementHash));
+    } else {
+      std::printf("%-24s FAIL  %s\n", result.name.c_str(),
+                  result.error.c_str());
+    }
+  }
+  const int total = static_cast<int>(results.size());
+  const double throughput = seconds > 0.0 ? total / seconds : 0.0;
+  std::printf("%d/%d designs legalized in %.3fs (%.2f designs/s)\n", okCount,
+              total, seconds, throughput);
+
+  if (reportOut) {
+    std::vector<std::pair<std::string, double>> values;
+    values.emplace_back("designs", static_cast<double>(total));
+    values.emplace_back("designs_ok", static_cast<double>(okCount));
+    values.emplace_back("batch_seconds", seconds);
+    values.emplace_back("designs_per_sec", throughput);
+    values.emplace_back("jobs", static_cast<double>(config.maxInFlight));
+    values.emplace_back("threads_per_design",
+                        static_cast<double>(config.threadsPerDesign));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::string prefix = "design." + std::to_string(i) + ".";
+      values.emplace_back(prefix + "hash_lo",
+                          static_cast<double>(results[i].placementHash &
+                                              0xffffffffULL));
+      values.emplace_back(prefix + "hash_hi",
+                          static_cast<double>(results[i].placementHash >> 32));
+      if (config.evaluateScores) {
+        values.emplace_back(prefix + "score", results[i].score);
+      }
+    }
+    if (!obs::writeBenchReport(*reportOut, "mclg_batch", values)) {
+      std::fprintf(stderr, "cannot write %s\n", reportOut->c_str());
+      return kExitUsage;
+    }
+    std::printf("wrote %s\n", reportOut->c_str());
+  }
+
+  return okCount == total ? kExitOk : kExitFailedDesigns;
+}

@@ -268,14 +268,12 @@ int cmdLegalize(const Args& args) {
     config.guard.faults = FaultPlan::fromSeed(
         static_cast<std::uint64_t>(std::atoll(seed->c_str())));
   }
-  config.mgl.numThreads = static_cast<int>(args.getInt("--threads", 1));
+  // setThreads must precede --n0: it only parallelizes the MCF while the
+  // coupling term is still off (same semantics as the old inline block).
+  config.setThreads(static_cast<int>(args.getInt("--threads", 1)));
   if (args.has("--no-maxdisp")) config.runMaxDisp = false;
   if (args.has("--no-mcf")) config.runFixedRowOrder = false;
   config.maxDisp.delta0 = args.getDouble("--delta0", config.maxDisp.delta0);
-  config.maxDisp.numThreads = config.mgl.numThreads;
-  if (config.fixedRowOrder.maxDispWeight == 0.0) {
-    config.fixedRowOrder.numThreads = config.mgl.numThreads;
-  }
   config.fixedRowOrder.maxDispWeight =
       args.getDouble("--n0", config.fixedRowOrder.maxDispWeight);
 
