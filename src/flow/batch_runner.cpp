@@ -73,11 +73,20 @@ void driveBatch(int count, int maxInFlight, ExecutorRef executor,
       }
     }
     exec.submit([&, i] {
-      run(i);
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        --inFlight;
+      try {
+        run(i);
+      } catch (...) {
+        // run(i) records its own failures; nothing escaping it (e.g.
+        // bad_alloc) may skip the in-flight accounting below, or the
+        // coordinator would wait forever.
       }
+      // Notify while holding the mutex: mutex and cv live on the
+      // coordinator's stack, and the coordinator destroys them as soon as
+      // its wait observes inFlight == 0. Holding the lock across the
+      // notify means it cannot observe that until this task has finished
+      // touching both.
+      std::lock_guard<std::mutex> lock(mutex);
+      --inFlight;
       cv.notify_all();
     });
   }
@@ -170,18 +179,26 @@ std::vector<BatchDesignResult> runBatchManifest(
         const auto& item = items[static_cast<std::size_t>(i)];
         BatchDesignResult& result = results[static_cast<std::size_t>(i)];
         result.name = item.name;
-        ParseError parseError;
-        auto design = loadDesign(item.inputPath, &parseError);
-        if (!design) {
-          result.error = "parse error: " + parseError.str();
-          return;
-        }
-        legalizeOne(item.name, *design, pipeline, config.evaluateScores,
-                    &result);
-        if (result.ok && !item.outputPath.empty() &&
-            !saveDesign(*design, item.outputPath)) {
+        try {
+          ParseError parseError;
+          auto design = loadDesign(item.inputPath, &parseError);
+          if (!design) {
+            result.error = "parse error: " + parseError.str();
+            return;
+          }
+          legalizeOne(item.name, *design, pipeline, config.evaluateScores,
+                      &result);
+          if (result.ok && !item.outputPath.empty() &&
+              !saveDesign(*design, item.outputPath)) {
+            result.ok = false;
+            result.error = "cannot write '" + item.outputPath + "'";
+          }
+        } catch (const std::exception& e) {
           result.ok = false;
-          result.error = "cannot write '" + item.outputPath + "'";
+          result.error = e.what();
+        } catch (...) {
+          result.ok = false;
+          result.error = "unknown error";
         }
       });
   return results;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -213,7 +214,18 @@ struct Executor::Impl {
       // bumps it, so the park predicate cannot miss it.
       const std::uint64_t seen = signal_.load(std::memory_order_acquire);
       if (TaskBase* task = findTask(self, index)) {
-        task->run();
+        try {
+          task->run();
+        } catch (...) {
+          // Batch tasks catch internally (the first error is rethrown in
+          // the calling thread); only a submit()-ed task can land here.
+          // Letting it escape would std::terminate the whole process from
+          // a worker thread, taking every in-flight design down — report
+          // and keep the worker alive instead.
+          std::fprintf(
+              stderr,
+              "mclg: uncaught exception escaped an executor task; dropped\n");
+        }
         delete task;
         continue;
       }

@@ -59,7 +59,10 @@ class Executor {
 
   /// Enqueue a whole-run task (runs exactly once, on some worker). The
   /// batch driver uses this for per-design pipelines; completion tracking
-  /// is the caller's business.
+  /// is the caller's business. Tasks should not throw: an exception that
+  /// escapes one is reported on stderr and dropped by the worker (there is
+  /// no caller to rethrow into), so errors the caller cares about must be
+  /// captured inside the task.
   void submit(std::function<void()> task);
 
   /// Monotonic activity counters (process-lifetime for global()). The same

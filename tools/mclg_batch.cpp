@@ -17,7 +17,10 @@
 //   3  at least one design failed or is infeasible
 //   4  structured parse error in the manifest or an input design
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -68,9 +71,26 @@ bool argFlag(int argc, char** argv, const char* name) {
   return false;
 }
 
-int argInt(int argc, char** argv, const char* name, int fallback) {
+/// Strict integer flag: absent -> fallback; non-numeric, trailing junk, or
+/// a value below minValue (or beyond int range) -> usage error (false).
+bool argInt(int argc, char** argv, const char* name, int fallback,
+            int minValue, int* out) {
   const auto v = argValue(argc, argv, name);
-  return v ? std::atoi(v->c_str()) : fallback;
+  if (!v) {
+    *out = fallback;
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE ||
+      parsed < minValue || parsed > INT_MAX) {
+    std::fprintf(stderr, "mclg_batch: invalid value '%s' for %s (want integer >= %d)\n",
+                 v->c_str(), name, minValue);
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
 }
 
 }  // namespace
@@ -85,6 +105,28 @@ int main(int argc, char** argv) {
     std::fputs(kHelp, stderr);
     return kExitUsage;
   }
+
+  // Validate every flag before touching the filesystem, so a bad flag is
+  // always a usage error (exit 1) and never races the manifest check.
+  const std::string presetName =
+      argValue(argc, argv, "--preset").value_or("contest");
+  BatchRunConfig config;
+  if (presetName == "contest") {
+    config.pipeline = PipelineConfig::contest();
+  } else if (presetName == "totaldisp") {
+    config.pipeline = PipelineConfig::totalDisplacement();
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", presetName.c_str());
+    return kExitUsage;
+  }
+  int executorThreads = 0;
+  if (!argInt(argc, argv, "--threads-per-design", 1, 1,
+              &config.threadsPerDesign) ||
+      !argInt(argc, argv, "--jobs", 0, 0, &config.maxInFlight) ||
+      !argInt(argc, argv, "--executor-threads", 0, 0, &executorThreads)) {
+    return kExitUsage;
+  }
+  config.evaluateScores = argFlag(argc, argv, "--scores");
 
   const auto reportOut = argValue(argc, argv, "--report-out");
   if (reportOut) {
@@ -104,23 +146,7 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
-  const std::string presetName =
-      argValue(argc, argv, "--preset").value_or("contest");
-  BatchRunConfig config;
-  if (presetName == "contest") {
-    config.pipeline = PipelineConfig::contest();
-  } else if (presetName == "totaldisp") {
-    config.pipeline = PipelineConfig::totalDisplacement();
-  } else {
-    std::fprintf(stderr, "unknown preset '%s'\n", presetName.c_str());
-    return kExitUsage;
-  }
-  config.threadsPerDesign = argInt(argc, argv, "--threads-per-design", 1);
-  config.maxInFlight = argInt(argc, argv, "--jobs", 0);
-  config.evaluateScores = argFlag(argc, argv, "--scores");
-
   std::unique_ptr<Executor> privateExecutor;
-  const int executorThreads = argInt(argc, argv, "--executor-threads", 0);
   if (executorThreads > 0) {
     privateExecutor = std::make_unique<Executor>(executorThreads);
     config.executor = ExecutorRef(privateExecutor.get());
