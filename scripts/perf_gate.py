@@ -24,7 +24,7 @@ Two subcommands:
       Exits 0 when every gate passes, 1 otherwise.
 
 Both documents use the run-report envelope (docs/OBSERVABILITY.md); this
-reader accepts schema_version 1 through 4.
+reader accepts schema_version 1 through 5.
 """
 
 import argparse
@@ -32,7 +32,7 @@ import json
 import os
 import sys
 
-ACCEPTED_SCHEMAS = (1, 2, 3, 4)
+ACCEPTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 DEFAULT_MERGE_BENCHES = ("bench_scaling", "bench_threads")
 
@@ -69,7 +69,7 @@ def load_micro(path):
 
 def cmd_merge(args):
     suite = {
-        "schema_version": 4,
+        "schema_version": 5,
         "kind": "perf_suite",
         "generated_by": "scripts/perf_regression.sh",
         "benches": {},

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 
@@ -27,6 +28,7 @@ void legalizeOne(const std::string& name, Design& design,
                  const PipelineConfig& pipeline, bool evaluateScores,
                  BatchDesignResult* result) {
   result->name = name;
+  result->numCells = design.numCells();
   try {
     Timer timer;
     SegmentMap segments(design);
@@ -35,18 +37,29 @@ void legalizeOne(const std::string& name, Design& design,
     result->seconds = timer.seconds();
     result->placementHash = placementHash(design);
     if (evaluateScores) result->score = evaluateScore(design, segments).score;
-    result->ok = result->stats.mgl.failed == 0;
-    if (!result->ok) {
-      result->error = std::to_string(result->stats.mgl.failed) +
+    if (result->stats.guard.failed) {
+      result->status = WorkerStatus::Exception;
+      result->error = "guard: unrecoverable stage failure";
+    } else if (result->stats.mgl.failed > 0 ||
+               result->stats.guard.infeasibleCells > 0) {
+      result->status = WorkerStatus::Infeasible;
+      result->error = std::to_string(std::max(
+                          result->stats.mgl.failed,
+                          result->stats.guard.infeasibleCells)) +
                       " cells could not be placed";
+    } else if (result->stats.guard.degraded) {
+      result->status = WorkerStatus::GuardDegraded;
+    } else {
+      result->status = WorkerStatus::Ok;
     }
   } catch (const std::exception& e) {
-    result->ok = false;
+    result->status = WorkerStatus::Exception;
     result->error = e.what();
   } catch (...) {
-    result->ok = false;
+    result->status = WorkerStatus::Exception;
     result->error = "unknown error";
   }
+  result->ok = workerStatusOk(result->status);
 }
 
 /// Submit one task per design with admission control: the coordinator
@@ -167,39 +180,94 @@ bool loadBatchManifest(const std::string& path,
   return true;
 }
 
+bool parseShardSpec(const std::string& text, ShardSpec* spec,
+                    std::string* error) {
+  const auto fail = [&] {
+    if (error != nullptr) {
+      *error = "invalid shard '" + text + "' (want i/N with 0 <= i < N)";
+    }
+    return false;
+  };
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return fail();
+  }
+  const auto digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  const std::string indexText = text.substr(0, slash);
+  const std::string countText = text.substr(slash + 1);
+  if (!digits(indexText) || !digits(countText) || indexText.size() > 9 ||
+      countText.size() > 9) {
+    return fail();
+  }
+  ShardSpec parsed;
+  parsed.index = static_cast<int>(std::strtol(indexText.c_str(), nullptr, 10));
+  parsed.count = static_cast<int>(std::strtol(countText.c_str(), nullptr, 10));
+  if (parsed.count < 1 || parsed.index >= parsed.count) return fail();
+  *spec = parsed;
+  return true;
+}
+
+std::vector<BatchManifestItem> shardManifest(
+    const std::vector<BatchManifestItem>& items, const ShardSpec& spec) {
+  std::vector<BatchManifestItem> shard;
+  if (spec.count <= 1) return items;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (static_cast<int>(i % static_cast<std::size_t>(spec.count)) ==
+        spec.index) {
+      shard.push_back(items[i]);
+    }
+  }
+  return shard;
+}
+
+BatchDesignResult runBatchItem(const BatchManifestItem& item,
+                               const BatchRunConfig& config) {
+  BatchDesignResult result;
+  result.name = item.name;
+  const PipelineConfig pipeline = perDesignConfig(config);
+  try {
+    ParseError parseError;
+    auto design = loadDesign(item.inputPath, &parseError);
+    if (!design) {
+      result.status = WorkerStatus::ParseError;
+      result.error = "parse error: " + parseError.str();
+      return result;
+    }
+    legalizeOne(item.name, *design, pipeline, config.evaluateScores, &result);
+    if (result.ok && !item.outputPath.empty() &&
+        !saveDesign(*design, item.outputPath)) {
+      result.status = WorkerStatus::IoError;
+      result.ok = false;
+      result.error = "cannot write '" + item.outputPath + "'";
+    }
+  } catch (const std::exception& e) {
+    result.status = WorkerStatus::Exception;
+    result.ok = false;
+    result.error = e.what();
+  } catch (...) {
+    result.status = WorkerStatus::Exception;
+    result.ok = false;
+    result.error = "unknown error";
+  }
+  return result;
+}
+
 std::vector<BatchDesignResult> runBatchManifest(
     const std::vector<BatchManifestItem>& items,
     const BatchRunConfig& config) {
   std::vector<BatchDesignResult> results(items.size());
   if (items.empty()) return results;
-  const PipelineConfig pipeline = perDesignConfig(config);
   driveBatch(
       static_cast<int>(items.size()), config.maxInFlight, config.executor,
       [&](int i) {
-        const auto& item = items[static_cast<std::size_t>(i)];
-        BatchDesignResult& result = results[static_cast<std::size_t>(i)];
-        result.name = item.name;
-        try {
-          ParseError parseError;
-          auto design = loadDesign(item.inputPath, &parseError);
-          if (!design) {
-            result.error = "parse error: " + parseError.str();
-            return;
-          }
-          legalizeOne(item.name, *design, pipeline, config.evaluateScores,
-                      &result);
-          if (result.ok && !item.outputPath.empty() &&
-              !saveDesign(*design, item.outputPath)) {
-            result.ok = false;
-            result.error = "cannot write '" + item.outputPath + "'";
-          }
-        } catch (const std::exception& e) {
-          result.ok = false;
-          result.error = e.what();
-        } catch (...) {
-          result.ok = false;
-          result.error = "unknown error";
-        }
+        results[static_cast<std::size_t>(i)] =
+            runBatchItem(items[static_cast<std::size_t>(i)], config);
       });
   return results;
 }

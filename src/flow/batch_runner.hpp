@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "flow/worker_protocol.hpp"
 #include "legal/pipeline.hpp"
 #include "util/executor/executor.hpp"
 
@@ -51,11 +52,20 @@ struct BatchRunConfig {
 struct BatchDesignResult {
   std::string name;
   bool ok = false;
+  /// Machine-readable failure kind, uniform across the in-process runner
+  /// and the process-isolated supervisor (flow/worker_protocol.hpp):
+  /// `ok` above is exactly workerStatusOk(status).
+  WorkerStatus status = WorkerStatus::Exception;
   std::string error;       ///< parse/IO/pipeline failure when !ok
   double seconds = 0.0;    ///< wall clock of this design's pipeline
   std::uint64_t placementHash = 0;  ///< eval placementHash after legalize
   double score = 0.0;      ///< contest score when evaluateScores, else 0
+  int numCells = 0;        ///< movable + fixed cells of the loaded design
   PipelineStats stats;
+  // Supervisor-only fields (process-isolation mode; see flow/supervisor.hpp).
+  int attempts = 0;        ///< worker runs, 1 + retries (0 = in-process mode)
+  int lastSignal = 0;      ///< signal that killed the last attempt, 0 = none
+  std::string reportJson;  ///< worker's streamed run report, verbatim
 };
 
 /// Legalize every design in place, up to maxInFlight concurrently.
@@ -77,6 +87,28 @@ struct BatchManifestItem {
 bool loadBatchManifest(const std::string& path,
                        std::vector<BatchManifestItem>* items,
                        std::string* error);
+
+/// Deterministic manifest shard `index` of `count`: hosts running the same
+/// manifest with i = 0..N-1 partition it exactly (round-robin by manifest
+/// position, order preserved) with no coordination.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
+
+/// Parse "i/N" with 0 <= i < N (strict: no sign, no trailing junk).
+bool parseShardSpec(const std::string& text, ShardSpec* spec,
+                    std::string* error);
+
+std::vector<BatchManifestItem> shardManifest(
+    const std::vector<BatchManifestItem>& items, const ShardSpec& spec);
+
+/// Load + legalize + save one manifest item with per-design isolation: all
+/// failures (parse, pipeline, IO) come back in the result, never as an
+/// exception. The building block of runBatchManifest and of the supervised
+/// worker mode (flow/supervisor.hpp).
+BatchDesignResult runBatchItem(const BatchManifestItem& item,
+                               const BatchRunConfig& config);
 
 /// File-level driver: each design task loads its input, legalizes, and
 /// saves to the output path (when given) — I/O included in the concurrent

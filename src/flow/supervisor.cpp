@@ -1,0 +1,563 @@
+#include "flow/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+
+namespace mclg {
+namespace {
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void bumpCounter(const std::string& name, long long delta = 1) {
+  if (obs::metricsEnabled()) obs::counter(name).add(delta);
+}
+
+/// The fd number workers are told to write frames to. dup2'd over in the
+/// child between fork and exec, which also clears FD_CLOEXEC.
+constexpr int kWorkerFd = 3;
+
+// ---- Worker side -----------------------------------------------------------
+
+struct WorkerArgs {
+  std::string input;
+  std::string output;
+  std::string name;
+  int fd = -1;
+  int attempt = 0;
+  std::string preset = "contest";
+  int threads = 1;
+  bool scores = false;
+  std::vector<std::string> faults;
+};
+
+struct FaultSpecParts {
+  std::string design;
+  std::string mode;
+  int count = 0;
+};
+
+bool splitFaultSpec(const std::string& spec, FaultSpecParts* parts) {
+  const auto first = spec.find(':');
+  const auto second = first == std::string::npos
+                          ? std::string::npos
+                          : spec.find(':', first + 1);
+  if (second == std::string::npos) return false;
+  parts->design = spec.substr(0, first);
+  parts->mode = spec.substr(first + 1, second - first - 1);
+  parts->count =
+      static_cast<int>(std::strtol(spec.c_str() + second + 1, nullptr, 10));
+  return !parts->design.empty() && !parts->mode.empty() && parts->count > 0;
+}
+
+/// Die by `sig` with the *default* disposition, bypassing any handler a
+/// sanitizer runtime installed — the supervisor must observe a genuine
+/// signal death, not an ASan exit code.
+[[noreturn]] void dieBySignal(int sig) {
+  std::signal(sig, SIG_DFL);
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, sig);
+  sigprocmask(SIG_UNBLOCK, &set, nullptr);
+  ::raise(sig);
+  _exit(126);  // unreachable unless the signal was uncatchably blocked
+}
+
+[[noreturn]] void hangIgnoringSigterm() {
+  std::signal(SIGTERM, SIG_IGN);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+std::string baseNameOf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.erase(dot);
+  return base;
+}
+
+}  // namespace
+
+std::string selfExecutablePath(const std::string& fallback) {
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (len <= 0) return fallback;
+  buffer[len] = '\0';
+  return std::string(buffer);
+}
+
+int supervisorWorkerMain(int argc, char** argv) {
+  WorkerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--worker-input") == 0) {
+      args.input = value();
+    } else if (std::strcmp(argv[i], "--worker-output") == 0) {
+      args.output = value();
+    } else if (std::strcmp(argv[i], "--worker-name") == 0) {
+      args.name = value();
+    } else if (std::strcmp(argv[i], "--worker-fd") == 0) {
+      args.fd = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--worker-attempt") == 0) {
+      args.attempt = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--preset") == 0) {
+      args.preset = value();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      args.threads = std::max(
+          1, static_cast<int>(std::strtol(value(), nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--scores") == 0) {
+      args.scores = true;
+    } else if (std::strcmp(argv[i], "--worker-fault") == 0) {
+      args.faults.emplace_back(value());
+    }
+  }
+  if (args.input.empty()) {
+    std::fprintf(stderr, "worker: missing --worker-input\n");
+    return static_cast<int>(GuardExitCode::Usage);
+  }
+  if (args.name.empty()) args.name = baseNameOf(args.input);
+
+  BatchRunConfig config;
+  config.pipeline = args.preset == "totaldisp"
+                        ? PipelineConfig::totalDisplacement()
+                        : PipelineConfig::contest();
+  config.threadsPerDesign = args.threads;
+  config.evaluateScores = args.scores;
+
+  // Deterministic fault injection (see supervisor.hpp). Crash modes fire
+  // before the pipeline so the death is abrupt; `degrade` arms the guard's
+  // FaultPlan instead so the run completes via skip-after-rollback.
+  for (const std::string& spec : args.faults) {
+    FaultSpecParts parts;
+    if (!splitFaultSpec(spec, &parts)) {
+      std::fprintf(stderr, "worker: bad --worker-fault '%s'\n", spec.c_str());
+      return static_cast<int>(GuardExitCode::Usage);
+    }
+    if (parts.design != args.name || args.attempt >= parts.count) continue;
+    if (parts.mode == "segv") dieBySignal(SIGSEGV);
+    if (parts.mode == "abort") dieBySignal(SIGABRT);
+    if (parts.mode == "kill") dieBySignal(SIGKILL);
+    if (parts.mode == "hang") hangIgnoringSigterm();
+    if (parts.mode == "degrade") {
+      config.pipeline.guard.enabled = true;
+      config.pipeline.guard.maxAttempts = 2;
+      config.pipeline.guard.faults.add(PipelineStage::MaxDisp,
+                                       FaultKind::StageThrow, 0);
+      config.pipeline.guard.faults.add(PipelineStage::MaxDisp,
+                                       FaultKind::StageThrow, 1);
+      continue;
+    }
+    std::fprintf(stderr, "worker: unknown fault mode '%s'\n",
+                 parts.mode.c_str());
+    return static_cast<int>(GuardExitCode::Usage);
+  }
+
+  // Metrics populate the streamed run report's metrics block.
+  obs::setMetricsEnabled(true);
+  obs::metricsReset();
+
+  BatchManifestItem item;
+  item.name = args.name;
+  item.inputPath = args.input;
+  item.outputPath = args.output;
+  const BatchDesignResult result = runBatchItem(item, config);
+
+  if (args.fd >= 0) {
+    WorkerResult wire;
+    wire.status = result.status;
+    wire.seconds = result.seconds;
+    wire.placementHash = result.placementHash;
+    wire.score = result.score;
+    wire.numCells = result.numCells;
+    wire.error = result.error;
+    writeFrame(args.fd, FrameType::Result, serializeWorkerResult(wire));
+    obs::RunProvenance provenance;
+    provenance.design = result.name;
+    provenance.numCells = result.numCells;
+    provenance.preset = args.preset;
+    provenance.threads = args.threads;
+    provenance.guardEnabled = config.pipeline.guard.enabled;
+    writeFrame(args.fd, FrameType::Report,
+               obs::renderRunReport(provenance, result.stats, nullptr,
+                                    /*includeMetrics=*/true));
+    ::close(args.fd);
+  }
+  return workerStatusToExit(result.status);
+}
+
+// ---- Supervisor side -------------------------------------------------------
+
+namespace {
+
+struct LiveWorker {
+  int item = -1;       ///< manifest index
+  pid_t pid = -1;
+  int fd = -1;         ///< pipe read end (nonblocking)
+  FrameReader reader;
+  double killDeadline = 0.0;   ///< SIGTERM at this time; 0 = no timeout
+  double graceDeadline = 0.0;  ///< SIGKILL at this time; 0 = no TERM sent yet
+  bool timedOut = false;
+  bool eof = false;
+};
+
+struct DesignProgress {
+  int attempts = 0;
+  double readyAt = 0.0;  ///< backoff: do not respawn before this time
+  bool queued = true;
+  bool done = false;
+};
+
+std::vector<std::string> buildWorkerArgv(const SupervisorConfig& config,
+                                         const BatchManifestItem& item,
+                                         int attempt) {
+  std::vector<std::string> argv = config.workerCommand;
+  argv.push_back("--worker-input");
+  argv.push_back(item.inputPath);
+  if (!item.outputPath.empty()) {
+    argv.push_back("--worker-output");
+    argv.push_back(item.outputPath);
+  }
+  argv.push_back("--worker-name");
+  argv.push_back(item.name);
+  argv.push_back("--worker-fd");
+  argv.push_back(std::to_string(kWorkerFd));
+  argv.push_back("--worker-attempt");
+  argv.push_back(std::to_string(attempt));
+  argv.push_back("--preset");
+  argv.push_back(config.preset);
+  argv.push_back("--threads");
+  argv.push_back(std::to_string(std::max(1, config.threadsPerDesign)));
+  if (config.evaluateScores) argv.push_back("--scores");
+  argv.insert(argv.end(), config.extraWorkerArgs.begin(),
+              config.extraWorkerArgs.end());
+  return argv;
+}
+
+/// fork/exec one worker. Returns false (with *error set) when the process
+/// could not even be started; exec failures inside the child surface as
+/// exit code 126 (-> WorkerStatus::Exception, retryable).
+bool spawnWorker(const SupervisorConfig& config, const BatchManifestItem& item,
+                 int attempt, LiveWorker* worker, std::string* error) {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    *error = std::string("pipe2: ") + std::strerror(errno);
+    return false;
+  }
+  // argv must be materialized before fork: only async-signal-safe calls are
+  // allowed in the child of a (potentially multithreaded) parent.
+  const std::vector<std::string> argvStrings =
+      buildWorkerArgv(config, item, attempt);
+  std::vector<char*> argv;
+  argv.reserve(argvStrings.size() + 1);
+  for (const std::string& arg : argvStrings) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: move the pipe write end onto the advertised fd (dup2 clears
+    // FD_CLOEXEC) and exec. Everything else is O_CLOEXEC and vanishes.
+    if (fds[1] == kWorkerFd) {
+      ::fcntl(fds[1], F_SETFD, 0);
+    } else {
+      if (::dup2(fds[1], kWorkerFd) < 0) _exit(126);
+      ::close(fds[1]);
+    }
+    ::execv(argv[0], argv.data());
+    _exit(126);  // exec failed; parent maps this to a retryable Exception
+  }
+  ::close(fds[1]);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  worker->pid = pid;
+  worker->fd = fds[0];
+  worker->timedOut = false;
+  worker->eof = false;
+  worker->reader = FrameReader();
+  worker->killDeadline = config.designTimeoutSeconds > 0.0
+                             ? monotonicSeconds() + config.designTimeoutSeconds
+                             : 0.0;
+  worker->graceDeadline = 0.0;
+  return true;
+}
+
+/// Drain whatever the worker pipe currently holds. Returns true at EOF.
+bool drainWorkerPipe(LiveWorker& worker) {
+  char buffer[16384];
+  for (;;) {
+    const ssize_t got = ::read(worker.fd, buffer, sizeof buffer);
+    if (got > 0) {
+      worker.reader.feed(buffer, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return true;
+    if (errno == EINTR) continue;
+    return false;  // EAGAIN: drained for now
+  }
+}
+
+/// Merge worker frames + wait status into the design's result. Returns the
+/// final WorkerStatus.
+WorkerStatus resolveOutcome(const LiveWorker& worker, int waitStatus,
+                            const std::vector<FrameReader::Frame>& frames,
+                            bool readerCorrupted, std::size_t pendingBytes,
+                            BatchDesignResult* result) {
+  bool sawResult = false;
+  WorkerResult wire;
+  for (const auto& frame : frames) {
+    if (frame.type == FrameType::Result) {
+      sawResult = parseWorkerResult(frame.payload, &wire) || sawResult;
+    } else if (frame.type == FrameType::Report) {
+      result->reportJson = frame.payload;
+    }
+  }
+  if (sawResult) {
+    result->seconds = wire.seconds;
+    result->placementHash = wire.placementHash;
+    result->score = wire.score;
+    result->numCells = wire.numCells;
+    result->error = wire.error;
+  }
+
+  if (worker.timedOut) {
+    result->lastSignal =
+        WIFSIGNALED(waitStatus) ? WTERMSIG(waitStatus) : SIGKILL;
+    result->error = "timed out";
+    return WorkerStatus::Timeout;
+  }
+  if (WIFSIGNALED(waitStatus)) {
+    const int sig = WTERMSIG(waitStatus);
+    result->lastSignal = sig;
+    result->error = std::string("killed by signal ") + std::to_string(sig) +
+                    " (" + strsignal(sig) + ")";
+    return WorkerStatus::Crashed;
+  }
+  const int exitCode = WIFEXITED(waitStatus) ? WEXITSTATUS(waitStatus) : 126;
+  const WorkerStatus exitStatus = workerStatusFromExit(exitCode);
+  if (readerCorrupted || pendingBytes > 0 ||
+      (!sawResult && exitStatus == WorkerStatus::Ok)) {
+    result->error = readerCorrupted ? "corrupted worker frame stream"
+                                    : "worker exited without a result frame";
+    return WorkerStatus::Protocol;
+  }
+  // Prefer the worker's own (finer-grained) status when the frame agrees
+  // with the exit-code family; fall back to the exit code otherwise.
+  if (sawResult && workerStatusToExit(wire.status) == exitCode) {
+    return wire.status;
+  }
+  return exitStatus;
+}
+
+}  // namespace
+
+std::vector<BatchDesignResult> runSupervisedManifest(
+    const std::vector<BatchManifestItem>& items,
+    const SupervisorConfig& configIn) {
+  SupervisorConfig config = configIn;
+  if (config.workerCommand.empty()) {
+    config.workerCommand = {selfExecutablePath("mclg_batch"), "--worker"};
+  }
+  const int cap =
+      config.maxConcurrent > 0
+          ? config.maxConcurrent
+          : std::max(1u, std::thread::hardware_concurrency());
+  const double grace = std::max(0.05, config.killGraceSeconds);
+
+  std::vector<BatchDesignResult> results(items.size());
+  std::vector<DesignProgress> progress(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    results[i].name = items[i].name;
+  }
+  if (items.empty()) return results;
+
+  std::vector<LiveWorker> live;
+  int doneCount = 0;
+
+  const auto finishDesign = [&](int item, WorkerStatus status) {
+    BatchDesignResult& result = results[static_cast<std::size_t>(item)];
+    result.status = status;
+    result.ok = workerStatusOk(status);
+    result.attempts = progress[static_cast<std::size_t>(item)].attempts;
+    progress[static_cast<std::size_t>(item)].done = true;
+    ++doneCount;
+    if (!workerStatusOk(status) && workerStatusRetryable(status)) {
+      bumpCounter("supervisor.exhausted");
+    }
+  };
+
+  const auto scheduleRetryOrFinish = [&](int item, WorkerStatus status) {
+    DesignProgress& p = progress[static_cast<std::size_t>(item)];
+    if (workerStatusRetryable(status) && p.attempts <= config.maxRetries) {
+      const int backoffShift = std::min(p.attempts - 1, 8);
+      const double delay =
+          std::min(30.0, static_cast<double>(config.backoffMs) *
+                             static_cast<double>(1 << backoffShift) / 1000.0);
+      p.readyAt = monotonicSeconds() + delay;
+      p.queued = true;
+      results[static_cast<std::size_t>(item)].status = status;
+      bumpCounter("supervisor.retries");
+      return;
+    }
+    finishDesign(item, status);
+  };
+
+  const auto reapWorker = [&](std::size_t slot) {
+    LiveWorker worker = std::move(live[slot]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(slot));
+    ::close(worker.fd);
+    int waitStatus = 0;
+    // The pipe reached EOF (or the worker was SIGKILLed): the process has
+    // exited or is mid-exit, so a blocking waitpid is bounded.
+    while (::waitpid(worker.pid, &waitStatus, 0) < 0 && errno == EINTR) {
+    }
+    BatchDesignResult& result = results[static_cast<std::size_t>(worker.item)];
+    const auto frames = worker.reader.take();
+    const WorkerStatus status =
+        resolveOutcome(worker, waitStatus, frames, worker.reader.corrupted(),
+                       worker.reader.pendingBytes(), &result);
+    if (status == WorkerStatus::Crashed) {
+      bumpCounter("supervisor.crashes");
+      bumpCounter("supervisor.crash.signal." +
+                  std::to_string(result.lastSignal));
+    }
+    if (status == WorkerStatus::Timeout) bumpCounter("supervisor.timeouts");
+    scheduleRetryOrFinish(worker.item, status);
+  };
+
+  while (doneCount < static_cast<int>(items.size())) {
+    // Admit queued designs whose backoff has elapsed.
+    const double now = monotonicSeconds();
+    for (std::size_t i = 0;
+         i < items.size() && static_cast<int>(live.size()) < cap; ++i) {
+      DesignProgress& p = progress[i];
+      if (!p.queued || p.done || p.readyAt > now) continue;
+      p.queued = false;
+      ++p.attempts;
+      bumpCounter("supervisor.spawns");
+      if (p.attempts > 1) bumpCounter("supervisor.restarts");
+      LiveWorker worker;
+      worker.item = static_cast<int>(i);
+      std::string spawnError;
+      if (!spawnWorker(config, items[i], p.attempts - 1, &worker,
+                       &spawnError)) {
+        results[i].error = spawnError;
+        scheduleRetryOrFinish(static_cast<int>(i), WorkerStatus::SpawnFailed);
+        continue;
+      }
+      live.push_back(std::move(worker));
+      if (obs::metricsEnabled()) {
+        obs::gauge("supervisor.workers_in_flight")
+            .max(static_cast<double>(live.size()));
+      }
+    }
+
+    if (live.empty()) {
+      // Nothing running: either everything is done, or every queued design
+      // is in backoff — sleep until the earliest becomes ready.
+      double wakeAt = -1.0;
+      for (const DesignProgress& p : progress) {
+        if (p.queued && !p.done && (wakeAt < 0.0 || p.readyAt < wakeAt)) {
+          wakeAt = p.readyAt;
+        }
+      }
+      if (wakeAt < 0.0) break;  // defensive: no work left at all
+      const double sleepFor = wakeAt - monotonicSeconds();
+      if (sleepFor > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::min(sleepFor, 0.25)));
+      }
+      continue;
+    }
+
+    // Poll timeout: the nearest of any worker deadline or retry wakeup,
+    // capped so timeout enforcement stays responsive.
+    double timeoutAt = -1.0;
+    for (const LiveWorker& worker : live) {
+      const double deadline = worker.graceDeadline > 0.0 ? worker.graceDeadline
+                                                         : worker.killDeadline;
+      if (deadline > 0.0 && (timeoutAt < 0.0 || deadline < timeoutAt)) {
+        timeoutAt = deadline;
+      }
+    }
+    for (const DesignProgress& p : progress) {
+      if (p.queued && !p.done && (timeoutAt < 0.0 || p.readyAt < timeoutAt)) {
+        timeoutAt = p.readyAt;
+      }
+    }
+    int pollMs = 250;
+    if (timeoutAt > 0.0) {
+      const double delta = timeoutAt - monotonicSeconds();
+      pollMs = std::clamp(static_cast<int>(delta * 1000.0) + 1, 1, 250);
+    }
+
+    std::vector<pollfd> pollFds;
+    pollFds.reserve(live.size());
+    for (const LiveWorker& worker : live) {
+      pollFds.push_back({worker.fd, POLLIN, 0});
+    }
+    const int ready = ::poll(pollFds.data(),
+                             static_cast<nfds_t>(pollFds.size()), pollMs);
+    if (ready < 0 && errno != EINTR) {
+      // poll itself failing is unrecoverable for multiplexing; fall back to
+      // a short sleep so the deadline sweep below still runs.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // Read ready pipes; remember EOFs (reap below, outside the fd loop).
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      if (ready > 0 &&
+          (pollFds[s].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        live[s].eof = drainWorkerPipe(live[s]);
+      }
+    }
+    for (std::size_t s = live.size(); s-- > 0;) {
+      if (live[s].eof) reapWorker(s);
+    }
+
+    // Enforce timeouts: SIGTERM at the deadline, SIGKILL after the grace.
+    const double sweep = monotonicSeconds();
+    for (LiveWorker& worker : live) {
+      if (worker.killDeadline > 0.0 && worker.graceDeadline == 0.0 &&
+          sweep >= worker.killDeadline) {
+        worker.timedOut = true;
+        worker.graceDeadline = sweep + grace;
+        ::kill(worker.pid, SIGTERM);
+      } else if (worker.graceDeadline > 0.0 && sweep >= worker.graceDeadline) {
+        worker.graceDeadline = sweep + 3600.0;  // kill once; EOF follows
+        bumpCounter("supervisor.kills");
+        ::kill(worker.pid, SIGKILL);
+      }
+    }
+  }
+
+  return results;
+}
+
+}  // namespace mclg

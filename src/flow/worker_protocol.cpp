@@ -1,0 +1,234 @@
+#include "flow/worker_protocol.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "legal/guard/guard.hpp"
+
+namespace mclg {
+
+const char* workerStatusName(WorkerStatus status) {
+  switch (status) {
+    case WorkerStatus::Ok: return "ok";
+    case WorkerStatus::GuardDegraded: return "guard-degraded";
+    case WorkerStatus::Infeasible: return "infeasible";
+    case WorkerStatus::ParseError: return "parse-error";
+    case WorkerStatus::Exception: return "exception";
+    case WorkerStatus::IoError: return "io-error";
+    case WorkerStatus::Crashed: return "crashed";
+    case WorkerStatus::Timeout: return "timeout";
+    case WorkerStatus::Protocol: return "protocol-error";
+    case WorkerStatus::SpawnFailed: return "spawn-failed";
+  }
+  return "?";
+}
+
+bool workerStatusOk(WorkerStatus status) {
+  return status == WorkerStatus::Ok || status == WorkerStatus::GuardDegraded;
+}
+
+bool workerStatusRetryable(WorkerStatus status) {
+  switch (status) {
+    case WorkerStatus::Crashed:
+    case WorkerStatus::Timeout:
+    case WorkerStatus::Exception:
+    case WorkerStatus::Protocol:
+    case WorkerStatus::SpawnFailed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+WorkerStatus workerStatusFromExit(int exitCode) {
+  switch (static_cast<GuardExitCode>(exitCode)) {
+    case GuardExitCode::Legal: return WorkerStatus::Ok;
+    case GuardExitCode::Usage: return WorkerStatus::IoError;
+    case GuardExitCode::Degraded: return WorkerStatus::GuardDegraded;
+    case GuardExitCode::Infeasible: return WorkerStatus::Infeasible;
+    case GuardExitCode::ParseError: return WorkerStatus::ParseError;
+    case GuardExitCode::Internal: return WorkerStatus::Exception;
+  }
+  return WorkerStatus::Exception;
+}
+
+int workerStatusToExit(WorkerStatus status) {
+  switch (status) {
+    case WorkerStatus::Ok: return static_cast<int>(GuardExitCode::Legal);
+    case WorkerStatus::GuardDegraded:
+      return static_cast<int>(GuardExitCode::Degraded);
+    case WorkerStatus::Infeasible:
+      return static_cast<int>(GuardExitCode::Infeasible);
+    case WorkerStatus::ParseError:
+      return static_cast<int>(GuardExitCode::ParseError);
+    case WorkerStatus::IoError: return static_cast<int>(GuardExitCode::Usage);
+    default: return static_cast<int>(GuardExitCode::Internal);
+  }
+}
+
+// ---- Result payload --------------------------------------------------------
+
+namespace {
+
+/// Newlines would break the line-oriented payload; spaces are fine.
+std::string oneLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+int statusFromName(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(WorkerStatus::SpawnFailed); ++i) {
+    if (name == workerStatusName(static_cast<WorkerStatus>(i))) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string serializeWorkerResult(const WorkerResult& result) {
+  char buffer[128];
+  std::string out;
+  out += "status=";
+  out += workerStatusName(result.status);
+  out += '\n';
+  std::snprintf(buffer, sizeof buffer, "seconds=%.9g\n", result.seconds);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "hash=%016" PRIx64 "\n",
+                result.placementHash);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "score=%.17g\n", result.score);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "cells=%d\n", result.numCells);
+  out += buffer;
+  out += "error=" + oneLine(result.error) + "\n";
+  return out;
+}
+
+bool parseWorkerResult(const std::string& payload, WorkerResult* result) {
+  WorkerResult parsed;
+  bool sawStatus = false;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find('\n', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string line = payload.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "status") {
+      const int status = statusFromName(value);
+      if (status < 0) return false;
+      parsed.status = static_cast<WorkerStatus>(status);
+      sawStatus = true;
+    } else if (key == "seconds") {
+      parsed.seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "hash") {
+      parsed.placementHash =
+          static_cast<std::uint64_t>(std::strtoull(value.c_str(), nullptr, 16));
+    } else if (key == "score") {
+      parsed.score = std::strtod(value.c_str(), nullptr);
+    } else if (key == "cells") {
+      parsed.numCells = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "error") {
+      parsed.error = value;
+    }
+    // Unknown keys are skipped: older supervisors read newer workers.
+  }
+  if (!sawStatus) return false;
+  *result = parsed;
+  return true;
+}
+
+// ---- Frame IO --------------------------------------------------------------
+
+namespace {
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t getU32(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+bool writeAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+inline constexpr std::size_t kHeaderBytes = 12;
+
+}  // namespace
+
+bool writeFrame(int fd, FrameType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  putU32(out, kFrameMagic);
+  putU32(out, static_cast<std::uint32_t>(type));
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return writeAll(fd, out.data(), out.size());
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  if (corrupted_) return;
+  buffer_.append(data, size);
+  while (buffer_.size() >= kHeaderBytes) {
+    if (getU32(buffer_.data()) != kFrameMagic) {
+      corrupted_ = true;
+      frames_.clear();
+      buffer_.clear();
+      return;
+    }
+    const std::uint32_t type = getU32(buffer_.data() + 4);
+    const std::uint32_t length = getU32(buffer_.data() + 8);
+    if (length > kMaxFramePayload ||
+        (type != static_cast<std::uint32_t>(FrameType::Result) &&
+         type != static_cast<std::uint32_t>(FrameType::Report))) {
+      corrupted_ = true;
+      frames_.clear();
+      buffer_.clear();
+      return;
+    }
+    if (buffer_.size() < kHeaderBytes + length) return;
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload = buffer_.substr(kHeaderBytes, length);
+    frames_.push_back(std::move(frame));
+    buffer_.erase(0, kHeaderBytes + length);
+  }
+}
+
+std::vector<FrameReader::Frame> FrameReader::take() {
+  std::vector<Frame> out;
+  out.swap(frames_);
+  return out;
+}
+
+}  // namespace mclg

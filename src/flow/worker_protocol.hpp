@@ -1,0 +1,130 @@
+// Wire protocol between the batch supervisor (flow/supervisor.{hpp,cpp})
+// and its fork/exec'd per-design workers, plus the WorkerStatus vocabulary
+// shared by the in-process batch runner so both execution modes report
+// design outcomes uniformly.
+//
+// A worker inherits one pipe write end and streams *frames* over it:
+//
+//   +--------+--------+--------+----------------------+
+//   | magic  | type   | length | payload (length B)   |
+//   | u32 LE | u32 LE | u32 LE |                      |
+//   +--------+--------+--------+----------------------+
+//
+// Two frame types exist today: Result (a serialized WorkerResult — status,
+// timing, placement hash, score, error text) and Report (the worker's
+// versioned run-report JSON, docs/OBSERVABILITY.md, passed through
+// verbatim). The supervisor reads frames incrementally (FrameReader copes
+// with arbitrary read() fragmentation) and never trusts the worker: a bad
+// magic, an oversized length, or a truncated payload surfaces as
+// WorkerStatus::Protocol, not as supervisor memory corruption.
+//
+// Exit codes reuse the guard contract (GuardExitCode, legal/guard/):
+// workerStatusFromExit / workerStatusToExit map between the 0/2/3/4/5
+// process vocabulary and WorkerStatus, so a worker that dies before
+// framing anything still reports a meaningful outcome through waitpid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mclg {
+
+/// Outcome of one design run, uniform across the in-process batch runner
+/// and supervised worker processes. The first six values mirror the
+/// GuardExitCode contract; the rest are supervisor-observed outcomes a
+/// process can only have *done to it* (signal, timeout, spawn failure).
+enum class WorkerStatus {
+  Ok,             ///< legalized, fully legal (exit 0)
+  GuardDegraded,  ///< legalized only after guard degradation (exit 2)
+  Infeasible,     ///< infeasible cells remain / not legal (exit 3)
+  ParseError,     ///< input failed to parse (exit 4)
+  Exception,      ///< escaped exception / internal error (exit 5)
+  IoError,        ///< usage or IO failure, e.g. unwritable output (exit 1)
+  Crashed,        ///< worker killed by a signal (WorkerResult::signal)
+  Timeout,        ///< supervisor killed it after --design-timeout
+  Protocol,       ///< worker exited without a parseable Result frame
+  SpawnFailed,    ///< fork/exec itself failed
+};
+
+const char* workerStatusName(WorkerStatus status);
+
+/// Did the design end in a usable placement? (Ok or GuardDegraded.)
+bool workerStatusOk(WorkerStatus status);
+
+/// Should the supervisor re-run the design? Only non-deterministic process
+/// deaths are worth retrying: crashes, timeouts, internal errors, protocol
+/// violations, spawn failures. Deterministic failures (parse, infeasible,
+/// IO) would fail identically again.
+bool workerStatusRetryable(WorkerStatus status);
+
+/// Map a worker's process exit code (guard contract 0/2/3/4/5, 1 = usage)
+/// to a status; unknown codes map to Exception.
+WorkerStatus workerStatusFromExit(int exitCode);
+
+/// Inverse mapping for worker mains: the exit code a worker should return
+/// for a status it computed in-process.
+int workerStatusToExit(WorkerStatus status);
+
+// ---- Frames ----------------------------------------------------------------
+
+enum class FrameType : std::uint32_t {
+  Result = 1,  ///< serialized WorkerResult
+  Report = 2,  ///< run-report JSON, verbatim
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x4d434c47u;  // "MCLG"
+/// Upper bound on a frame payload the supervisor will accept (a run report
+/// with full metrics is ~10 KiB; 16 MiB leaves three orders of headroom
+/// while still bounding a corrupted length field).
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// What a worker knows about its own run, serialized into a Result frame.
+/// The supervisor merges this with what only it can observe (exit code,
+/// signal, timeout) into the final BatchDesignResult.
+struct WorkerResult {
+  WorkerStatus status = WorkerStatus::Exception;
+  double seconds = 0.0;            ///< wall clock of the pipeline
+  std::uint64_t placementHash = 0;
+  double score = 0.0;              ///< contest score when evaluated, else 0
+  int numCells = 0;
+  std::string error;               ///< failure detail when !workerStatusOk
+};
+
+/// Serialize / parse the Result payload (newline-separated `key=value`
+/// text; the error value is sanitized to a single line). parse returns
+/// false on any malformed payload.
+std::string serializeWorkerResult(const WorkerResult& result);
+bool parseWorkerResult(const std::string& payload, WorkerResult* result);
+
+/// Write one frame to `fd`, restarting on EINTR. Returns false on any
+/// write error (e.g. the supervisor died and the pipe broke) — workers
+/// treat that as fatal-but-quiet and still exit with their status code.
+bool writeFrame(int fd, FrameType type, const std::string& payload);
+
+/// Incremental frame parser: feed() raw bytes in any fragmentation, take()
+/// complete frames out. Corruption (bad magic / oversized length) is
+/// sticky: corrupted() stays set and no further frames are produced.
+class FrameReader {
+ public:
+  struct Frame {
+    FrameType type = FrameType::Result;
+    std::string payload;
+  };
+
+  void feed(const char* data, std::size_t size);
+  /// Frames completed so far, in arrival order; the internal list is
+  /// cleared. Never returns frames after corruption.
+  std::vector<Frame> take();
+  bool corrupted() const { return corrupted_; }
+  /// Bytes buffered but not yet forming a complete frame — nonzero at
+  /// worker EOF means a truncated frame (WorkerStatus::Protocol).
+  std::size_t pendingBytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::vector<Frame> frames_;
+  bool corrupted_ = false;
+};
+
+}  // namespace mclg

@@ -5,6 +5,18 @@
 
 namespace mclg {
 
+const char* guardExitCodeName(GuardExitCode code) {
+  switch (code) {
+    case GuardExitCode::Legal: return "legal";
+    case GuardExitCode::Usage: return "usage";
+    case GuardExitCode::Degraded: return "degraded";
+    case GuardExitCode::Infeasible: return "infeasible";
+    case GuardExitCode::ParseError: return "parse-error";
+    case GuardExitCode::Internal: return "internal";
+  }
+  return "?";
+}
+
 const char* stageName(PipelineStage stage) {
   switch (stage) {
     case PipelineStage::Mgl: return "mgl";

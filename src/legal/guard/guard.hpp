@@ -24,6 +24,22 @@
 
 namespace mclg {
 
+/// The process exit-code contract shared by mclg_cli, mclg_batch workers,
+/// and the batch supervisor's exit-code -> WorkerStatus mapping
+/// (flow/worker_protocol.hpp). Documented in `mclg_cli --help` and
+/// docs/ROBUSTNESS.md; the values are load-bearing wire format — never
+/// renumber.
+enum class GuardExitCode : int {
+  Legal = 0,       ///< success; placement fully legal
+  Usage = 1,       ///< usage / IO error (bad flags, unreadable files)
+  Degraded = 2,    ///< legalized only after guard degradation
+  Infeasible = 3,  ///< infeasible cells remain or placement not legal
+  ParseError = 4,  ///< structured parse error in an input file
+  Internal = 5,    ///< unrecoverable stage failure / unexpected exception
+};
+
+const char* guardExitCodeName(GuardExitCode code);
+
 /// The five stages of legalize(), in execution order.
 enum class PipelineStage { Mgl, MaxDisp, FixedRowOrder, Ripup, Recovery };
 inline constexpr int kNumPipelineStages = 5;

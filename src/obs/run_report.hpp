@@ -39,7 +39,17 @@ namespace mclg::obs {
 /// docs/PERFORMANCE.md). Additive: v2/v3 consumers that ignore unknown
 /// metric names keep working, and the in-tree readers
 /// (scripts/perf_gate.py, tests/cli_end_to_end.cmake) accept v1–v4.
-inline constexpr int kRunReportSchemaVersion = 4;
+///
+/// v5 (PR 6): adds the batch supervisor's metric families (see
+/// docs/ROBUSTNESS.md) — `executor.tasks.escaped_exceptions` and the
+/// `supervisor.spawns` / `supervisor.restarts` / `supervisor.retries` /
+/// `supervisor.crashes` (+ `supervisor.crash.signal.<N>`) /
+/// `supervisor.timeouts` / `supervisor.kills` / `supervisor.exhausted`
+/// counters with the `supervisor.workers_in_flight` high-water gauge —
+/// plus the `process_isolation` / `shard_index` / `shard_count` and
+/// per-design `status` / `attempts` values in mclg_batch bench reports.
+/// Additive as before; the in-tree readers accept v1–v5.
+inline constexpr int kRunReportSchemaVersion = 5;
 
 /// Where the run came from: everything needed to reproduce it.
 struct RunProvenance {

@@ -221,7 +221,14 @@ struct Executor::Impl {
           // the calling thread); only a submit()-ed task can land here.
           // Letting it escape would std::terminate the whole process from
           // a worker thread, taking every in-flight design down — report
-          // and keep the worker alive instead.
+          // and keep the worker alive instead. The counter surfaces the
+          // drop in the run report (executor.tasks.escaped_exceptions);
+          // stderr alone is invisible to report consumers.
+          if (obs::metricsEnabled()) {
+            static obs::Counter& c =
+                obs::counter("executor.tasks.escaped_exceptions");
+            c.add();
+          }
           std::fprintf(
               stderr,
               "mclg: uncaught exception escaped an executor task; dropped\n");

@@ -26,6 +26,7 @@
 #include "legal/mgl/mgl_legalizer.hpp"
 #include "legal/mgl/scheduler.hpp"
 #include "legal/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "parsers/simple_format.hpp"
 #include "util/executor/executor.hpp"
 #include "util/executor/function_ref.hpp"
@@ -120,6 +121,25 @@ TEST(Executor, SubmitRunsEveryTask) {
   cv.wait(lock, [&] { return done == 100; });
   EXPECT_EQ(done, 100);
   EXPECT_GE(executor.stats().submitted, 100);
+}
+
+TEST(Executor, EscapedSubmitExceptionIsCountedAndDropped) {
+  // submit() tasks have no join point to rethrow at, so an exception that
+  // escapes one is swallowed by the worker loop — but never silently: it
+  // bumps executor.tasks.escaped_exceptions (run-report schema v5).
+  obs::setMetricsEnabled(true);
+  const long long before = obs::metricsSnapshot().counterValue(
+      "executor.tasks.escaped_exceptions");
+  {
+    Executor executor(2);
+    executor.submit([] { throw std::runtime_error("escaped"); });
+    // The executor destructor joins its workers, so the counter is final
+    // once the scope closes — no sleep-based synchronization needed.
+  }
+  const long long after = obs::metricsSnapshot().counterValue(
+      "executor.tasks.escaped_exceptions");
+  obs::setMetricsEnabled(false);
+  EXPECT_EQ(after, before + 1);
 }
 
 TEST(Executor, StatsCountActivity) {

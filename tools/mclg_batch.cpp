@@ -2,7 +2,9 @@
 //
 //   mclg_batch --manifest batch.txt [--jobs N] [--threads-per-design N]
 //              [--preset contest|totaldisp] [--executor-threads N]
-//              [--scores] [--report-out batch.json]
+//              [--scores] [--report-out batch.json] [--shard i/N]
+//              [--process-isolation [--design-timeout SECS]
+//               [--max-retries N] [--backoff-ms MS]]
 //
 // The manifest lists one design per line: `input.mclg [output.mclg]`
 // (whitespace-separated, `#` comments). Designs legalize concurrently —
@@ -11,11 +13,22 @@
 // Per-design results are byte-identical to solo `mclg_cli legalize` runs
 // at the same thread count.
 //
+// --process-isolation runs each design in its own supervised worker
+// process instead (flow/supervisor.hpp): a crash, OS kill, or timeout in
+// one design cannot take down the batch, the victim is retried up to
+// --max-retries times with exponential backoff, and its signal/status is
+// recorded in the batch result. --shard i/N deterministically keeps every
+// N-th manifest line starting at i, so N hosts can split one manifest
+// with no coordination (the shard union is exactly the manifest).
+//
 // Exit status:
-//   0  every design legalized
+//   0  every design legalized (possibly after worker retries)
 //   1  usage / IO error (bad flags, unreadable manifest or outputs)
-//   3  at least one design failed or is infeasible
+//   3  at least one design failed, crashed past retries, or is infeasible
 //   4  structured parse error in the manifest or an input design
+//
+// Internal: `mclg_batch --worker ...` is the supervisor's fork/exec target
+// (see supervisorWorkerMain); not part of the public CLI surface.
 
 #include <cerrno>
 #include <climits>
@@ -27,6 +40,7 @@
 #include <string>
 
 #include "flow/batch_runner.hpp"
+#include "flow/supervisor.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
 #include "util/executor/executor.hpp"
@@ -46,7 +60,8 @@ const char kHelp[] =
     "\n"
     "  --manifest FILE        one design per line: input.mclg [output.mclg]\n"
     "  --jobs N               designs in flight at once (default: executor\n"
-    "                         width)\n"
+    "                         width; with --process-isolation: concurrent\n"
+    "                         worker processes, default hardware threads)\n"
     "  --threads-per-design N stage-parallel lanes inside each design\n"
     "                         (default 1 — best aggregate throughput for\n"
     "                         small designs)\n"
@@ -54,8 +69,23 @@ const char kHelp[] =
     "  --executor-threads N   run on a private executor of N workers\n"
     "                         (default: the shared process executor)\n"
     "  --scores               evaluate the contest score per design\n"
+    "  --shard i/N            process only manifest lines j with j%%N == i\n"
+    "                         (deterministic: the union over i=0..N-1 is\n"
+    "                         exactly the manifest)\n"
     "  --report-out FILE      batch run report (JSON, kind \"bench\",\n"
-    "                         executor.* metrics included)\n";
+    "                         executor.*/supervisor.* metrics included)\n"
+    "\n"
+    "process isolation (crash-isolated fan-out, docs/ROBUSTNESS.md):\n"
+    "  --process-isolation    run each design in its own supervised worker\n"
+    "                         process; crashes/timeouts hit one design only\n"
+    "  --design-timeout SECS  per-worker wall-clock budget (SIGTERM, then\n"
+    "                         SIGKILL after a grace period; default: none)\n"
+    "  --max-retries N        re-runs after a crash/timeout (default 2)\n"
+    "  --backoff-ms MS        base retry backoff, doubled per retry\n"
+    "                         (default 100)\n"
+    "  --inject-fault SPEC    deterministic worker fault for stress tests:\n"
+    "                         <design>:<segv|abort|kill|hang|degrade>:<n>\n"
+    "                         fails attempts 0..n-1 of the named design\n";
 
 std::optional<std::string> argValue(int argc, char** argv, const char* name) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -93,9 +123,36 @@ bool argInt(int argc, char** argv, const char* name, int fallback,
   return true;
 }
 
+/// Strict non-negative double flag, same contract as argInt.
+bool argSeconds(int argc, char** argv, const char* name, double fallback,
+                double* out) {
+  const auto v = argValue(argc, argv, name);
+  if (!v) {
+    *out = fallback;
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE || parsed < 0.0 ||
+      !(parsed <= 1e9)) {
+    std::fprintf(stderr,
+                 "mclg_batch: invalid value '%s' for %s (want seconds >= 0)\n",
+                 v->c_str(), name);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Supervisor fork/exec target: one design per process, frames over
+  // --worker-fd. Dispatched before any other flag handling.
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
+    return supervisorWorkerMain(argc, argv);
+  }
   if (argFlag(argc, argv, "--help") || argFlag(argc, argv, "-h")) {
     std::fputs(kHelp, stdout);
     return kExitOk;
@@ -106,8 +163,8 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
-  // Validate every flag before touching the filesystem, so a bad flag is
-  // always a usage error (exit 1) and never races the manifest check.
+  // Validate every flag before touching the filesystem or forking, so a
+  // bad flag is always a usage error (exit 1) and never a partial batch.
   const std::string presetName =
       argValue(argc, argv, "--preset").value_or("contest");
   BatchRunConfig config;
@@ -120,13 +177,65 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   int executorThreads = 0;
+  SupervisorConfig supervisor;
   if (!argInt(argc, argv, "--threads-per-design", 1, 1,
               &config.threadsPerDesign) ||
       !argInt(argc, argv, "--jobs", 0, 0, &config.maxInFlight) ||
-      !argInt(argc, argv, "--executor-threads", 0, 0, &executorThreads)) {
+      !argInt(argc, argv, "--executor-threads", 0, 0, &executorThreads) ||
+      !argInt(argc, argv, "--max-retries", supervisor.maxRetries, 0,
+              &supervisor.maxRetries) ||
+      !argInt(argc, argv, "--backoff-ms", supervisor.backoffMs, 0,
+              &supervisor.backoffMs) ||
+      !argSeconds(argc, argv, "--design-timeout", 0.0,
+                  &supervisor.designTimeoutSeconds)) {
     return kExitUsage;
   }
   config.evaluateScores = argFlag(argc, argv, "--scores");
+  const bool processIsolation = argFlag(argc, argv, "--process-isolation");
+  if (!processIsolation &&
+      (argValue(argc, argv, "--design-timeout") ||
+       argValue(argc, argv, "--max-retries") ||
+       argValue(argc, argv, "--backoff-ms") ||
+       argValue(argc, argv, "--inject-fault"))) {
+    std::fprintf(stderr,
+                 "mclg_batch: --design-timeout/--max-retries/--backoff-ms/"
+                 "--inject-fault require --process-isolation\n");
+    return kExitUsage;
+  }
+  ShardSpec shard;
+  if (const auto shardText = argValue(argc, argv, "--shard")) {
+    std::string shardError;
+    if (!parseShardSpec(*shardText, &shard, &shardError)) {
+      std::fprintf(stderr, "mclg_batch: %s\n", shardError.c_str());
+      return kExitUsage;
+    }
+  }
+  // Fault specs are strict too: a typo'd mode must be a usage error, not
+  // a fault that silently never fires.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--inject-fault") != 0) continue;
+    const std::string spec = argv[i + 1];
+    const auto firstColon = spec.find(':');
+    const auto lastColon = spec.rfind(':');
+    bool valid = firstColon != std::string::npos && lastColon > firstColon &&
+                 firstColon > 0;
+    if (valid) {
+      const std::string mode =
+          spec.substr(firstColon + 1, lastColon - firstColon - 1);
+      valid = mode == "segv" || mode == "abort" || mode == "kill" ||
+              mode == "hang" || mode == "degrade";
+      const std::string count = spec.substr(lastColon + 1);
+      valid = valid && !count.empty() && count.size() <= 9;
+      for (const char c : count) valid = valid && c >= '0' && c <= '9';
+    }
+    if (!valid) {
+      std::fprintf(stderr,
+                   "mclg_batch: invalid fault spec '%s' (want "
+                   "<design>:<segv|abort|kill|hang|degrade>:<n>)\n",
+                   spec.c_str());
+      return kExitUsage;
+    }
+  }
 
   const auto reportOut = argValue(argc, argv, "--report-out");
   if (reportOut) {
@@ -145,34 +254,67 @@ int main(int argc, char** argv) {
                  manifestPath->c_str());
     return kExitUsage;
   }
-
-  std::unique_ptr<Executor> privateExecutor;
-  if (executorThreads > 0) {
-    privateExecutor = std::make_unique<Executor>(executorThreads);
-    config.executor = ExecutorRef(privateExecutor.get());
+  const std::size_t manifestTotal = items.size();
+  items = shardManifest(items, shard);
+  if (items.empty()) {
+    std::printf("shard %d/%d of %zu designs is empty; nothing to do\n",
+                shard.index, shard.count, manifestTotal);
+    return kExitOk;
   }
 
   Timer timer;
-  const std::vector<BatchDesignResult> results =
-      runBatchManifest(items, config);
+  std::vector<BatchDesignResult> results;
+  if (processIsolation) {
+    supervisor.workerCommand = {selfExecutablePath(argv[0]), "--worker"};
+    supervisor.maxConcurrent = config.maxInFlight;
+    supervisor.preset = presetName;
+    supervisor.threadsPerDesign = config.threadsPerDesign;
+    supervisor.evaluateScores = config.evaluateScores;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--inject-fault") == 0) {
+        supervisor.extraWorkerArgs.push_back("--worker-fault");
+        supervisor.extraWorkerArgs.emplace_back(argv[i + 1]);
+      }
+    }
+    results = runSupervisedManifest(items, supervisor);
+  } else {
+    std::unique_ptr<Executor> privateExecutor;
+    if (executorThreads > 0) {
+      privateExecutor = std::make_unique<Executor>(executorThreads);
+      config.executor = ExecutorRef(privateExecutor.get());
+    }
+    results = runBatchManifest(items, config);
+  }
   const double seconds = timer.seconds();
 
   int okCount = 0;
   for (const auto& result : results) {
     if (result.ok) {
       ++okCount;
-      std::printf("%-24s ok    %7.3fs  hash %016llx\n", result.name.c_str(),
-                  result.seconds,
-                  static_cast<unsigned long long>(result.placementHash));
+      if (result.attempts > 1) {
+        std::printf("%-24s ok    %7.3fs  hash %016llx  (%d attempts)\n",
+                    result.name.c_str(), result.seconds,
+                    static_cast<unsigned long long>(result.placementHash),
+                    result.attempts);
+      } else {
+        std::printf("%-24s ok    %7.3fs  hash %016llx\n", result.name.c_str(),
+                    result.seconds,
+                    static_cast<unsigned long long>(result.placementHash));
+      }
     } else {
-      std::printf("%-24s FAIL  %s\n", result.name.c_str(),
-                  result.error.c_str());
+      std::printf("%-24s FAIL  [%s] %s\n", result.name.c_str(),
+                  workerStatusName(result.status), result.error.c_str());
     }
   }
   const int total = static_cast<int>(results.size());
   const double throughput = seconds > 0.0 ? total / seconds : 0.0;
-  std::printf("%d/%d designs legalized in %.3fs (%.2f designs/s)\n", okCount,
-              total, seconds, throughput);
+  std::string shardNote;
+  if (shard.count > 1) {
+    shardNote = " [shard " + std::to_string(shard.index) + "/" +
+                std::to_string(shard.count) + "]";
+  }
+  std::printf("%d/%d designs legalized in %.3fs (%.2f designs/s)%s\n", okCount,
+              total, seconds, throughput, shardNote.c_str());
 
   if (reportOut) {
     std::vector<std::pair<std::string, double>> values;
@@ -183,6 +325,9 @@ int main(int argc, char** argv) {
     values.emplace_back("jobs", static_cast<double>(config.maxInFlight));
     values.emplace_back("threads_per_design",
                         static_cast<double>(config.threadsPerDesign));
+    values.emplace_back("process_isolation", processIsolation ? 1.0 : 0.0);
+    values.emplace_back("shard_index", static_cast<double>(shard.index));
+    values.emplace_back("shard_count", static_cast<double>(shard.count));
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::string prefix = "design." + std::to_string(i) + ".";
       values.emplace_back(prefix + "hash_lo",
@@ -190,6 +335,13 @@ int main(int argc, char** argv) {
                                               0xffffffffULL));
       values.emplace_back(prefix + "hash_hi",
                           static_cast<double>(results[i].placementHash >> 32));
+      values.emplace_back(prefix + "status",
+                          static_cast<double>(static_cast<int>(
+                              results[i].status)));
+      if (processIsolation) {
+        values.emplace_back(prefix + "attempts",
+                            static_cast<double>(results[i].attempts));
+      }
       if (config.evaluateScores) {
         values.emplace_back(prefix + "score", results[i].score);
       }

@@ -26,6 +26,7 @@
 //   5  internal error (unrecoverable stage failure or unexpected exception)
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,8 +37,10 @@
 
 #include "db/placement_state.hpp"
 #include "db/segment_map.hpp"
+#include "flow/worker_protocol.hpp"
 #include "eval/report.hpp"
 #include "eval/design_stats.hpp"
+#include "eval/metrics.hpp"
 #include "eval/violations.hpp"
 #include "eval/score.hpp"
 #include "gen/benchmark_gen.hpp"
@@ -124,6 +127,10 @@ const char kHelp[] =
     "              [--report-out r.json]  versioned machine-readable run\n"
     "                                     report (stats + metrics + quality\n"
     "                                     + provenance)\n"
+    "              [--report-fd N]        stream the result + run report as\n"
+    "                                     length-prefixed frames over the\n"
+    "                                     inherited fd N (supervisor worker\n"
+    "                                     protocol, docs/ROBUSTNESS.md)\n"
     "              incremental ECO mode (see docs/ECO.md):\n"
     "              [--eco-from legal.mclg] re-legalize only the cells that\n"
     "                                     changed vs. this legal snapshot\n"
@@ -228,11 +235,28 @@ int cmdLegalize(const Args& args) {
   // corresponding collection before the pipeline runs.
   const auto traceOut = args.get("--trace-out");
   const auto reportOut = args.get("--report-out");
+  // --report-fd: stream the result + run report over an inherited pipe fd
+  // using the supervisor worker protocol (flow/worker_protocol.hpp), which
+  // makes any `mclg_cli legalize` invocation usable as a supervised worker.
+  int reportFd = -1;
+  if (const auto fdText = args.get("--report-fd")) {
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(fdText->c_str(), &end, 10);
+    if (end == fdText->c_str() || *end != '\0' || errno == ERANGE ||
+        parsed < 3 || parsed > 4096) {
+      std::fprintf(stderr,
+                   "invalid --report-fd '%s' (want an inherited fd >= 3)\n",
+                   fdText->c_str());
+      return kExitUsage;
+    }
+    reportFd = static_cast<int>(parsed);
+  }
   if (traceOut) {
     obs::setTracingEnabled(true);
     obs::traceReset();
   }
-  if (reportOut) {
+  if (reportOut || reportFd >= 0) {
     obs::setMetricsEnabled(true);
     obs::metricsReset();
   }
@@ -402,14 +426,50 @@ int cmdLegalize(const Args& args) {
     }
     std::printf("wrote %s\n", outPath->c_str());
   }
-  if (guard.failed) return kExitInternal;
-  if (guard.infeasibleCells > 0 || !score.legality.legal()) {
-    return kExitInfeasible;
+  exitCode = kExitLegal;
+  if (guard.failed) {
+    exitCode = kExitInternal;
+  } else if (guard.infeasibleCells > 0 || !score.legality.legal()) {
+    exitCode = kExitInfeasible;
+  } else if (ecoStats && ecoStats->usedFullRun) {
+    // An ECO run that had to fall back to the full pipeline is the
+    // incremental mode's form of degradation.
+    exitCode = kExitDegraded;
+  } else if (guard.degraded) {
+    exitCode = kExitDegraded;
   }
-  // An ECO run that had to fall back to the full pipeline is the incremental
-  // mode's form of degradation.
-  if (ecoStats && ecoStats->usedFullRun) return kExitDegraded;
-  return guard.degraded ? kExitDegraded : kExitLegal;
+
+  if (reportFd >= 0) {
+    WorkerResult wire;
+    wire.status = workerStatusFromExit(exitCode);
+    wire.seconds = stats.secondsTotal();
+    wire.placementHash = placementHash(*design);
+    wire.score = score.score;
+    wire.numCells = design->numCells();
+    if (exitCode == kExitInfeasible) {
+      wire.error = std::to_string(std::max(guard.infeasibleCells,
+                                           score.legality.unplacedCells)) +
+                   " cells unplaced or placement not legal";
+    } else if (exitCode == kExitInternal) {
+      wire.error = "guard: unrecoverable stage failure";
+    }
+    obs::RunProvenance provenance;
+    provenance.design = design->name;
+    provenance.numCells = design->numCells();
+    provenance.preset = presetName;
+    provenance.threads = config.mgl.numThreads;
+    provenance.guardEnabled = config.guard.enabled;
+    if (!writeFrame(reportFd, FrameType::Result,
+                    serializeWorkerResult(wire)) ||
+        !writeFrame(reportFd, FrameType::Report,
+                    obs::renderRunReport(provenance, stats, &score,
+                                         /*includeMetrics=*/true,
+                                         ecoStats ? &*ecoStats : nullptr))) {
+      std::fprintf(stderr, "cannot write frames to --report-fd %d\n",
+                   reportFd);
+    }
+  }
+  return exitCode;
 }
 
 int cmdEvaluate(const Args& args) {
