@@ -8,6 +8,9 @@
 //  * `isolation_overhead` = supervised_seconds / inprocess_seconds — the
 //    end-to-end cost multiplier of process isolation for small designs
 //    (worst case: the fixed per-worker cost is least amortized there);
+//  * `telemetry_overhead` = supervised_seconds / telemetry-off supervised
+//    seconds — the cost of live telemetry (heartbeats + metrics deltas at
+//    the default 100 ms sampling), gated to <= 2% by perf_gate.py;
 //  * `supervised.identical` — every design's placement hash matches the
 //    in-process batch run (which PR 5 already gates as identical to solo
 //    runs), auto-gated to 1 by perf_gate.py.
@@ -118,13 +121,33 @@ int main(int argc, char** argv) {
   std::printf("in-process    %.3fs (%.1f designs/s)\n", inprocSeconds,
               kDesigns / inprocSeconds);
 
-  // Supervised mode: same manifest, one worker process per design.
+  // Supervised mode, live telemetry off (telemetrySampleMs = 0: no sampler
+  // thread, no Heartbeat/MetricsDelta frames) — the baseline for the
+  // telemetry-overhead gate.
+  double supervisedOffSeconds = 1e18;
+  {
+    SupervisorConfig config;
+    config.workerCommand = {selfExecutablePath(argv[0]), "--worker"};
+    config.maxConcurrent = workers;
+    config.telemetrySampleMs = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      runSupervisedManifest(items, config);
+      supervisedOffSeconds = std::min(supervisedOffSeconds, timer.seconds());
+    }
+  }
+  std::printf("supervised (telemetry off) %.3fs (%.1f designs/s)\n",
+              supervisedOffSeconds, kDesigns / supervisedOffSeconds);
+
+  // Supervised mode with live telemetry at the default 100 ms sampling —
+  // the configuration mclg_batch --process-isolation actually ships.
   std::vector<std::uint64_t> supervisedHashes;
   double supervisedSeconds = 1e18;
   {
     SupervisorConfig config;
     config.workerCommand = {selfExecutablePath(argv[0]), "--worker"};
     config.maxConcurrent = workers;
+    config.telemetrySampleMs = 100;
     for (int rep = 0; rep < reps; ++rep) {
       Timer timer;
       const auto results = runSupervisedManifest(items, config);
@@ -138,8 +161,14 @@ int main(int argc, char** argv) {
   }
   const double overhead =
       inprocSeconds > 0 ? supervisedSeconds / inprocSeconds : 0.0;
-  std::printf("supervised    %.3fs (%.1f designs/s, %.2fx in-process)\n",
-              supervisedSeconds, kDesigns / supervisedSeconds, overhead);
+  const double telemetryOverhead =
+      supervisedOffSeconds > 0 ? supervisedSeconds / supervisedOffSeconds
+                               : 0.0;
+  std::printf(
+      "supervised    %.3fs (%.1f designs/s, %.2fx in-process, "
+      "%.3fx telemetry-off)\n",
+      supervisedSeconds, kDesigns / supervisedSeconds, overhead,
+      telemetryOverhead);
 
   const bool identical = supervisedHashes == inprocHashes;
   std::printf("supervised identical to in-process: %d\n", identical);
@@ -151,7 +180,9 @@ int main(int argc, char** argv) {
   values.emplace_back("workers", static_cast<double>(workers));
   values.emplace_back("inprocess_seconds", inprocSeconds);
   values.emplace_back("supervised_seconds", supervisedSeconds);
+  values.emplace_back("supervised_telemetry_off_seconds", supervisedOffSeconds);
   values.emplace_back("isolation_overhead", overhead);
+  values.emplace_back("telemetry_overhead", telemetryOverhead);
   values.emplace_back("supervised_designs_per_sec",
                       supervisedSeconds > 0 ? kDesigns / supervisedSeconds
                                             : 0.0);

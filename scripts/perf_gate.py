@@ -20,11 +20,20 @@ Two subcommands:
           for a timing key, e.g. --require t1.mgl_seconds>=1.5;
         * --ratio BENCH.A/B>=R asserts a ratio *within the current suite*,
           e.g. --ratio bench_eco.full_seconds/eco_seconds>=3.0 (the PR 4
-          ECO speedup floor — see docs/ECO.md).
+          ECO speedup floor — see docs/ECO.md);
+        * --ratio-max BENCH.A/B<=R asserts a ratio *ceiling* within the
+          current suite, e.g. --ratio-max
+          bench_supervisor.supervised_seconds/supervised_telemetry_off_seconds<=1.02
+          (the PR 7 live-telemetry overhead budget).
       Exits 0 when every gate passes, 1 otherwise.
 
+Since schema v6 reports carry p50/p95/p99 per histogram; merge surfaces
+them into the suite as informational <histogram>.<quantile> keys (not
+gated — pow2-bucket quantile estimates are too coarse for a regression
+tolerance, but they make latency-distribution drift visible in diffs).
+
 Both documents use the run-report envelope (docs/OBSERVABILITY.md); this
-reader accepts schema_version 1 through 5.
+reader accepts schema_version 1 through 6.
 """
 
 import argparse
@@ -32,7 +41,7 @@ import json
 import os
 import sys
 
-ACCEPTED_SCHEMAS = (1, 2, 3, 4, 5)
+ACCEPTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 DEFAULT_MERGE_BENCHES = ("bench_scaling", "bench_threads")
 
@@ -69,7 +78,7 @@ def load_micro(path):
 
 def cmd_merge(args):
     suite = {
-        "schema_version": 5,
+        "schema_version": 6,
         "kind": "perf_suite",
         "generated_by": "scripts/perf_regression.sh",
         "benches": {},
@@ -80,7 +89,13 @@ def cmd_merge(args):
             print(f"merge: missing {path}", file=sys.stderr)
             return 1
         doc = load_envelope(path)
-        suite["benches"][name] = doc.get("values", {})
+        values = dict(doc.get("values", {}))
+        for hist, entry in doc.get("metrics", {}).get("histograms",
+                                                      {}).items():
+            for quantile in ("p50", "p95", "p99"):
+                if quantile in entry:
+                    values[f"{hist}.{quantile}"] = entry[quantile]
+        suite["benches"][name] = values
     micro_path = os.path.join(args.report_dir, "bench_micro.json")
     if os.path.exists(micro_path):
         suite["benches"]["bench_micro"] = load_micro(micro_path)
@@ -127,6 +142,8 @@ def cmd_compare(args):
         for key, ref in values.items():
             val = cur_values.get(key)
             if val is None:
+                if key.endswith((".p50", ".p95", ".p99")):
+                    continue  # informational percentiles, never gated
                 failures.append(f"{bench}.{key}: missing from current suite")
                 continue
             if is_identity(key):
@@ -172,6 +189,21 @@ def cmd_compare(args):
         else:
             print(f"ratio {assertion}: ok ({num / den:.3f})")
 
+    for assertion in args.ratio_max or []:
+        spec, _, ratio_text = assertion.partition("<=")
+        ceiling = float(ratio_text)
+        bench, _, keys = spec.partition(".")
+        num_key, _, den_key = keys.partition("/")
+        values = cur.get("benches", {}).get(bench, {})
+        num, den = values.get(num_key), values.get(den_key)
+        if num is None or den is None or den <= 0:
+            failures.append(f"ratio-max {assertion}: key not present")
+        elif num / den > ceiling:
+            failures.append(
+                f"ratio-max {assertion}: {num / den:.3f} > {ceiling}")
+        else:
+            print(f"ratio-max {assertion}: ok ({num / den:.3f})")
+
     if failures:
         for failure in failures:
             print(f"perf gate FAIL: {failure}", file=sys.stderr)
@@ -200,6 +232,9 @@ def main():
                          help="KEY>=RATIO minimum speedup, repeatable")
     compare.add_argument("--ratio", action="append",
                          help="BENCH.A/B>=R within-current ratio, repeatable")
+    compare.add_argument("--ratio-max", action="append",
+                         help="BENCH.A/B<=R within-current ratio ceiling, "
+                              "repeatable")
     compare.set_defaults(func=cmd_compare)
     args = parser.parse_args()
     sys.exit(args.func(args))

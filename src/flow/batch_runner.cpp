@@ -1,6 +1,7 @@
 #include "flow/batch_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -10,12 +11,19 @@
 #include "db/segment_map.hpp"
 #include "eval/metrics.hpp"
 #include "eval/score.hpp"
+#include "obs/batch_ledger.hpp"
 #include "obs/obs.hpp"
 #include "parsers/simple_format.hpp"
 #include "util/timer.hpp"
 
 namespace mclg {
 namespace {
+
+double steadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 PipelineConfig perDesignConfig(const BatchRunConfig& config) {
   PipelineConfig pipeline = config.pipeline;
@@ -263,11 +271,40 @@ std::vector<BatchDesignResult> runBatchManifest(
     const BatchRunConfig& config) {
   std::vector<BatchDesignResult> results(items.size());
   if (items.empty()) return results;
+  // Design tasks run on executor workers, so the (single-caller) ledger
+  // needs its calls serialized here. In-process mode has no heartbeats —
+  // liveness is the supervisor's concern — but start/finish events and the
+  // status line fold identically to the supervised path.
+  std::mutex ledgerMutex;
+  double nextStatusAt = 0.0;
   driveBatch(
       static_cast<int>(items.size()), config.maxInFlight, config.executor,
       [&](int i) {
-        results[static_cast<std::size_t>(i)] =
-            runBatchItem(items[static_cast<std::size_t>(i)], config);
+        const BatchManifestItem& item = items[static_cast<std::size_t>(i)];
+        if (config.ledger != nullptr) {
+          std::lock_guard<std::mutex> lock(ledgerMutex);
+          config.ledger->workerStarted(item.name, /*pid=*/0, /*attempt=*/1,
+                                       steadySeconds());
+        }
+        BatchDesignResult& result = results[static_cast<std::size_t>(i)];
+        result = runBatchItem(item, config);
+        if (config.ledger != nullptr) {
+          std::lock_guard<std::mutex> lock(ledgerMutex);
+          obs::BatchLedger::DesignOutcome outcome;
+          outcome.status = workerStatusName(result.status);
+          outcome.ok = result.ok;
+          outcome.seconds = result.seconds;
+          outcome.cells = result.numCells;
+          outcome.score = result.score;
+          outcome.attempt = 1;
+          const double now = steadySeconds();
+          config.ledger->designFinished(item.name, outcome, now);
+          if (config.onStatusLine && now >= nextStatusAt) {
+            config.onStatusLine(config.ledger->renderStatusLine(now));
+            nextStatusAt =
+                now + std::max(50, config.statusIntervalMs) / 1000.0;
+          }
+        }
       });
   return results;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,10 @@
 #include "flow/worker_protocol.hpp"
 #include "legal/pipeline.hpp"
 #include "util/executor/executor.hpp"
+
+namespace mclg::obs {
+class BatchLedger;
+}  // namespace mclg::obs
 
 namespace mclg {
 
@@ -47,6 +52,16 @@ struct BatchRunConfig {
   /// Evaluate the contest score per design (needs an extra metrics pass;
   /// off for throughput benches).
   bool evaluateScores = false;
+  /// In-process telemetry parity with the supervisor (obs/batch_ledger.hpp):
+  /// when set, runBatchManifest reports per-design start/finish events into
+  /// the ledger so `mclg_batch --live-status` reads identically with and
+  /// without --process-isolation. The runner serializes its ledger calls
+  /// internally (BatchLedger itself is single-caller).
+  obs::BatchLedger* ledger = nullptr;
+  /// Throttled progress callback, fed BatchLedger::renderStatusLine after
+  /// design completions; requires `ledger`.
+  std::function<void(const std::string&)> onStatusLine;
+  int statusIntervalMs = 200;
 };
 
 struct BatchDesignResult {

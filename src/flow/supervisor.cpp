@@ -14,8 +14,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/batch_ledger.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace_merge.hpp"
+#include "util/executor/executor.hpp"
+#include "util/logging.hpp"
 
 namespace mclg {
 namespace {
@@ -45,6 +50,8 @@ struct WorkerArgs {
   std::string preset = "contest";
   int threads = 1;
   bool scores = false;
+  int telemetryMs = 0;  ///< sampler beat interval; 0 = no telemetry frames
+  bool trace = false;   ///< record spans, ship one TraceChunk at run end
   std::vector<std::string> faults;
 };
 
@@ -128,6 +135,11 @@ int supervisorWorkerMain(int argc, char** argv) {
           1, static_cast<int>(std::strtol(value(), nullptr, 10)));
     } else if (std::strcmp(argv[i], "--scores") == 0) {
       args.scores = true;
+    } else if (std::strcmp(argv[i], "--worker-telemetry-ms") == 0) {
+      args.telemetryMs =
+          static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--worker-trace") == 0) {
+      args.trace = true;
     } else if (std::strcmp(argv[i], "--worker-fault") == 0) {
       args.faults.emplace_back(value());
     }
@@ -176,13 +188,61 @@ int supervisorWorkerMain(int argc, char** argv) {
   // Metrics populate the streamed run report's metrics block.
   obs::setMetricsEnabled(true);
   obs::metricsReset();
+  if (args.trace) {
+    obs::setTracingEnabled(true);
+    obs::traceReset();
+  }
 
   BatchManifestItem item;
   item.name = args.name;
   item.inputPath = args.input;
   item.outputPath = args.output;
-  const BatchDesignResult result = runBatchItem(item, config);
 
+  // Telemetry stream: heartbeats + metric deltas from the sampler thread.
+  // The sampler writes frames concurrently with the compute thread but is
+  // the pipe's ONLY writer until stop() joins it (the final beat and the
+  // Result/Report frames below then come from this thread), so frames
+  // never interleave. A hang fault (above) fires before the sampler
+  // starts, so a hung worker is genuinely silent — exactly the signal the
+  // supervisor's stall detection keys on.
+  obs::MetricsSampler sampler;
+  if (args.fd >= 0 && args.telemetryMs > 0) {
+    obs::SamplerConfig samplerConfig;
+    samplerConfig.intervalMs = args.telemetryMs;
+    samplerConfig.preSample = [] {
+      if (Executor* executor = Executor::globalIfCreated()) {
+        executor->sampleGauges();
+      }
+    };
+    const int fd = args.fd;
+    samplerConfig.emit = [fd](const obs::TelemetrySample& sample) {
+      WorkerHeartbeat heartbeat;
+      heartbeat.pid = static_cast<int>(::getpid());
+      heartbeat.sequence = sample.sequence;
+      heartbeat.phase = sample.phase;
+      heartbeat.wallSeconds = sample.wallSeconds;
+      heartbeat.cpuSeconds = sample.cpuSeconds;
+      heartbeat.rssKb = sample.rssKb;
+      writeFrame(fd, FrameType::Heartbeat,
+                 serializeWorkerHeartbeat(heartbeat));
+      if (!sample.metricsDelta.empty()) {
+        writeFrame(fd, FrameType::MetricsDelta, sample.metricsDelta);
+      }
+    };
+    sampler.start(std::move(samplerConfig));
+    sampler.setPhase("legalize");
+  }
+
+  const BatchDesignResult result = runBatchItem(item, config);
+  sampler.setPhase("report");
+  // Stop before writing the final frames: the final delta brings the
+  // supervisor's counter fold exactly to this report's values, and the fd
+  // has a single writer again.
+  sampler.stop();
+
+  if (args.fd >= 0 && args.trace) {
+    writeFrame(args.fd, FrameType::TraceChunk, obs::serializeTraceChunk());
+  }
   if (args.fd >= 0) {
     WorkerResult wire;
     wire.status = result.status;
@@ -215,6 +275,10 @@ struct LiveWorker {
   pid_t pid = -1;
   int fd = -1;         ///< pipe read end (nonblocking)
   FrameReader reader;
+  /// Result/Report frames held back for resolveOutcome at reap time;
+  /// telemetry frames (Heartbeat/MetricsDelta/TraceChunk) are consumed
+  /// live after every drain and never land here.
+  std::vector<FrameReader::Frame> finalFrames;
   double killDeadline = 0.0;   ///< SIGTERM at this time; 0 = no timeout
   double graceDeadline = 0.0;  ///< SIGKILL at this time; 0 = no TERM sent yet
   bool timedOut = false;
@@ -249,6 +313,11 @@ std::vector<std::string> buildWorkerArgv(const SupervisorConfig& config,
   argv.push_back("--threads");
   argv.push_back(std::to_string(std::max(1, config.threadsPerDesign)));
   if (config.evaluateScores) argv.push_back("--scores");
+  if (config.telemetrySampleMs > 0) {
+    argv.push_back("--worker-telemetry-ms");
+    argv.push_back(std::to_string(config.telemetrySampleMs));
+  }
+  if (config.streamTrace) argv.push_back("--worker-trace");
   argv.insert(argv.end(), config.extraWorkerArgs.begin(),
               config.extraWorkerArgs.end());
   return argv;
@@ -397,8 +466,61 @@ std::vector<BatchDesignResult> runSupervisedManifest(
   }
   if (items.empty()) return results;
 
+  // Telemetry fold: an injected ledger when the caller wants to read it
+  // (mclg_batch --live-status), a private one otherwise — stall detection
+  // runs either way.
+  obs::BatchLedger localLedger;
+  obs::BatchLedger* const ledger =
+      config.ledger != nullptr ? config.ledger : &localLedger;
+  ledger->setTotalDesigns(static_cast<int>(items.size()));
+  const double stallThreshold =
+      config.telemetrySampleMs > 0
+          ? (config.stallThresholdSeconds > 0.0
+                 ? config.stallThresholdSeconds
+                 : std::max(2.0, 20.0 * config.telemetrySampleMs / 1000.0))
+          : 0.0;
+  double nextStatusAt = 0.0;
+
   std::vector<LiveWorker> live;
   int doneCount = 0;
+
+  // Consume telemetry frames as they arrive; hold Result/Report back for
+  // resolveOutcome at reap time.
+  const auto processTelemetry = [&](LiveWorker& worker) {
+    const std::string& design =
+        items[static_cast<std::size_t>(worker.item)].name;
+    for (auto& frame : worker.reader.take()) {
+      switch (frame.type) {
+        case FrameType::Heartbeat: {
+          WorkerHeartbeat heartbeat;
+          if (parseWorkerHeartbeat(frame.payload, &heartbeat)) {
+            ledger->heartbeat(design, heartbeat.sequence, heartbeat.phase,
+                              heartbeat.wallSeconds, heartbeat.cpuSeconds,
+                              heartbeat.rssKb, monotonicSeconds());
+          } else {
+            bumpCounter("supervisor.telemetry.malformed");
+          }
+          break;
+        }
+        case FrameType::MetricsDelta:
+          if (!ledger->metricsDelta(design, frame.payload)) {
+            bumpCounter("supervisor.telemetry.malformed");
+          }
+          break;
+        case FrameType::TraceChunk:
+          bumpCounter("supervisor.trace_chunks");
+          if (config.traceMerger != nullptr &&
+              !config.traceMerger->addChunk(static_cast<int>(worker.pid),
+                                            frame.payload)) {
+            bumpCounter("supervisor.trace_chunks.dropped");
+          }
+          break;
+        default:
+          worker.finalFrames.push_back(std::move(frame));
+          break;
+      }
+    }
+  };
 
   const auto finishDesign = [&](int item, WorkerStatus status) {
     BatchDesignResult& result = results[static_cast<std::size_t>(item)];
@@ -438,7 +560,8 @@ std::vector<BatchDesignResult> runSupervisedManifest(
     while (::waitpid(worker.pid, &waitStatus, 0) < 0 && errno == EINTR) {
     }
     BatchDesignResult& result = results[static_cast<std::size_t>(worker.item)];
-    const auto frames = worker.reader.take();
+    processTelemetry(worker);
+    const auto frames = std::move(worker.finalFrames);
     const WorkerStatus status =
         resolveOutcome(worker, waitStatus, frames, worker.reader.corrupted(),
                        worker.reader.pendingBytes(), &result);
@@ -448,6 +571,20 @@ std::vector<BatchDesignResult> runSupervisedManifest(
                   std::to_string(result.lastSignal));
     }
     if (status == WorkerStatus::Timeout) bumpCounter("supervisor.timeouts");
+    {
+      const DesignProgress& p = progress[static_cast<std::size_t>(worker.item)];
+      obs::BatchLedger::DesignOutcome outcome;
+      outcome.status = workerStatusName(status);
+      outcome.ok = workerStatusOk(status);
+      outcome.retrying =
+          workerStatusRetryable(status) && p.attempts <= config.maxRetries;
+      outcome.seconds = result.seconds;
+      outcome.cells = result.numCells;
+      outcome.score = result.score;
+      outcome.attempt = p.attempts;
+      ledger->designFinished(items[static_cast<std::size_t>(worker.item)].name,
+                             outcome, monotonicSeconds());
+    }
     scheduleRetryOrFinish(worker.item, status);
   };
 
@@ -468,13 +605,34 @@ std::vector<BatchDesignResult> runSupervisedManifest(
       if (!spawnWorker(config, items[i], p.attempts - 1, &worker,
                        &spawnError)) {
         results[i].error = spawnError;
+        obs::BatchLedger::DesignOutcome outcome;
+        outcome.status = workerStatusName(WorkerStatus::SpawnFailed);
+        outcome.retrying = p.attempts <= config.maxRetries;
+        outcome.attempt = p.attempts;
+        ledger->designFinished(items[i].name, outcome, monotonicSeconds());
         scheduleRetryOrFinish(static_cast<int>(i), WorkerStatus::SpawnFailed);
         continue;
+      }
+      ledger->workerStarted(items[i].name, static_cast<int>(worker.pid),
+                            p.attempts, monotonicSeconds());
+      if (config.streamTrace && config.traceMerger != nullptr) {
+        config.traceMerger->addWorker(static_cast<int>(worker.pid),
+                                      items[i].name);
       }
       live.push_back(std::move(worker));
       if (obs::metricsEnabled()) {
         obs::gauge("supervisor.workers_in_flight")
             .max(static_cast<double>(live.size()));
+      }
+    }
+
+    // Throttled live progress (works during backoff lulls too).
+    if (config.onStatusLine) {
+      const double statusNow = monotonicSeconds();
+      if (statusNow >= nextStatusAt) {
+        config.onStatusLine(ledger->renderStatusLine(statusNow));
+        nextStatusAt =
+            statusNow + std::max(50, config.statusIntervalMs) / 1000.0;
       }
     }
 
@@ -535,6 +693,9 @@ std::vector<BatchDesignResult> runSupervisedManifest(
       if (ready > 0 &&
           (pollFds[s].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         live[s].eof = drainWorkerPipe(live[s]);
+        // Fold telemetry the moment it lands: heartbeats must reach the
+        // ledger before the stall sweep, not at reap time.
+        processTelemetry(live[s]);
       }
     }
     for (std::size_t s = live.size(); s-- > 0;) {
@@ -555,8 +716,22 @@ std::vector<BatchDesignResult> runSupervisedManifest(
         ::kill(worker.pid, SIGKILL);
       }
     }
+
+    // Stall sweep: a worker whose sampler thread stopped beating is hung
+    // (the sampler beats even while compute is stuck), not merely slow —
+    // flag it well before the wall-clock timeout escalates to SIGTERM.
+    if (stallThreshold > 0.0) {
+      for (const std::string& design :
+           ledger->detectStalls(monotonicSeconds(), stallThreshold)) {
+        MCLG_LOG_WARN() << "worker for design '" << design
+                        << "' stopped heartbeating (stalled, not just slow)";
+      }
+    }
   }
 
+  if (config.onStatusLine) {
+    config.onStatusLine(ledger->renderStatusLine(monotonicSeconds()));
+  }
   return results;
 }
 

@@ -23,13 +23,25 @@
 //
 // Observability: supervisor.* counters (spawns, restarts, crashes by
 // signal, timeouts, kill escalations, exhausted retries) land in run-report
-// schema v5 (docs/OBSERVABILITY.md).
+// schema v5 (docs/OBSERVABILITY.md). Since schema v6 workers additionally
+// stream live telemetry — Heartbeat and MetricsDelta frames every
+// telemetrySampleMs from a sampler thread, plus one TraceChunk at run end
+// when streamTrace is set — which the supervisor folds into a BatchLedger
+// (live --live-status progress, heartbeat-based stall detection that tells
+// a hung worker from a slow one before the SIGTERM escalation) and a
+// TraceMerger (one Perfetto timeline with a process lane per worker pid).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "flow/batch_runner.hpp"
+
+namespace mclg::obs {
+class BatchLedger;
+class TraceMerger;
+}  // namespace mclg::obs
 
 namespace mclg {
 
@@ -59,6 +71,29 @@ struct SupervisorConfig {
   std::string preset = "contest";
   int threadsPerDesign = 1;
   bool evaluateScores = false;
+
+  // ---- Live telemetry (schema v6, docs/OBSERVABILITY.md) ----
+  /// Worker sampler beat interval; <= 0 disables Heartbeat/MetricsDelta
+  /// streaming (and stall detection with it).
+  int telemetrySampleMs = 100;
+  /// Workers trace their run and ship one TraceChunk frame at run end.
+  bool streamTrace = false;
+  /// Fold target for worker telemetry and per-design outcomes; optional —
+  /// the supervisor keeps a private ledger when null (stall detection
+  /// still works, callers just can't read the fold).
+  obs::BatchLedger* ledger = nullptr;
+  /// Merged-trace sink; worker lanes register at spawn. Only fed when
+  /// streamTrace is set.
+  obs::TraceMerger* traceMerger = nullptr;
+  /// No heartbeat for this long marks a worker stalled ("hung", counted as
+  /// supervisor.stalls_detected — vs merely "slow", which keeps beating);
+  /// <= 0 picks max(2 s, 20 × telemetrySampleMs).
+  double stallThresholdSeconds = 0.0;
+  /// Throttled single-line progress callback (mclg_batch --live-status):
+  /// called at most every statusIntervalMs with BatchLedger's status line,
+  /// plus once after the batch drains.
+  std::function<void(const std::string&)> onStatusLine;
+  int statusIntervalMs = 200;
 };
 
 /// Run every manifest item in a supervised worker process. Results are

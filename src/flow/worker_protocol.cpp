@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <unistd.h>
@@ -149,6 +150,62 @@ bool parseWorkerResult(const std::string& payload, WorkerResult* result) {
   return true;
 }
 
+// ---- Heartbeat payload -----------------------------------------------------
+
+std::string serializeWorkerHeartbeat(const WorkerHeartbeat& heartbeat) {
+  char buffer[128];
+  std::string out;
+  std::snprintf(buffer, sizeof buffer, "pid=%d\n", heartbeat.pid);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "seq=%" PRIu64 "\n",
+                heartbeat.sequence);
+  out += buffer;
+  out += "phase=" + oneLine(heartbeat.phase) + "\n";
+  std::snprintf(buffer, sizeof buffer, "wall=%.9g\n", heartbeat.wallSeconds);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "cpu=%.9g\n", heartbeat.cpuSeconds);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "rss_kb=%ld\n", heartbeat.rssKb);
+  out += buffer;
+  return out;
+}
+
+bool parseWorkerHeartbeat(const std::string& payload,
+                          WorkerHeartbeat* heartbeat) {
+  WorkerHeartbeat parsed;
+  bool sawPid = false;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find('\n', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string line = payload.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "pid") {
+      parsed.pid = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      sawPid = true;
+    } else if (key == "seq") {
+      parsed.sequence = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "phase") {
+      parsed.phase = value;
+    } else if (key == "wall") {
+      parsed.wallSeconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "cpu") {
+      parsed.cpuSeconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "rss_kb") {
+      parsed.rssKb = std::strtol(value.c_str(), nullptr, 10);
+    }
+    // Unknown keys are skipped: older supervisors read newer workers.
+  }
+  if (!sawPid) return false;
+  *heartbeat = parsed;
+  return true;
+}
+
 // ---- Frame IO --------------------------------------------------------------
 
 namespace {
@@ -208,9 +265,10 @@ void FrameReader::feed(const char* data, std::size_t size) {
     }
     const std::uint32_t type = getU32(buffer_.data() + 4);
     const std::uint32_t length = getU32(buffer_.data() + 8);
-    if (length > kMaxFramePayload ||
-        (type != static_cast<std::uint32_t>(FrameType::Result) &&
-         type != static_cast<std::uint32_t>(FrameType::Report))) {
+    const bool knownType =
+        type >= static_cast<std::uint32_t>(FrameType::Result) &&
+        type <= static_cast<std::uint32_t>(FrameType::TraceChunk);
+    if (length > kMaxFramePayload || !knownType) {
       corrupted_ = true;
       frames_.clear();
       buffer_.clear();

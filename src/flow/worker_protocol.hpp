@@ -10,13 +10,17 @@
 //   | u32 LE | u32 LE | u32 LE |                      |
 //   +--------+--------+--------+----------------------+
 //
-// Two frame types exist today: Result (a serialized WorkerResult — status,
-// timing, placement hash, score, error text) and Report (the worker's
-// versioned run-report JSON, docs/OBSERVABILITY.md, passed through
-// verbatim). The supervisor reads frames incrementally (FrameReader copes
-// with arbitrary read() fragmentation) and never trusts the worker: a bad
-// magic, an oversized length, or a truncated payload surfaces as
-// WorkerStatus::Protocol, not as supervisor memory corruption.
+// Frame types: Result (a serialized WorkerResult — status, timing,
+// placement hash, score, error text) and Report (the worker's versioned
+// run-report JSON, docs/OBSERVABILITY.md, passed through verbatim) end a
+// run; Heartbeat (pid, phase, wall/CPU time, RSS), MetricsDelta
+// (delta-encoded counter/gauge snapshots, obs/metrics_delta.hpp), and
+// TraceChunk (serialized trace spans, obs/trace_merge.hpp) stream live
+// telemetry while the run is in flight. The supervisor reads frames
+// incrementally (FrameReader copes with arbitrary read() fragmentation)
+// and never trusts the worker: a bad magic, an oversized length, or a
+// truncated payload surfaces as WorkerStatus::Protocol, not as supervisor
+// memory corruption.
 //
 // Exit codes reuse the guard contract (GuardExitCode, legal/guard/):
 // workerStatusFromExit / workerStatusToExit map between the 0/2/3/4/5
@@ -69,8 +73,11 @@ int workerStatusToExit(WorkerStatus status);
 // ---- Frames ----------------------------------------------------------------
 
 enum class FrameType : std::uint32_t {
-  Result = 1,  ///< serialized WorkerResult
-  Report = 2,  ///< run-report JSON, verbatim
+  Result = 1,       ///< serialized WorkerResult
+  Report = 2,       ///< run-report JSON, verbatim
+  Heartbeat = 3,    ///< serialized WorkerHeartbeat (liveness + phase)
+  MetricsDelta = 4, ///< delta-encoded metrics snapshot (obs/metrics_delta)
+  TraceChunk = 5,   ///< serialized trace spans (obs/trace_merge)
 };
 
 inline constexpr std::uint32_t kFrameMagic = 0x4d434c47u;  // "MCLG"
@@ -96,6 +103,28 @@ struct WorkerResult {
 /// false on any malformed payload.
 std::string serializeWorkerResult(const WorkerResult& result);
 bool parseWorkerResult(const std::string& payload, WorkerResult* result);
+
+/// Periodic liveness beacon emitted by the worker's sampler thread
+/// (obs/sampler.hpp). Because the sampler beats independently of the
+/// compute thread, a missing heartbeat means the *process* is wedged
+/// (hung), while flowing heartbeats with a long wall clock merely mean
+/// the design is slow — the distinction behind supervisor stall detection
+/// (docs/ROBUSTNESS.md).
+struct WorkerHeartbeat {
+  int pid = 0;
+  std::uint64_t sequence = 0;   ///< monotonic per-worker beat counter
+  std::string phase;            ///< coarse run phase ("parse", "legalize", ...)
+  double wallSeconds = 0.0;     ///< wall clock since the run started
+  double cpuSeconds = 0.0;      ///< process CPU time (utime+stime)
+  long rssKb = 0;               ///< resident set size, KiB (0 if unknown)
+};
+
+/// Serialize / parse the Heartbeat payload (same newline-separated
+/// `key=value` shape as WorkerResult; unknown keys skipped, the phase is
+/// sanitized to one line). parse returns false on malformed payloads.
+std::string serializeWorkerHeartbeat(const WorkerHeartbeat& heartbeat);
+bool parseWorkerHeartbeat(const std::string& payload,
+                          WorkerHeartbeat* heartbeat);
 
 /// Write one frame to `fd`, restarting on EINTR. Returns false on any
 /// write error (e.g. the supervisor died and the pipe broke) — workers

@@ -145,6 +145,28 @@ MetricsSnapshot metricsSnapshot() {
   return snap;
 }
 
+double histogramQuantile(const std::vector<long long>& buckets, double q) {
+  long long total = 0;
+  for (const long long b : buckets) total += b;
+  if (total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double inBucket = static_cast<double>(buckets[i]);
+    if (inBucket <= 0.0) continue;
+    if (cumulative + inBucket >= target) {
+      const double lower = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double upper = i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double fraction = (target - cumulative) / inBucket;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += inBucket;
+  }
+  return std::ldexp(1.0, static_cast<int>(buckets.size()));
+}
+
 long long MetricsSnapshot::counterValue(const std::string& name) const {
   const auto it = std::lower_bound(
       counters.begin(), counters.end(), name,

@@ -1,0 +1,74 @@
+#include "obs/metrics_delta.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace mclg::obs {
+
+std::string MetricsDeltaEncoder::encode(const MetricsSnapshot& snap) {
+  char buffer[160];
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    long long& previous = counters_[name];
+    const long long delta = value - previous;
+    if (delta == 0) continue;
+    previous = value;
+    std::snprintf(buffer, sizeof buffer, "c %s %lld\n", name.c_str(), delta);
+    out += buffer;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end() && it->second == value) continue;
+    if (it == gauges_.end() && value == 0.0) continue;
+    gauges_[name] = value;
+    std::snprintf(buffer, sizeof buffer, "g %s %.17g\n", name.c_str(), value);
+    out += buffer;
+  }
+  return out;
+}
+
+bool applyMetricsDelta(const std::string& payload, MetricsAccumulator* acc) {
+  std::vector<std::pair<std::string, long long>> counterDeltas;
+  std::vector<std::pair<std::string, double>> gaugeValues;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find('\n', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string line = payload.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (line.size() < 5 || (line[0] != 'c' && line[0] != 'g') ||
+        line[1] != ' ') {
+      return false;
+    }
+    const std::size_t space = line.find(' ', 2);
+    if (space == std::string::npos || space == 2 ||
+        space + 1 >= line.size()) {
+      return false;
+    }
+    const std::string name = line.substr(2, space - 2);
+    const std::string number = line.substr(space + 1);
+    char* parseEnd = nullptr;
+    if (line[0] == 'c') {
+      const long long delta = std::strtoll(number.c_str(), &parseEnd, 10);
+      if (parseEnd == number.c_str() || *parseEnd != '\0') return false;
+      counterDeltas.emplace_back(name, delta);
+    } else {
+      const double value = std::strtod(number.c_str(), &parseEnd);
+      if (parseEnd == number.c_str() || *parseEnd != '\0') return false;
+      gaugeValues.emplace_back(name, value);
+    }
+  }
+  for (const auto& [name, delta] : counterDeltas) acc->counters[name] += delta;
+  for (const auto& [name, value] : gaugeValues) acc->gauges[name] = value;
+  return true;
+}
+
+long long MetricsAccumulator::counterValue(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : 0;
+}
+
+}  // namespace mclg::obs

@@ -1,0 +1,56 @@
+// Delta encoding of the metrics registry for the MetricsDelta telemetry
+// frame (flow/worker_protocol.hpp).
+//
+// A worker's sampler thread (obs/sampler.hpp) snapshots the registry every
+// N ms and streams only what changed since the previous beat, so a quiet
+// worker costs a few bytes per sample instead of a full snapshot. The
+// payload is line-oriented text, one metric per line:
+//
+//   c <name> <delta>    counter increment since the previous delta
+//   g <name> <value>    gauge absolute value (re-sent only when it moved)
+//
+// Metric names never contain whitespace. Histograms are not streamed —
+// their full distribution rides in the worker's final Report frame; the
+// supervisor-side fold therefore covers counters and gauges, which is what
+// the live batch view (obs/batch_ledger.hpp) displays.
+//
+// The fold is exact for counters: summing every delta a worker emitted
+// (the sampler flushes a final delta at stop()) reproduces the worker's
+// final counter values, so a batch-wide accumulator equals the sum of the
+// per-design run reports — asserted in tests/test_supervisor.cpp.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mclg::obs {
+
+/// Stateful encoder: remembers the previously encoded snapshot and renders
+/// only the changes. Returns "" when nothing changed (the caller skips the
+/// frame and sends only the heartbeat).
+class MetricsDeltaEncoder {
+ public:
+  std::string encode(const MetricsSnapshot& snap);
+
+ private:
+  std::map<std::string, long long> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Running fold of decoded deltas (supervisor side): counters accumulate,
+/// gauges keep the last value seen.
+struct MetricsAccumulator {
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+
+  long long counterValue(const std::string& name) const;
+};
+
+/// Parse one MetricsDelta payload and fold it into `acc`. Returns false on
+/// any malformed line, in which case `acc` is left untouched (the payload
+/// is validated in full before anything is applied).
+bool applyMetricsDelta(const std::string& payload, MetricsAccumulator* acc);
+
+}  // namespace mclg::obs

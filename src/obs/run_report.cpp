@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/batch_ledger.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -41,6 +42,9 @@ void writeMetricsBlock(JsonWriter& w) {
     w.field("count", hist.count);
     w.field("sum", hist.sum);
     w.field("max", hist.max);
+    w.field("p50", histogramQuantile(hist.buckets, 0.50));
+    w.field("p95", histogramQuantile(hist.buckets, 0.95));
+    w.field("p99", histogramQuantile(hist.buckets, 0.99));
     w.key("pow2_buckets").beginArray();
     for (const long long bucket : hist.buckets) w.value(bucket);
     w.endArray();
@@ -185,9 +189,12 @@ bool writeRunReport(const std::string& path, const RunProvenance& provenance,
       path, renderRunReport(provenance, stats, score, includeMetrics, eco));
 }
 
-std::string renderBenchReport(
+namespace {
+
+std::string renderBenchDocument(
     const std::string& benchName,
-    const std::vector<std::pair<std::string, double>>& values) {
+    const std::vector<std::pair<std::string, double>>& values,
+    const BatchLedger* ledger) {
   JsonWriter w;
   w.beginObject();
   w.field("schema_version", kRunReportSchemaVersion);
@@ -204,9 +211,32 @@ std::string renderBenchReport(
   w.key("values").beginObject();
   for (const auto& [name, value] : values) w.field(name, value);
   w.endObject();
+  if (ledger != nullptr) ledger->writeBatchBlock(w);
   writeMetricsBlock(w);
   w.endObject();
   return w.take();
+}
+
+}  // namespace
+
+std::string renderBenchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& values) {
+  return renderBenchDocument(benchName, values, nullptr);
+}
+
+std::string renderBatchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& values,
+    const BatchLedger& ledger) {
+  return renderBenchDocument(benchName, values, &ledger);
+}
+
+bool writeBatchReport(const std::string& path, const std::string& benchName,
+                      const std::vector<std::pair<std::string, double>>& values,
+                      const BatchLedger& ledger) {
+  return writeStringToFile(path,
+                           renderBatchReport(benchName, values, ledger));
 }
 
 bool writeBenchReport(const std::string& path, const std::string& benchName,

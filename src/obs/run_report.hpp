@@ -49,7 +49,19 @@ namespace mclg::obs {
 /// plus the `process_isolation` / `shard_index` / `shard_count` and
 /// per-design `status` / `attempts` values in mclg_batch bench reports.
 /// Additive as before; the in-tree readers accept v1–v5.
-inline constexpr int kRunReportSchemaVersion = 5;
+///
+/// v6 (PR 7): live-telemetry additions (see docs/OBSERVABILITY.md "Live
+/// telemetry") — `p50` / `p95` / `p99` quantile estimates in every
+/// histogram entry (raw `pow2_buckets` kept), the `supervisor.heartbeats`
+/// / `supervisor.stalls_detected` / `supervisor.trace_chunks` (+
+/// `.dropped`) counters with the `supervisor.heartbeat_gap_ms` histogram,
+/// the sampled `executor.parked_workers` gauge, and the top-level `batch`
+/// aggregate block in mclg_batch reports (per-design rollups, attempt
+/// history, folded worker counters/gauges, heartbeat gap histogram —
+/// rendered by obs/batch_ledger.hpp). Additive as before; the in-tree
+/// readers (scripts/perf_gate.py, scripts/check_report_schema.py,
+/// tests/cli_end_to_end.cmake) accept v1–v6.
+inline constexpr int kRunReportSchemaVersion = 6;
 
 /// Where the run came from: everything needed to reproduce it.
 struct RunProvenance {
@@ -83,5 +95,18 @@ std::string renderBenchReport(
 
 bool writeBenchReport(const std::string& path, const std::string& benchName,
                       const std::vector<std::pair<std::string, double>>& values);
+
+class BatchLedger;
+
+/// renderBenchReport plus the v6 top-level `batch` aggregate block folded
+/// by `ledger` (obs/batch_ledger.hpp) — the document mclg_batch writes.
+std::string renderBatchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& values,
+    const BatchLedger& ledger);
+
+bool writeBatchReport(const std::string& path, const std::string& benchName,
+                      const std::vector<std::pair<std::string, double>>& values,
+                      const BatchLedger& ledger);
 
 }  // namespace mclg::obs

@@ -1,0 +1,90 @@
+#include "obs/sampler.hpp"
+
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace mclg::obs {
+
+double MetricsSampler::processCpuSeconds() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  const auto toSeconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return toSeconds(usage.ru_utime) + toSeconds(usage.ru_stime);
+}
+
+long MetricsSampler::processRssKb() {
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  long sizePages = 0;
+  long residentPages = 0;
+  const int fields = std::fscanf(file, "%ld %ld", &sizePages, &residentPages);
+  std::fclose(file);
+  if (fields != 2) return 0;
+  const long pageKb = sysconf(_SC_PAGESIZE) / 1024;
+  return residentPages * (pageKb > 0 ? pageKb : 4);
+}
+
+void MetricsSampler::start(SamplerConfig config) {
+  stop();
+  config_ = std::move(config);
+  if (config_.intervalMs < 1) config_.intervalMs = 1;
+  encoder_ = MetricsDeltaEncoder();
+  sequence_ = 0;
+  startedAt_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopRequested_ = false;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsSampler::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopRequested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  // Final beat from the caller's thread: the stream ends with a delta that
+  // folds to the registry's final values, and nothing can race the fd the
+  // emit callback writes to afterwards.
+  sampleOnce(true);
+}
+
+void MetricsSampler::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopRequested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(config_.intervalMs),
+                 [this] { return stopRequested_; });
+    if (stopRequested_) break;
+    lock.unlock();
+    sampleOnce(false);
+    lock.lock();
+  }
+}
+
+void MetricsSampler::sampleOnce(bool last) {
+  if (config_.preSample) config_.preSample();
+  TelemetrySample sample;
+  sample.sequence = ++sequence_;
+  sample.phase = phase_.load(std::memory_order_relaxed);
+  sample.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    startedAt_)
+          .count();
+  sample.cpuSeconds = processCpuSeconds();
+  sample.rssKb = processRssKb();
+  if (metricsEnabled()) sample.metricsDelta = encoder_.encode(metricsSnapshot());
+  sample.last = last;
+  if (config_.emit) config_.emit(sample);
+}
+
+}  // namespace mclg::obs

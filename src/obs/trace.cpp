@@ -174,6 +174,21 @@ std::string renderChromeTrace() {
   return w.take();
 }
 
+std::vector<TraceSpanRecord> traceSnapshot() {
+  Registry& r = registry();
+  std::vector<TraceSpanRecord> out;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    for (std::size_t i = buffer->liveFrom; i < buffer->events.size(); ++i) {
+      const detail::SpanEvent& event = buffer->events[i];
+      out.push_back({buffer->tid, event.tsUs,
+                     std::max<std::int64_t>(event.durUs, 0), event.name,
+                     event.args});
+    }
+  }
+  return out;
+}
+
 bool writeChromeTrace(const std::string& path) {
   const std::string json = renderChromeTrace();
   std::FILE* file = std::fopen(path.c_str(), "w");

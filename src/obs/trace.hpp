@@ -20,6 +20,7 @@
 #include <initializer_list>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace mclg::obs {
 
@@ -43,6 +44,20 @@ std::string renderChromeTrace();
 
 /// renderChromeTrace() to a file. Returns false on I/O error.
 bool writeChromeTrace(const std::string& path);
+
+/// One recorded span with its thread attribution — the unit shipped in
+/// TraceChunk frames and merged across workers (obs/trace_merge.hpp).
+struct TraceSpanRecord {
+  int tid = 0;
+  std::int64_t tsUs = 0;
+  std::int64_t durUs = 0;
+  std::string name;
+  std::string args;  // pre-rendered JSON object body, may be empty
+};
+
+/// Copy of every span recorded since the last reset, in per-thread record
+/// order. Same quiescence contract as renderChromeTrace().
+std::vector<TraceSpanRecord> traceSnapshot();
 
 namespace detail {
 

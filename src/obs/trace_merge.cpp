@@ -1,0 +1,167 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace mclg::obs {
+
+std::string serializeTraceSpans(const std::vector<TraceSpanRecord>& spans) {
+  char buffer[96];
+  std::string out;
+  for (const TraceSpanRecord& span : spans) {
+    std::snprintf(buffer, sizeof buffer, "%d\t%" PRId64 "\t%" PRId64 "\t",
+                  span.tid, span.tsUs, span.durUs);
+    out += buffer;
+    out += span.name;
+    out += '\t';
+    out += span.args;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string serializeTraceChunk() {
+  return serializeTraceSpans(traceSnapshot());
+}
+
+bool parseTraceChunk(const std::string& payload,
+                     std::vector<TraceSpanRecord>* spans) {
+  std::vector<TraceSpanRecord> parsed;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find('\n', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string line = payload.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    std::size_t fields[4];
+    std::size_t from = 0;
+    bool ok = true;
+    for (int f = 0; f < 4; ++f) {
+      fields[f] = line.find('\t', from);
+      if (fields[f] == std::string::npos) {
+        ok = false;
+        break;
+      }
+      from = fields[f] + 1;
+    }
+    if (!ok) return false;
+    TraceSpanRecord span;
+    char* parseEnd = nullptr;
+    const std::string tid = line.substr(0, fields[0]);
+    span.tid = static_cast<int>(std::strtol(tid.c_str(), &parseEnd, 10));
+    if (parseEnd == tid.c_str() || *parseEnd != '\0') return false;
+    const std::string ts =
+        line.substr(fields[0] + 1, fields[1] - fields[0] - 1);
+    span.tsUs = std::strtoll(ts.c_str(), &parseEnd, 10);
+    if (parseEnd == ts.c_str() || *parseEnd != '\0') return false;
+    const std::string dur =
+        line.substr(fields[1] + 1, fields[2] - fields[1] - 1);
+    span.durUs = std::strtoll(dur.c_str(), &parseEnd, 10);
+    if (parseEnd == dur.c_str() || *parseEnd != '\0') return false;
+    span.name = line.substr(fields[2] + 1, fields[3] - fields[2] - 1);
+    if (span.name.empty()) return false;
+    span.args = line.substr(fields[3] + 1);
+    parsed.push_back(std::move(span));
+  }
+  spans->insert(spans->end(), std::make_move_iterator(parsed.begin()),
+                std::make_move_iterator(parsed.end()));
+  return true;
+}
+
+void TraceMerger::addWorker(int pid, const std::string& label) {
+  workers_[pid].label = label;
+}
+
+bool TraceMerger::addChunk(int pid, const std::string& payload) {
+  std::vector<TraceSpanRecord> spans;
+  if (!parseTraceChunk(payload, &spans)) return false;
+  addSpans(pid, spans);
+  return true;
+}
+
+void TraceMerger::addSpans(int pid, const std::vector<TraceSpanRecord>& spans) {
+  Worker& worker = workers_[pid];
+  worker.spans.insert(worker.spans.end(), spans.begin(), spans.end());
+}
+
+std::size_t TraceMerger::spanCount() const {
+  std::size_t total = 0;
+  for (const auto& [pid, worker] : workers_) total += worker.spans.size();
+  return total;
+}
+
+std::string TraceMerger::render() const {
+  JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (const auto& [pid, worker] : workers_) {
+    w.beginObject()
+        .field("name", "process_name")
+        .field("ph", "M")
+        .field("pid", pid)
+        .field("tid", 0)
+        .key("args")
+        .beginObject()
+        .field("name",
+               worker.label.empty() ? "worker-" + std::to_string(pid)
+                                    : worker.label)
+        .endObject()
+        .endObject();
+    // Sort by (tid, ts) so every lane's events are timestamp-monotonic and
+    // the thread metadata precedes the thread's first event.
+    std::vector<const TraceSpanRecord*> ordered;
+    ordered.reserve(worker.spans.size());
+    for (const TraceSpanRecord& span : worker.spans) ordered.push_back(&span);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceSpanRecord* a, const TraceSpanRecord* b) {
+                       return a->tid != b->tid ? a->tid < b->tid
+                                               : a->tsUs < b->tsUs;
+                     });
+    std::set<int> namedTids;
+    for (const TraceSpanRecord* span : ordered) {
+      if (namedTids.insert(span->tid).second) {
+        w.beginObject()
+            .field("name", "thread_name")
+            .field("ph", "M")
+            .field("pid", pid)
+            .field("tid", span->tid)
+            .key("args")
+            .beginObject()
+            .field("name", "mclg-thread-" + std::to_string(span->tid))
+            .endObject()
+            .endObject();
+      }
+      w.beginObject()
+          .field("name", span->name)
+          .field("cat", "mclg")
+          .field("ph", "X")
+          .field("pid", pid)
+          .field("tid", span->tid)
+          .field("ts", span->tsUs)
+          .field("dur", std::max<std::int64_t>(span->durUs, 0));
+      if (!span->args.empty()) w.key("args").rawValue(span->args);
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.field("displayTimeUnit", "ms");
+  w.endObject();
+  return w.take();
+}
+
+bool TraceMerger::write(const std::string& path) const {
+  const std::string json = render();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace mclg::obs

@@ -1,0 +1,72 @@
+// Multi-process trace merge: workers ship their recorded spans to the
+// supervisor in TraceChunk frames (flow/worker_protocol.hpp), and the
+// supervisor renders one Chrome/Perfetto document in which every worker
+// process is its own lane — `pid` is the real worker pid, the process_name
+// metadata carries the design (and attempt) it ran, and the worker's
+// per-thread tracks keep their thread attribution. A whole batch then
+// reads as a single timeline in ui.perfetto.dev.
+//
+// The chunk payload is line-oriented, one span per line, tab-separated:
+//
+//   <tid> \t <tsUs> \t <durUs> \t <name> \t <argsJson>
+//
+// Span names are string literals and args are pre-rendered one-line JSON,
+// so neither contains a tab or newline. Workers serialize at a quiescent
+// point (after the pipeline returns, before the Result frame); the
+// supervisor tolerates malformed chunks by dropping them (counted by the
+// caller), never by corrupting the merged document.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mclg::obs {
+
+/// Serialize every span recorded since the last traceReset into one
+/// TraceChunk payload. Same quiescence contract as renderChromeTrace().
+std::string serializeTraceChunk();
+
+/// Render spans (e.g. from traceSnapshot) into a chunk payload.
+std::string serializeTraceSpans(const std::vector<TraceSpanRecord>& spans);
+
+/// Parse a chunk payload. Returns false (leaving `spans` untouched) on any
+/// malformed line.
+bool parseTraceChunk(const std::string& payload,
+                     std::vector<TraceSpanRecord>* spans);
+
+/// Supervisor-side accumulator: one process lane per worker pid.
+class TraceMerger {
+ public:
+  /// Register (or re-label) a worker lane. Safe to call before or after
+  /// chunks for that pid arrive.
+  void addWorker(int pid, const std::string& label);
+
+  /// Fold one chunk into the pid's lane. Returns false on parse error
+  /// (the lane is left unchanged).
+  bool addChunk(int pid, const std::string& payload);
+
+  void addSpans(int pid, const std::vector<TraceSpanRecord>& spans);
+
+  std::size_t workerLanes() const { return workers_.size(); }
+  std::size_t spanCount() const;
+
+  /// One Chrome trace-event document: per-pid process_name metadata, per
+  /// (pid, tid) thread_name metadata, and every span as an "X" event with
+  /// its worker's pid. Events are sorted by timestamp within each
+  /// (pid, tid) lane.
+  std::string render() const;
+  bool write(const std::string& path) const;
+
+ private:
+  struct Worker {
+    std::string label;
+    std::vector<TraceSpanRecord> spans;
+  };
+  std::map<int, Worker> workers_;
+};
+
+}  // namespace mclg::obs

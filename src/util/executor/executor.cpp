@@ -413,9 +413,18 @@ struct Executor::Impl {
 thread_local Executor::Impl* Executor::Impl::tlsOwner = nullptr;
 thread_local int Executor::Impl::tlsWorkerIndex = -1;
 
+namespace {
+std::atomic<Executor*> g_globalExecutor{nullptr};
+}  // namespace
+
 Executor& Executor::global() {
   static Executor executor(defaultWorkerCount());
+  g_globalExecutor.store(&executor, std::memory_order_release);
   return executor;
+}
+
+Executor* Executor::globalIfCreated() {
+  return g_globalExecutor.load(std::memory_order_acquire);
 }
 
 Executor::Executor(int numWorkers)
@@ -445,6 +454,23 @@ void Executor::submit(std::function<void()> task) {
     c.add();
   }
   impl_->enqueue(new Impl::FunctionTask(std::move(task)), 1);
+}
+
+std::size_t Executor::queueDepth() const {
+  std::lock_guard<std::mutex> lock(impl_->injectorMutex_);
+  return impl_->injector_.size();
+}
+
+int Executor::parkedWorkers() const {
+  std::lock_guard<std::mutex> lock(impl_->sleepMutex_);
+  return impl_->sleepers_;
+}
+
+void Executor::sampleGauges() const {
+  if (!obs::metricsEnabled()) return;
+  obs::gauge("executor.queue_depth").max(static_cast<double>(queueDepth()));
+  obs::gauge("executor.parked_workers")
+      .set(static_cast<double>(parkedWorkers()));
 }
 
 Executor::Stats Executor::stats() const {

@@ -43,6 +43,11 @@ class Executor {
   /// hardware thread (MCLG_EXECUTOR_THREADS overrides). Lives until exit.
   static Executor& global();
 
+  /// The global executor if some caller already constructed it, else null.
+  /// Telemetry samplers use this so observing an idle process doesn't
+  /// spawn its worker threads.
+  static Executor* globalIfCreated();
+
   /// A private executor (tests, benches). numWorkers < 1 is clamped to 1.
   explicit Executor(int numWorkers);
   ~Executor();
@@ -77,6 +82,18 @@ class Executor {
     long long batches = 0;      ///< parallelForBatch calls that went wide
   };
   Stats stats() const;
+
+  /// Point-in-time introspection for periodic telemetry sampling
+  /// (obs/sampler.hpp): externally submitted tasks not yet claimed, and
+  /// workers currently parked. Both take the respective internal mutex —
+  /// cheap at sampling rates, not for hot loops.
+  std::size_t queueDepth() const;
+  int parkedWorkers() const;
+
+  /// Refresh the executor.queue_depth (high-water) and
+  /// executor.parked_workers (last-sample) gauges from the live state.
+  /// No-op while the metrics registry is disabled.
+  void sampleGauges() const;
 
  private:
   struct Impl;

@@ -73,11 +73,16 @@ std::string formatLine(LogLevel level, const std::string& msg) {
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const double ts =
       std::chrono::duration<double>(now).count();
-  char head[128];
-  std::snprintf(head, sizeof(head),
-                "{\"ts\":%.6f,\"level\":\"%s\",\"tid\":%llu,\"msg\":\"", ts,
-                levelNameJson(level),
-                static_cast<unsigned long long>(currentTid()));
+  // ts_ms is the same instant as an integer millisecond count: interleaved
+  // worker logs sort with a plain integer compare, no float parsing.
+  const long long tsMs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  char head[160];
+  std::snprintf(
+      head, sizeof(head),
+      "{\"ts\":%.6f,\"ts_ms\":%lld,\"level\":\"%s\",\"tid\":%llu,\"msg\":\"",
+      ts, tsMs, levelNameJson(level),
+      static_cast<unsigned long long>(currentTid()));
   std::string line = head;
   appendEscaped(line, msg);
   line += "\"}";

@@ -49,11 +49,11 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(report_err)
     message(FATAL_ERROR "run.json is not a valid run report: ${report_err}")
   endif()
-  # Accept all known schema versions (v2 through v5 are additive over v1).
+  # Accept all known schema versions (v2 through v6 are additive over v1).
   if(NOT schema EQUAL 1 AND NOT schema EQUAL 2 AND NOT schema EQUAL 3
-     AND NOT schema EQUAL 4 AND NOT schema EQUAL 5)
+     AND NOT schema EQUAL 4 AND NOT schema EQUAL 5 AND NOT schema EQUAL 6)
     message(FATAL_ERROR
-            "run.json schema_version ${schema}, expected 1 through 5")
+            "run.json schema_version ${schema}, expected 1 through 6")
   endif()
   string(JSON mgl_placed ERROR_VARIABLE report_err
          GET "${report_text}" pipeline mgl placed)

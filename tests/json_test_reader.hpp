@@ -1,0 +1,170 @@
+// Minimal JSON reader shared by the test suites (objects, arrays, strings,
+// numbers, bools, null). The library only ever *writes* JSON; the tests are
+// the one consumer that needs to read it back — run reports, merged traces,
+// structured log lines. Header-only and gtest-aware (parseOrDie reports
+// through EXPECT), so each suite binary gets its own copy.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mclg::testjson {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue kNull;
+    const auto it = object.find(key);
+    return it != object.end() ? it->second : kNull;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue* out) {
+    pos_ = 0;
+    if (!parseValue(out)) return false;
+    skipWs();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool parseLiteral(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool parseString(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;       // control chars only in our writer;
+            *out += '?';     // the exact code point is irrelevant here
+            break;
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool parseValue(JsonValue* out) {
+    skipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::Object;
+      skipWs();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!parseString(&key)) return false;
+        if (!consume(':')) return false;
+        JsonValue value;
+        if (!parseValue(&value)) return false;
+        out->object.emplace(std::move(key), std::move(value));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::Array;
+      skipWs();
+      if (consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!parseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::String;
+      return parseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::Bool;
+      out->boolean = true;
+      return parseLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::Bool;
+      out->boolean = false;
+      return parseLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::Null;
+      return parseLiteral("null");
+    }
+    // Number.
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::Number;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline JsonValue parseOrDie(const std::string& text) {
+  JsonValue v;
+  JsonParser parser(text);
+  EXPECT_TRUE(parser.parse(&v)) << "invalid JSON: " << text.substr(0, 200);
+  return v;
+}
+
+}  // namespace mclg::testjson

@@ -13,7 +13,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <unistd.h>
 #include <vector>
@@ -23,8 +25,12 @@
 #include "flow/supervisor.hpp"
 #include "flow/worker_protocol.hpp"
 #include "gen/benchmark_gen.hpp"
+#include "json_test_reader.hpp"
 #include "legal/pipeline.hpp"
+#include "obs/batch_ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace_merge.hpp"
 #include "parsers/simple_format.hpp"
 
 namespace mclg {
@@ -478,6 +484,121 @@ TEST(Supervisor, DegradedWorkerMapsToGuardDegraded) {
   EXPECT_TRUE(results[0].ok) << results[0].error;
   EXPECT_EQ(results[0].status, WorkerStatus::GuardDegraded);
   EXPECT_EQ(results[0].attempts, 1);  // degradation is not retryable
+}
+
+// ---- Live telemetry (schema v6) --------------------------------------------
+
+TEST(Supervisor, TelemetryFoldMatchesPerDesignReportsAndTraceHasAllLanes) {
+  const std::string dir = ::testing::TempDir();
+  const int kDesigns = 8;
+  const auto items = makeManifest(dir, kDesigns, 990);
+
+  obs::BatchLedger ledger(kDesigns);
+  obs::TraceMerger merger;
+  std::vector<std::string> statusLines;
+  SupervisorConfig config = fastSupervisor();
+  config.telemetrySampleMs = 10;
+  config.streamTrace = true;
+  config.ledger = &ledger;
+  config.traceMerger = &merger;
+  config.statusIntervalMs = 50;
+  config.onStatusLine = [&statusLines](const std::string& line) {
+    statusLines.push_back(line);
+  };
+  const auto results = runSupervisedManifest(items, config);
+
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kDesigns));
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok) << result.name << ": " << result.error;
+    EXPECT_FALSE(result.reportJson.empty()) << result.name;
+  }
+  EXPECT_EQ(ledger.done(), kDesigns);
+  EXPECT_GE(ledger.heartbeats(), kDesigns);  // >= the final beat per worker
+  EXPECT_EQ(ledger.stallsDetected(), 0);
+
+  // The ledger's counter fold must equal the sum of the per-design run
+  // reports exactly: every worker's sampler flushes a final delta before
+  // the Report frame is rendered, so the streamed deltas and the report
+  // snapshot describe the same registry state.
+  std::map<std::string, long long> summed;
+  for (const auto& result : results) {
+    const testjson::JsonValue report = testjson::parseOrDie(result.reportJson);
+    EXPECT_EQ(report.at("schema_version").number, 6.0) << result.name;
+    for (const auto& [name, value] :
+         report.at("metrics").at("counters").object) {
+      if (value.number != 0.0) summed[name] += static_cast<long long>(value.number);
+    }
+  }
+  EXPECT_FALSE(summed.empty());
+  for (const auto& [name, value] : summed) {
+    EXPECT_EQ(ledger.folded().counterValue(name), value) << name;
+  }
+  for (const auto& [name, value] : ledger.folded().counters) {
+    EXPECT_EQ(summed.count(name), 1u) << "folded counter not in reports: "
+                                      << name;
+  }
+
+  // One merged Perfetto document, one labeled process lane per worker pid.
+  EXPECT_EQ(merger.workerLanes(), static_cast<std::size_t>(kDesigns));
+  EXPECT_GT(merger.spanCount(), 0u);
+  const testjson::JsonValue trace = testjson::parseOrDie(merger.render());
+  std::map<double, std::string> lanes;
+  for (const testjson::JsonValue& event : trace.at("traceEvents").array) {
+    if (event.at("name").string == "process_name") {
+      lanes[event.at("pid").number] = event.at("args").at("name").string;
+    }
+  }
+  ASSERT_EQ(lanes.size(), static_cast<std::size_t>(kDesigns));
+  std::set<std::string> laneNames;
+  for (const auto& [pid, label] : lanes) laneNames.insert(label);
+  for (int d = 0; d < kDesigns; ++d) {
+    EXPECT_EQ(laneNames.count("d" + std::to_string(d)), 1u) << d;
+  }
+
+  // The v6 batch document carries the same aggregates.
+  const testjson::JsonValue batchReport =
+      testjson::parseOrDie(obs::renderBatchReport("mclg_batch", {}, ledger));
+  EXPECT_EQ(batchReport.at("schema_version").number, 6.0);
+  const testjson::JsonValue& batch = batchReport.at("batch");
+  EXPECT_EQ(batch.at("designs_total").number, static_cast<double>(kDesigns));
+  EXPECT_EQ(batch.at("designs_ok").number, static_cast<double>(kDesigns));
+  EXPECT_EQ(batch.at("heartbeats").number,
+            static_cast<double>(ledger.heartbeats()));
+
+  // --live-status progress: at least the final post-drain line, which must
+  // show the batch fully done.
+  ASSERT_FALSE(statusLines.empty());
+  EXPECT_NE(statusLines.back().find("8/8 done"), std::string::npos)
+      << statusLines.back();
+}
+
+TEST(Supervisor, MissingHeartbeatsFlagAHungWorkerBeforeTheTimeout) {
+  const std::string dir = ::testing::TempDir();
+  const auto items = makeManifest(dir, 1, 995);
+
+  obs::setMetricsEnabled(true);
+  obs::metricsReset();
+  obs::BatchLedger ledger(1);
+  SupervisorConfig config = fastSupervisor();
+  // The hang fault fires before the worker's sampler starts, so the worker
+  // is silent from spawn: stall detection (0.3 s without a beat) must flag
+  // it as hung well before the wall-clock timeout (1.5 s) escalates.
+  config.telemetrySampleMs = 20;
+  config.stallThresholdSeconds = 0.3;
+  config.designTimeoutSeconds = 1.5;
+  config.killGraceSeconds = 0.3;
+  config.maxRetries = 0;
+  config.ledger = &ledger;
+  config.extraWorkerArgs = {"--worker-fault", "d0:hang:99"};
+  const auto results = runSupervisedManifest(items, config);
+  const auto snapshot = obs::metricsSnapshot();
+  obs::setMetricsEnabled(false);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].status, WorkerStatus::Timeout);
+  EXPECT_GE(ledger.stallsDetected(), 1);
+  EXPECT_GE(snapshot.counterValue("supervisor.stalls_detected"), 1);
 }
 
 TEST(Supervisor, SpawnFailureIsAPerDesignStatus) {

@@ -3,6 +3,7 @@
 //   mclg_batch --manifest batch.txt [--jobs N] [--threads-per-design N]
 //              [--preset contest|totaldisp] [--executor-threads N]
 //              [--scores] [--report-out batch.json] [--shard i/N]
+//              [--live-status] [--telemetry-ms MS] [--trace-out FILE]
 //              [--process-isolation [--design-timeout SECS]
 //               [--max-retries N] [--backoff-ms MS]]
 //
@@ -21,6 +22,14 @@
 // N-th manifest line starting at i, so N hosts can split one manifest
 // with no coordination (the shard union is exactly the manifest).
 //
+// Live telemetry (docs/OBSERVABILITY.md "Live telemetry"): workers stream
+// Heartbeat/MetricsDelta frames every --telemetry-ms, folded into a
+// BatchLedger that drives the --live-status progress line, heartbeat-based
+// stall detection, and the schema-v6 `batch` aggregate block of
+// --report-out. --trace-out merges every worker's spans into one Perfetto
+// timeline with a process lane per worker pid (in-process mode traces the
+// single batch process instead).
+//
 // Exit status:
 //   0  every design legalized (possibly after worker retries)
 //   1  usage / IO error (bad flags, unreadable manifest or outputs)
@@ -31,6 +40,7 @@
 // (see supervisorWorkerMain); not part of the public CLI surface.
 
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -39,10 +49,16 @@
 #include <optional>
 #include <string>
 
+#include <unistd.h>
+
 #include "flow/batch_runner.hpp"
 #include "flow/supervisor.hpp"
+#include "obs/batch_ledger.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "util/executor/executor.hpp"
 #include "util/timer.hpp"
 
@@ -73,7 +89,18 @@ const char kHelp[] =
     "                         (deterministic: the union over i=0..N-1 is\n"
     "                         exactly the manifest)\n"
     "  --report-out FILE      batch run report (JSON, kind \"bench\",\n"
-    "                         executor.*/supervisor.* metrics included)\n"
+    "                         executor.*/supervisor.* metrics and the\n"
+    "                         schema-v6 batch.* aggregate block included)\n"
+    "\n"
+    "live telemetry (docs/OBSERVABILITY.md):\n"
+    "  --live-status          single-line progress on stderr: done/running/\n"
+    "                         retrying, slowest design + phase, cells/s,\n"
+    "                         stalls detected\n"
+    "  --telemetry-ms MS      worker sampler beat interval (default 100;\n"
+    "                         0 disables heartbeats, metric deltas, and\n"
+    "                         stall detection)\n"
+    "  --trace-out FILE       merged Perfetto trace: one process lane per\n"
+    "                         worker pid (chrome://tracing / ui.perfetto.dev)\n"
     "\n"
     "process isolation (crash-isolated fan-out, docs/ROBUSTNESS.md):\n"
     "  --process-isolation    run each design in its own supervised worker\n"
@@ -177,11 +204,13 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   int executorThreads = 0;
+  int telemetryMs = 100;
   SupervisorConfig supervisor;
   if (!argInt(argc, argv, "--threads-per-design", 1, 1,
               &config.threadsPerDesign) ||
       !argInt(argc, argv, "--jobs", 0, 0, &config.maxInFlight) ||
       !argInt(argc, argv, "--executor-threads", 0, 0, &executorThreads) ||
+      !argInt(argc, argv, "--telemetry-ms", telemetryMs, 0, &telemetryMs) ||
       !argInt(argc, argv, "--max-retries", supervisor.maxRetries, 0,
               &supervisor.maxRetries) ||
       !argInt(argc, argv, "--backoff-ms", supervisor.backoffMs, 0,
@@ -191,6 +220,8 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   config.evaluateScores = argFlag(argc, argv, "--scores");
+  const bool liveStatus = argFlag(argc, argv, "--live-status");
+  const auto traceOut = argValue(argc, argv, "--trace-out");
   const bool processIsolation = argFlag(argc, argv, "--process-isolation");
   if (!processIsolation &&
       (argValue(argc, argv, "--design-timeout") ||
@@ -262,6 +293,20 @@ int main(int argc, char** argv) {
     return kExitOk;
   }
 
+  // Live telemetry fold shared by both modes: the supervisor feeds worker
+  // frames into it, the in-process runner feeds design events directly.
+  obs::BatchLedger ledger(static_cast<int>(items.size()));
+  obs::TraceMerger traceMerger;
+  const auto statusLine = [](const std::string& line) {
+    std::fprintf(stderr, "\r\33[2K%s", line.c_str());
+    std::fflush(stderr);
+  };
+  const auto steadySeconds = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
   Timer timer;
   std::vector<BatchDesignResult> results;
   if (processIsolation) {
@@ -270,6 +315,13 @@ int main(int argc, char** argv) {
     supervisor.preset = presetName;
     supervisor.threadsPerDesign = config.threadsPerDesign;
     supervisor.evaluateScores = config.evaluateScores;
+    supervisor.telemetrySampleMs = telemetryMs;
+    supervisor.ledger = &ledger;
+    if (traceOut) {
+      supervisor.streamTrace = true;
+      supervisor.traceMerger = &traceMerger;
+    }
+    if (liveStatus) supervisor.onStatusLine = statusLine;
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--inject-fault") == 0) {
         supervisor.extraWorkerArgs.push_back("--worker-fault");
@@ -283,9 +335,37 @@ int main(int argc, char** argv) {
       privateExecutor = std::make_unique<Executor>(executorThreads);
       config.executor = ExecutorRef(privateExecutor.get());
     }
+    config.ledger = &ledger;
+    if (liveStatus) config.onStatusLine = statusLine;
+    if (traceOut) {
+      obs::setTracingEnabled(true);
+      obs::traceReset();
+    }
+    // Periodic executor gauge sampling (queue depth, parked workers) —
+    // the in-process analog of the worker-side sampler.
+    obs::MetricsSampler sampler;
+    if (telemetryMs > 0 && (reportOut || liveStatus)) {
+      obs::SamplerConfig samplerConfig;
+      samplerConfig.intervalMs = telemetryMs;
+      Executor* const target = privateExecutor.get();
+      samplerConfig.preSample = [target] {
+        Executor* executor = target ? target : Executor::globalIfCreated();
+        if (executor != nullptr) executor->sampleGauges();
+      };
+      samplerConfig.emit = [](const obs::TelemetrySample&) {};
+      sampler.start(std::move(samplerConfig));
+    }
     results = runBatchManifest(items, config);
+    sampler.stop();
+    if (liveStatus) statusLine(ledger.renderStatusLine(steadySeconds()));
+    if (traceOut) {
+      const int pid = static_cast<int>(::getpid());
+      traceMerger.addWorker(pid, "mclg_batch");
+      traceMerger.addSpans(pid, obs::traceSnapshot());
+    }
   }
   const double seconds = timer.seconds();
+  if (liveStatus) std::fputc('\n', stderr);
 
   int okCount = 0;
   for (const auto& result : results) {
@@ -346,11 +426,19 @@ int main(int argc, char** argv) {
         values.emplace_back(prefix + "score", results[i].score);
       }
     }
-    if (!obs::writeBenchReport(*reportOut, "mclg_batch", values)) {
+    if (!obs::writeBatchReport(*reportOut, "mclg_batch", values, ledger)) {
       std::fprintf(stderr, "cannot write %s\n", reportOut->c_str());
       return kExitUsage;
     }
     std::printf("wrote %s\n", reportOut->c_str());
+  }
+  if (traceOut) {
+    if (!traceMerger.write(*traceOut)) {
+      std::fprintf(stderr, "cannot write %s\n", traceOut->c_str());
+      return kExitUsage;
+    }
+    std::printf("wrote %s (%zu lanes, %zu spans)\n", traceOut->c_str(),
+                traceMerger.workerLanes(), traceMerger.spanCount());
   }
 
   return okCount == total ? kExitOk : kExitFailedDesigns;

@@ -152,7 +152,10 @@ const char kHelp[] =
     "\n"
     "global options:\n"
     "  --log-json  emit one JSON object per log line on stderr\n"
-    "              ({\"ts\",\"level\",\"tid\",\"msg\"}) instead of text\n"
+    "              ({\"ts\",\"ts_ms\",\"level\",\"tid\",\"msg\"}) instead of\n"
+    "              text; ts_ms is the same instant as integer milliseconds,\n"
+    "              so interleaved multi-process logs sort with an integer\n"
+    "              compare\n"
     "\n"
     "exit codes:\n"
     "  0  success; for legalize/evaluate the placement is fully legal\n"
