@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
 """Documentation link checker (registered as the `docs_links` ctest).
 
-Two gates over the repository's markdown:
+Three gates over the repository's markdown:
 
   1. Every intra-repo link target in every tracked .md file must exist
      (inline links and images; anchors are stripped; external schemes are
      skipped).
   2. Every file under docs/ must be reachable from README.md by following
      markdown links — no orphaned documentation.
+  3. Every repo path named in an inline code span (`src/...`, `tests/...`,
+     ... — see PATH_PREFIXES) must exist in the tree, so docs cannot keep
+     pointing at renamed or deleted files. `{hpp,cpp}`-style brace groups
+     are expanded; spans with glob/shell characters are skipped.
 
 Usage: scripts/check_docs.py [repo-root]   (default: the repo containing
-this script). Exits 0 when both gates pass, 1 otherwise.
+this script). Exits 0 when all gates pass, 1 otherwise.
 """
 
 import os
@@ -25,6 +29,14 @@ SKIP_DIRS = (".git", ".claude", "related", "node_modules", "__pycache__")
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?\s*(?:\"[^\"]*\")?\)")
 
 EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# `inline code`; spans starting with one of these top-level directories are
+# treated as repo-path claims and must exist (gate 3). Anything else inside
+# backticks (identifiers, flags, commands) is not a path claim.
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+PATH_PREFIXES = ("src/", "docs/", "scripts/", "tests/", "bench/", "tools/",
+                 "examples/")
+BRACE_RE = re.compile(r"^(.*)\{([^{}]+)\}(.*)$")
 
 
 def should_skip(dirname):
@@ -42,13 +54,46 @@ def markdown_files(root):
     return sorted(found)
 
 
-def links_of(path):
+def stripped_text(path):
     with open(path, encoding="utf-8") as fh:
         text = fh.read()
-    # Fenced code blocks routinely show link-like syntax in examples; they
-    # are not navigation, so they are not checked.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    return LINK_RE.findall(text)
+    # Fenced code blocks routinely show link-like syntax and example paths
+    # (scratch files, build outputs); they are not navigation or claims
+    # about the tree, so neither gate checks them.
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def path_claims(text):
+    """Repo paths asserted by inline code spans, brace groups expanded."""
+    claims = []
+    for span in CODE_SPAN_RE.findall(text):
+        span = span.strip().rstrip(".,:;")
+        if not span.startswith(PATH_PREFIXES):
+            continue
+        if any(ch in span for ch in " <>*?$|\"'()"):
+            continue
+        group = BRACE_RE.match(span)
+        expanded = ([group.group(1) + alt + group.group(3)
+                     for alt in group.group(2).split(",")]
+                    if group else [span])
+        claims.extend((span, p) for p in expanded)
+    return claims
+
+
+def path_exists(root, path):
+    """True when the claimed path exists — exactly, or as a module stem.
+
+    Docs name translation units by stem (`src/flow/supervisor`,
+    `tools/mclg_cli`, `bench/bench_table1`); accept those when any file
+    with that basename plus an extension lives in the claimed directory.
+    """
+    full = os.path.join(root, path.rstrip("/"))
+    if os.path.exists(full):
+        return True
+    parent, stem = os.path.dirname(full), os.path.basename(full)
+    if not stem or not os.path.isdir(parent):
+        return False
+    return any(name.startswith(stem + ".") for name in os.listdir(parent))
 
 
 def resolve(source, target, root):
@@ -74,10 +119,12 @@ def main():
     failures = []
     graph = {}
     checked_links = 0
+    checked_paths = 0
     for md in markdown_files(root):
         rel = os.path.relpath(md, root)
+        text = stripped_text(md)
         edges = set()
-        for target in links_of(md):
+        for target in LINK_RE.findall(text):
             resolved = resolve(md, target, root)
             if resolved is None:
                 continue
@@ -88,6 +135,10 @@ def main():
             if resolved.endswith(".md"):
                 edges.add(os.path.normpath(resolved))
         graph[os.path.normpath(md)] = edges
+        for span, path in set(path_claims(text)):
+            checked_paths += 1
+            if not path_exists(root, path):
+                failures.append(f"{rel}: missing path -> {span} ({path})")
 
     # BFS over the markdown link graph from README.md.
     reachable = set()
@@ -110,6 +161,7 @@ def main():
             print(f"check_docs FAIL: {failure}", file=sys.stderr)
         return 1
     print(f"check_docs OK: {checked_links} intra-repo links, "
+          f"{checked_paths} inline path claims, "
           f"{len(reachable)} markdown files reachable from README.md")
     return 0
 

@@ -267,7 +267,7 @@ void FrameReader::feed(const char* data, std::size_t size) {
     const std::uint32_t length = getU32(buffer_.data() + 8);
     const bool knownType =
         type >= static_cast<std::uint32_t>(FrameType::Result) &&
-        type <= static_cast<std::uint32_t>(FrameType::TraceChunk);
+        type <= static_cast<std::uint32_t>(FrameType::Response);
     if (length > kMaxFramePayload || !knownType) {
       corrupted_ = true;
       frames_.clear();

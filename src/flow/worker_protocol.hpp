@@ -18,9 +18,17 @@
 // TraceChunk (serialized trace spans, obs/trace_merge.hpp) stream live
 // telemetry while the run is in flight. The supervisor reads frames
 // incrementally (FrameReader copes with arbitrary read() fragmentation)
-// and never trusts the worker: a bad magic, an oversized length, or a
-// truncated payload surfaces as WorkerStatus::Protocol, not as supervisor
-// memory corruption.
+// and never trusts the worker: a bad magic, an oversized length, an
+// unknown frame type, or a truncated payload surfaces as
+// WorkerStatus::Protocol, not as supervisor memory corruption.
+//
+// The legalization daemon (tools/mclg_serve, flow/serve/) reuses the same
+// envelope in the opposite direction: clients stream *request* frames
+// (LoadDesign, EcoDelta, Commit, Rollback, Query, Shutdown — payload
+// codecs in flow/serve/serve_protocol.hpp) and the daemon answers each
+// with one Response frame. The full wire format, including byte layouts
+// and the rules for adding frame types, is documented normatively in
+// docs/PROTOCOL.md.
 //
 // Exit codes reuse the guard contract (GuardExitCode, legal/guard/):
 // workerStatusFromExit / workerStatusToExit map between the 0/2/3/4/5
@@ -72,12 +80,24 @@ int workerStatusToExit(WorkerStatus status);
 
 // ---- Frames ----------------------------------------------------------------
 
+/// Wire values are load-bearing (docs/PROTOCOL.md): never renumber, only
+/// append — FrameReader treats any value outside [Result, Response] as
+/// sticky corruption, which is exactly how an old reader rejects a frame
+/// type it was never taught.
 enum class FrameType : std::uint32_t {
   Result = 1,       ///< serialized WorkerResult
   Report = 2,       ///< run-report JSON, verbatim
   Heartbeat = 3,    ///< serialized WorkerHeartbeat (liveness + phase)
   MetricsDelta = 4, ///< delta-encoded metrics snapshot (obs/metrics_delta)
   TraceChunk = 5,   ///< serialized trace spans (obs/trace_merge)
+  // ---- Serving requests (client -> mclg_serve; flow/serve/) ----
+  LoadDesign = 6,   ///< register a tenant with a full .mclg design text
+  EcoDelta = 7,     ///< move/resize/add ops to ECO-relegalize incrementally
+  Commit = 8,       ///< promote the tenant's placement to its new snapshot
+  Rollback = 9,     ///< discard uncommitted state; restore the snapshot
+  Query = 10,       ///< read-only: status / score / report / design text
+  Shutdown = 11,    ///< end the connection (or, if allowed, the daemon)
+  Response = 12,    ///< daemon -> client: one reply per request, in order
 };
 
 inline constexpr std::uint32_t kFrameMagic = 0x4d434c47u;  // "MCLG"
@@ -132,8 +152,9 @@ bool parseWorkerHeartbeat(const std::string& payload,
 bool writeFrame(int fd, FrameType type, const std::string& payload);
 
 /// Incremental frame parser: feed() raw bytes in any fragmentation, take()
-/// complete frames out. Corruption (bad magic / oversized length) is
-/// sticky: corrupted() stays set and no further frames are produced.
+/// complete frames out. Corruption (bad magic / oversized length / unknown
+/// frame type) is sticky: corrupted() stays set and no further frames are
+/// produced.
 class FrameReader {
  public:
   struct Frame {

@@ -62,6 +62,10 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
   // executor here once covers all of them (and the full-run bailout path).
   EcoConfig config = userConfig;
   config.pipeline.propagateExecutor();
+  // The request-scoped budget also bounds any guarded full-run fallback or
+  // shadow run: fold it into the guard's per-stage deadline.
+  config.pipeline.guard.requestDeadline = Deadline::earliest(
+      config.pipeline.guard.requestDeadline, config.requestDeadline);
   Design& design = state.design();
   EcoStats stats;
   Timer incrementalTimer;
@@ -81,6 +85,8 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
     stats.secondsIncremental = incrementalTimer.seconds();
     return stats;
   }
+
+  config.requestDeadline.checkpoint("eco/diff");
 
   // 2. Plan the dirty regions (reporting + the covers-core bailout).
   const EcoPlan plan =
@@ -117,6 +123,13 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
   // with a tracker recording the spill onto clean neighbors.
   DeltaTracker tracker(design.numCells());
   state.setListener(&tracker);
+  // A request-budget checkpoint below may throw out of this function;
+  // never leave the caller's state pointing at the local tracker.
+  struct DetachListener {
+    PlacementState& state;
+    ~DetachListener() { state.setListener(nullptr); }
+  } detachListener{state};
+  config.requestDeadline.checkpoint("eco/stage1");
   {
     MCLG_TRACE_SCOPE("eco/stage1");
     MglLegalizer mgl(state, segments, config.pipeline.mgl);
@@ -141,6 +154,7 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
   // pass is focused on dirty-or-touched cells so it cannot churn clean
   // regions, and the between-pass MCF re-solve is off — Stage 3 below runs
   // warm-restarted per dirty component anyway.
+  config.requestDeadline.checkpoint("eco/ripup");
   {
     MCLG_TRACE_SCOPE("eco/ripup");
     RipupConfig ripup = config.pipeline.ripup;
@@ -169,6 +183,7 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
   // proportional to the damage, not to the dirty-region population. The
   // listener stays attached throughout so every recovery move counts as
   // spill and its component gets the Stage-3 treatment below.
+  config.requestDeadline.checkpoint("eco/stage2");
   if (config.pipeline.runMaxDisp) {
     MCLG_TRACE_SCOPE("eco/stage2");
     std::vector<char> focus = touchedFocus();
@@ -178,9 +193,13 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
         focus[static_cast<std::size_t>(c)] = 0;
       }
     }
+    MaxDispConfig matchConfig = config.pipeline.maxDisp;
+    // One locality knob for both recovery solvers: the matching, like
+    // stage 3 below, only needs the delta's neighborhood, not the whole
+    // chunk a stranded cell happens to share a type with.
+    matchConfig.focusTrim = config.froChainHalo;
     stats.matchedCellsMoved =
-        optimizeMaxDisplacementFocused(state, config.pipeline.maxDisp, focus)
-            .cellsMoved;
+        optimizeMaxDisplacementFocused(state, matchConfig, focus).cellsMoved;
   }
   state.setListener(nullptr);
   const std::vector<CellId> touched = tracker.touched();
@@ -192,6 +211,7 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
   // passes. maxDispWeight couples all cells globally (§3.3.1), so the
   // per-component solves force it off — an approximation vs. the full
   // pipeline, covered by the score tolerance.
+  config.requestDeadline.checkpoint("eco/stage3");
   if (config.pipeline.runFixedRowOrder) {
     MCLG_TRACE_SCOPE("eco/stage3");
     FixedRowOrderConfig froConfig = config.pipeline.fixedRowOrder;
@@ -207,13 +227,51 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
     };
     const std::vector<std::vector<CellId>> components =
         fixedRowOrderComponents(state);
+    // Delta-local trimming: on a dense design the constraint components
+    // span most of the netlist, so solving a whole component per request
+    // would cost as much as a cold full-design stage 3. Keep only the
+    // cells within froChainHalo chain positions of a dirty/touched cell;
+    // everything further acts as a fixed wall (range clamp) in the solve.
+    std::vector<char> keep;
+    if (config.froChainHalo > 0) {
+      keep.assign(static_cast<std::size_t>(design.numCells()), 0);
+      const int halo = config.froChainHalo;
+      std::vector<CellId> row;
+      for (std::int64_t y = 0; y < design.numRows; ++y) {
+        row.clear();
+        for (const auto& [x, c] : state.rowCells(y)) {
+          (void)x;
+          row.push_back(c);
+        }
+        const int n = static_cast<int>(row.size());
+        for (int j = 0; j < n; ++j) {
+          const CellId c = row[static_cast<std::size_t>(j)];
+          if (!isDirty[static_cast<std::size_t>(c)] && !tracker.isTouched(c)) {
+            continue;
+          }
+          const int hi = std::min(n - 1, j + halo);
+          for (int t = std::max(0, j - halo); t <= hi; ++t) {
+            keep[static_cast<std::size_t>(row[static_cast<std::size_t>(t)])] =
+                1;
+          }
+        }
+      }
+    }
     for (const auto& component : components) {
       if (!isComponentDirty(component)) continue;
       ++stats.dirtySegments;
+      std::vector<CellId> subset;
+      if (keep.empty()) {
+        subset = component;
+      } else {
+        for (const CellId c : component) {
+          if (keep[static_cast<std::size_t>(c)]) subset.push_back(c);
+        }
+      }
       FroSolverReuse reuse;
       for (int pass = 0; pass < std::max(1, config.mcfPasses); ++pass) {
         const auto froStats = optimizeFixedRowOrderSubset(
-            state, segments, froConfig, component, &reuse);
+            state, segments, froConfig, subset, &reuse);
         stats.mcfCellsMoved += froStats.cellsMoved;
         if (froStats.cellsMoved == 0) break;
       }
@@ -221,6 +279,8 @@ EcoStats ecoRelegalize(PlacementState& state, const SegmentMap& segments,
       stats.coldFallbacks += reuse.solver.stats().warmRejected;
     }
   }
+
+  config.requestDeadline.checkpoint("eco/audit");
 
   // 5. Audit: any hard violation degrades to the full pipeline.
   const LegalityReport audit = checkLegality(design, segments);

@@ -17,7 +17,10 @@
 //     cells, so a far-flung insertion can swap with a same-type neighbor
 //     or re-run its window search against the freed displacement;
 //  4. re-runs Stage 3 (fixed-row/fixed-order MCF, §3.3) only on the
-//     constraint-graph components containing dirty or spilled cells, in
+//     constraint-graph components containing dirty or spilled cells — each
+//     trimmed to the `froChainHalo` chain neighborhood of those cells,
+//     with everything beyond the trim acting as a fixed wall, so the solve
+//     is delta-sized even when the component spans the netlist — in
 //     `mcfPasses` passes through one persistent NetworkSimplexSolver per
 //     component: pass 1 solves cold and retains the basis, later passes
 //     warm-restart on the same topology with drifted costs (cold fallback
@@ -49,6 +52,7 @@
 #include "db/placement_state.hpp"
 #include "db/segment_map.hpp"
 #include "legal/pipeline.hpp"
+#include "util/deadline.hpp"
 
 namespace mclg {
 
@@ -64,6 +68,16 @@ struct EcoConfig {
   /// Stage-3 passes per dirty component. Pass 1 is cold; passes >= 2
   /// warm-restart (and are skipped once a pass moves nothing).
   int mcfPasses = 2;
+  /// Stage-3 locality: before solving a dirty component, trim it to the
+  /// cells within this many chain positions (per row, in row order) of a
+  /// dirty or touched cell. Cells outside the trimmed subset become fixed
+  /// walls — their separation clamps the boundary cells' feasible ranges
+  /// (optimizeFixedRowOrderSubset) — so the solve cost is proportional to
+  /// the delta rather than to the enclosing component, which on a dense
+  /// design is most of the netlist. The wall approximation is covered by
+  /// the same score tolerance as the other incremental shortcuts. 0 solves
+  /// whole components.
+  int froChainHalo = 24;
   /// Rip-up threshold (row heights) for the post-insertion recovery pass —
   /// lower than the standalone refiner's default because the incremental
   /// insertion is exactly what strands cells.
@@ -74,6 +88,14 @@ struct EcoConfig {
   bool validate = false;
   /// validate + adopt the full run's placement: byte-identical output.
   bool exact = false;
+  /// Request-scoped wall-clock budget (serving, flow/serve/): checked at
+  /// every phase boundary of the incremental path and folded into the
+  /// guard's per-stage deadline for any full-run fallback. Expiry throws
+  /// MclgError(Timeout) out of ecoRelegalize — callers that set a limited
+  /// deadline must treat the state as dirty and roll back (the serve
+  /// session runs each request on a scratch copy for exactly this reason).
+  /// Unlimited by default, so CLI/batch ECO runs are unaffected.
+  Deadline requestDeadline;
 };
 
 struct EcoStats {

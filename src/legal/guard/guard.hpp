@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "util/deadline.hpp"
+
 namespace mclg {
 
 /// The process exit-code contract shared by mclg_cli, mclg_batch workers,
@@ -127,6 +129,13 @@ struct GuardConfig {
   /// cancels cooperatively at batch boundaries; the single-threaded stages
   /// are checked at the stage boundary.
   double stageBudgetSeconds = 0.0;
+  /// Request-scoped budget (serving, flow/serve/): a deadline captured at
+  /// request admission that bounds the *whole* run across all stages and
+  /// attempts. Each stage runs under the earlier of this and its own
+  /// per-attempt budget, so an over-budget request fails fast instead of
+  /// burning the remaining stages' budgets. Unlimited by default — batch
+  /// and CLI runs are unaffected.
+  Deadline requestDeadline;
   /// Attempts per stage (1 initial + retries after rollback).
   int maxAttempts = 2;
   bool allowRetry = true;     // re-run after rollback, relaxed if possible

@@ -130,7 +130,8 @@ void runStage(PlacementState& state, const SegmentMap& segments,
     const Deadline deadline =
         guard.faults.armed(driver.id, FaultKind::BudgetExhaust, attempt)
             ? Deadline::expired()
-            : Deadline::after(guard.stageBudgetSeconds);
+            : Deadline::earliest(Deadline::after(guard.stageBudgetSeconds),
+                                 guard.requestDeadline);
     std::string failure;
     try {
       driver.run(deadline, attempt);

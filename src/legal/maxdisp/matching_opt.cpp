@@ -288,6 +288,45 @@ MaxDispStats optimizeMaxDisplacementImpl(PlacementState& state,
         return (*focus)[static_cast<std::size_t>(c)] != 0;
       });
     });
+    if (config.focusTrim > 0) {
+      // Delta-local matching: one stranded cell in a chunk of hundreds
+      // should not re-solve the whole chunk. Keep each focused cell plus
+      // its focusTrim row-major-nearest group-mates on either side — the
+      // candidates a recovery swap could plausibly use — and drop the
+      // rest. A sub-chunk matching is still a permutation of existing
+      // positions, so legality is preserved.
+      for (auto& chunk : chunks) {
+        std::sort(chunk.begin(), chunk.end(), [&](CellId a, CellId b) {
+          const auto& ca = design.cells[a];
+          const auto& cb = design.cells[b];
+          if (ca.y != cb.y) return ca.y < cb.y;
+          if (ca.x != cb.x) return ca.x < cb.x;
+          return a < b;
+        });
+        const int n = static_cast<int>(chunk.size());
+        std::vector<char> keep(static_cast<std::size_t>(n), 0);
+        for (int j = 0; j < n; ++j) {
+          if ((*focus)[static_cast<std::size_t>(
+                  chunk[static_cast<std::size_t>(j)])] == 0) {
+            continue;
+          }
+          const int hi = std::min(n - 1, j + config.focusTrim);
+          for (int t = std::max(0, j - config.focusTrim); t <= hi; ++t) {
+            keep[static_cast<std::size_t>(t)] = 1;
+          }
+        }
+        std::vector<CellId> trimmed;
+        for (int j = 0; j < n; ++j) {
+          if (keep[static_cast<std::size_t>(j)]) {
+            trimmed.push_back(chunk[static_cast<std::size_t>(j)]);
+          }
+        }
+        chunk = std::move(trimmed);
+      }
+      std::erase_if(chunks, [](const std::vector<CellId>& chunk) {
+        return chunk.size() < 2;
+      });
+    }
     stats.cellsConsidered = 0;
     for (const auto& chunk : chunks) {
       stats.cellsConsidered += static_cast<int>(chunk.size());

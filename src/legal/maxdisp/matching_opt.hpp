@@ -52,6 +52,15 @@ struct MaxDispConfig {
   /// geometry does not matter (no-routability mode — different types have
   /// different pins, so a swap could change the pin-violation count).
   bool groupByFootprint = false;
+  /// Focused-mode locality (optimizeMaxDisplacementFocused only): trim each
+  /// surviving chunk to its focused cells plus this many spatially nearest
+  /// group-mates on each side (in row-major order) before matching, so a
+  /// request-sized focus solves a request-sized assignment instead of a
+  /// whole maxGroupSize chunk. The matching still only permutes existing
+  /// positions within the trimmed subset, so legality is unaffected. 0
+  /// solves whole surviving chunks. Set by the ECO driver; the full
+  /// pipeline never reads it.
+  int focusTrim = 0;
 };
 
 struct MaxDispStats {

@@ -42,9 +42,12 @@ std::vector<CellId> placedMovableCells(const Design& design) {
 }
 
 /// Build the network for a subset of cells (a connected component of the
-/// constraint graph, or all placed movable cells). Neighbor pairs with
-/// either endpoint outside the subset are skipped — for true components
-/// none exist.
+/// constraint graph, all placed movable cells, or any smaller selection).
+/// Neighbor pairs with exactly one endpoint inside the subset get no arc;
+/// instead the inside endpoint's feasible range is clamped against the
+/// outside cell's current position, so the outside cell acts as a fixed
+/// wall and the solve stays overlap-free for arbitrary subsets. For true
+/// components no such pairs exist and the network is unchanged.
 FroNetwork buildNetworkForCells(const PlacementState& state,
                                 const SegmentMap& segments,
                                 const FixedRowOrderConfig& config,
@@ -102,6 +105,42 @@ FroNetwork buildNetworkForCells(const PlacementState& state,
         std::abs(static_cast<double>(cell.y) - cell.gpY) /
         design.siteWidthFactor);
     maxDy = std::max(maxDy, dy[static_cast<std::size_t>(i)]);
+  }
+
+  // Wall clamping for partial subsets: a subset cell abutting a cell
+  // outside the subset must keep the pair's separation even though no arc
+  // links them. The outside cell will not move during this solve, so
+  // narrowing the inside cell's range to the gap beside the neighbor's
+  // current x is exact. Runs before the range arcs below so li / ri pick
+  // up the clamp; for component/full subsets no pair qualifies and the
+  // ranges (and thus the arc sequence) are untouched.
+  for (std::int64_t y = 0; y < design.numRows; ++y) {
+    const auto& rowMap = state.rowCells(y);
+    CellId prev = kInvalidCell;
+    std::int64_t prevX = 0;
+    for (const auto& [x, c] : rowMap) {
+      if (prev != kInvalidCell) {
+        const int inPrev = indexOf[static_cast<std::size_t>(prev)];
+        const int inC = indexOf[static_cast<std::size_t>(c)];
+        if ((inPrev >= 0) != (inC >= 0)) {
+          CostValue sep =
+              design.widthOf(prev) +
+              (config.respectEdgeSpacing ? design.spacingBetween(prev, c) : 0);
+          sep = std::min<CostValue>(sep, x - prevX);
+          if (inC >= 0) {
+            // `prev` is a wall on the left: x_c >= prevX + sep.
+            auto& r = net.ranges[static_cast<std::size_t>(inC)];
+            r.lo = std::max<std::int64_t>(r.lo, prevX + sep);
+          } else {
+            // `c` is a wall on the right: x_prev <= x - sep.
+            auto& r = net.ranges[static_cast<std::size_t>(inPrev)];
+            r.hi = std::min<std::int64_t>(r.hi, x - sep + 1);
+          }
+        }
+      }
+      prev = c;
+      prevX = x;
+    }
   }
 
   for (int i = 0; i < m; ++i) {

@@ -98,11 +98,15 @@ std::vector<std::vector<CellId>> fixedRowOrderComponents(
     const PlacementState& state);
 
 /// Run the optimization on `subset` only, optionally through a persistent
-/// warm-startable solver.
-/// \pre  `subset` is closed under the neighbor relation (a union of
-///       fixedRowOrderComponents entries, or all placed movable cells) —
-///       otherwise boundary constraints are dropped and the result may
-///       overlap a cell outside the subset (caught by placement asserts).
+/// warm-startable solver. The subset may be *any* selection of placed
+/// movable cells: a neighbor pair with one endpoint outside the subset
+/// contributes no arc, but the inside endpoint's feasible range is clamped
+/// against the outside cell's current position (a fixed wall), so the
+/// result never overlaps a cell outside the subset. Subsets closed under
+/// the neighbor relation (fixedRowOrderComponents entries, or all placed
+/// movable cells) see no clamping and solve the exact component optimum;
+/// smaller subsets trade optimality at the walls for a solve whose cost is
+/// proportional to the subset — the ECO driver's delta-local stage 3.
 /// \pre  With a reuse whose basis was retained on a previous call, the
 ///       subset and its row order must be unchanged (only GP targets /
 ///       clamped separations, i.e. arc costs, may differ); a mismatch is

@@ -1,0 +1,97 @@
+#include "obs/serve_ledger.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mclg::obs {
+
+void ServeLedger::tenantLoaded(const std::string& tenant, double nowSeconds) {
+  TenantStats& stats = tenants_[tenant];
+  stats.loadedAt = nowSeconds;
+  stats.lastAt = nowSeconds;
+  if (firstAt_ < 0.0) firstAt_ = nowSeconds;
+}
+
+void ServeLedger::requestFinished(const std::string& tenant,
+                                  const RequestOutcome& outcome,
+                                  double nowSeconds) {
+  if (firstAt_ < 0.0) firstAt_ = nowSeconds;
+  lastAt_ = nowSeconds;
+  ++requests_;
+  if (!outcome.ok) ++failures_;
+  lastTenant_ = tenant;
+  lastVerb_ = outcome.verb;
+  lastStatus_ = outcome.status;
+  lastSeconds_ = outcome.seconds;
+  TenantStats& stats = tenants_[tenant];
+  ++stats.requests;
+  if (outcome.verb == "eco") ++stats.eco;
+  else if (outcome.verb == "commit") ++stats.commits;
+  else if (outcome.verb == "rollback") ++stats.rollbacks;
+  else if (outcome.verb == "query") ++stats.queries;
+  if (!outcome.ok) ++stats.failures;
+  stats.totalSeconds += outcome.seconds;
+  stats.lastAt = nowSeconds;
+  stats.lastVerb = outcome.verb;
+  stats.lastStatus = outcome.status;
+  if (outcome.hash != 0) stats.lastHash = outcome.hash;
+  if (outcome.score != 0.0) stats.lastScore = outcome.score;
+  if (outcome.cells != 0) stats.cells = outcome.cells;
+}
+
+void ServeLedger::busyRejected(const std::string& tenant) {
+  ++busy_;
+  (void)tenant;  // Busy is pre-admission: no per-tenant work to attribute.
+}
+
+std::string ServeLedger::renderStatusLine(double nowSeconds) const {
+  char buffer[256];
+  const double elapsed =
+      firstAt_ >= 0.0 ? std::max(1e-9, nowSeconds - firstAt_) : 0.0;
+  const double rate = elapsed > 0.0 ? requests_ / elapsed : 0.0;
+  std::string out;
+  std::snprintf(buffer, sizeof buffer,
+                "[serve] %d tenants | %lld requests (%lld failed, %lld busy)",
+                tenants(), requests_, failures_, busy_);
+  out += buffer;
+  if (!lastTenant_.empty()) {
+    std::snprintf(buffer, sizeof buffer, " | last %s %s %s %.2fs",
+                  lastTenant_.c_str(), lastVerb_.c_str(), lastStatus_.c_str(),
+                  lastSeconds_);
+    out += buffer;
+  }
+  std::snprintf(buffer, sizeof buffer, " | %.1f req/s", rate);
+  out += buffer;
+  return out;
+}
+
+std::string ServeLedger::renderStatusTable(double nowSeconds) const {
+  char buffer[320];
+  std::string out;
+  std::snprintf(buffer, sizeof buffer,
+                "%-16s %8s %6s %7s %9s %7s %8s %9s  %-10s %s\n", "tenant",
+                "requests", "eco", "commit", "rollback", "failed", "mean_ms",
+                "idle_s", "last", "hash");
+  out += buffer;
+  for (const auto& [name, stats] : tenants_) {
+    const double meanMs =
+        stats.requests > 0 ? 1e3 * stats.totalSeconds / stats.requests : 0.0;
+    const std::string last =
+        stats.lastVerb.empty() ? "loaded"
+                               : stats.lastVerb + ":" + stats.lastStatus;
+    std::snprintf(buffer, sizeof buffer,
+                  "%-16s %8lld %6lld %7lld %9lld %7lld %8.1f %9.1f  %-10s "
+                  "%016" PRIx64 "\n",
+                  name.c_str(), stats.requests, stats.eco, stats.commits,
+                  stats.rollbacks, stats.failures, meanMs,
+                  std::max(0.0, nowSeconds - stats.lastAt), last.c_str(),
+                  stats.lastHash);
+    out += buffer;
+  }
+  out += renderStatusLine(nowSeconds);
+  out += '\n';
+  return out;
+}
+
+}  // namespace mclg::obs

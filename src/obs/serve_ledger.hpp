@@ -1,0 +1,85 @@
+// Daemon-side per-tenant serving ledger: the fold of every request the
+// legalization service (flow/serve/serve_server.hpp) has answered, kept
+// resident so the `--status` endpoint and the periodic status line can
+// answer "who is being served, how fast, and how healthy" without
+// touching tenant sessions.
+//
+// Mirrors the BatchLedger conventions (obs/batch_ledger.hpp): the caller
+// synchronizes access (the serve server holds its registry mutex around
+// every call) and injects monotonic time, so the ledger is deterministic
+// under test. Counters the metrics registry also tracks (serve.requests,
+// serve.busy_rejections, ...) are bumped by the server, not here — the
+// ledger is the per-tenant breakdown the flat registry cannot express.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mclg::obs {
+
+class ServeLedger {
+ public:
+  /// One answered request, in Response terms (serve_protocol.hpp).
+  struct RequestOutcome {
+    std::string verb;     ///< "load" / "eco" / "commit" / "rollback" / "query"
+    std::string status;   ///< serveStatusName vocabulary
+    bool ok = false;      ///< serveStatusOk(status)
+    double seconds = 0.0;
+    std::uint64_t hash = 0;
+    double score = 0.0;
+    int cells = 0;
+  };
+
+  void tenantLoaded(const std::string& tenant, double nowSeconds);
+  void requestFinished(const std::string& tenant,
+                       const RequestOutcome& outcome, double nowSeconds);
+  /// Admission bounce before any tenant work (Busy responses). Counted
+  /// globally; `tenant` may be empty when the request never parsed.
+  void busyRejected(const std::string& tenant);
+
+  int tenants() const { return static_cast<int>(tenants_.size()); }
+  long long requests() const { return requests_; }
+  long long busy() const { return busy_; }
+  long long failures() const { return failures_; }
+
+  /// `[serve] 2 tenants | 341 requests (2 failed, 1 busy) | last t1 eco ok
+  /// 0.8s | 412 req/s` — the periodic daemon status line.
+  std::string renderStatusLine(double nowSeconds) const;
+
+  /// Fixed-width per-tenant table for Query(status) / `mclg_serve
+  /// --status`: requests, per-verb counts, failures, mean latency, last
+  /// outcome + placement hash.
+  std::string renderStatusTable(double nowSeconds) const;
+
+ private:
+  struct TenantStats {
+    long long requests = 0;
+    long long eco = 0;
+    long long commits = 0;
+    long long rollbacks = 0;
+    long long queries = 0;
+    long long failures = 0;   ///< !ok outcomes (including Rejected)
+    double totalSeconds = 0.0;
+    double loadedAt = 0.0;
+    double lastAt = 0.0;
+    std::string lastVerb;
+    std::string lastStatus;
+    std::uint64_t lastHash = 0;
+    double lastScore = 0.0;
+    int cells = 0;
+  };
+
+  std::map<std::string, TenantStats> tenants_;
+  long long requests_ = 0;
+  long long busy_ = 0;
+  long long failures_ = 0;
+  double firstAt_ = -1.0;
+  double lastAt_ = 0.0;
+  std::string lastTenant_;
+  std::string lastVerb_;
+  std::string lastStatus_;
+  double lastSeconds_ = 0.0;
+};
+
+}  // namespace mclg::obs

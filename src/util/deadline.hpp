@@ -39,6 +39,16 @@ class Deadline {
     return d;
   }
 
+  /// The earlier-expiring of two deadlines; an unlimited deadline never
+  /// wins over a limited one. Used to combine a per-stage budget with a
+  /// request-scoped budget (serving: GuardConfig::requestDeadline).
+  static Deadline earliest(const Deadline& a, const Deadline& b) {
+    if (!a.limited_) return b;
+    if (!b.limited_) return a;
+    return a.expiry_ <= b.expiry_ ? a : b;
+  }
+
+  bool limited() const { return limited_; }
   bool expiredNow() const { return limited_ && Clock::now() >= expiry_; }
 
   /// Cancellation point: throws MclgError(Timeout) when expired.
